@@ -1,0 +1,183 @@
+// E11 — microbenchmarks for the paper's motivating applications (Sec. 1)
+// beyond the two it evaluates: the biased lock (Java-monitor style) and the
+// safepoint poll (JVM/GC style). The headline numbers are the *fast paths*:
+// a biased acquire and a safepoint poll should cost no more than a couple
+// of nanoseconds under the asymmetric policies — versus the fence-bearing
+// symmetric equivalents — because that is where l-mfence removes the
+// serialization.
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "lbmf/core/epoch.hpp"
+#include "lbmf/core/safepoint.hpp"
+#include "lbmf/dekker/biased_lock.hpp"
+
+namespace lbmf {
+namespace {
+
+// ------------------------------------------------------------- biased lock
+
+template <FencePolicy P>
+void BM_BiasedLockFastPath(benchmark::State& state) {
+  BiasedLock<P> lock;
+  lock.lock();  // claim the bias
+  volatile long x = 0;
+  lock.unlock();
+  for (auto _ : state) {
+    lock.lock();
+    x = x + 1;
+    lock.unlock();
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetItemsProcessed(state.iterations());
+  lock.release_bias();
+}
+
+BENCHMARK(BM_BiasedLockFastPath<AsymmetricSignalFence>)
+    ->Name("biased_lock/fast_path/lmfence");
+BENCHMARK(BM_BiasedLockFastPath<SymmetricFence>)
+    ->Name("biased_lock/fast_path/mfence");
+
+void BM_StdMutexBaseline(benchmark::State& state) {
+  std::mutex m;
+  volatile long x = 0;
+  for (auto _ : state) {
+    m.lock();
+    x = x + 1;
+    m.unlock();
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_StdMutexBaseline)->Name("biased_lock/baseline/std_mutex");
+
+// --------------------------------------------------------------- safepoint
+
+template <FencePolicy P>
+void BM_SafepointPoll(benchmark::State& state) {
+  Safepoint<P> sp;
+  auto token = sp.register_mutator();
+  volatile long x = 0;
+  for (auto _ : state) {
+    x = x + 1;
+    token.poll();
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SafepointPoll<AsymmetricSignalFence>)
+    ->Name("safepoint/poll/lmfence");
+BENCHMARK(BM_SafepointPoll<SymmetricFence>)->Name("safepoint/poll/mfence");
+
+/// The safe-region boundary is where the Dekker announce (and thus the
+/// fence, under the symmetric policy) lives — the JNI-call edge in the
+/// JVM analogy.
+template <FencePolicy P>
+void BM_SafeRegionTransition(benchmark::State& state) {
+  Safepoint<P> sp;
+  auto token = sp.register_mutator();
+  for (auto _ : state) {
+    token.enter_safe_region();
+    token.leave_safe_region();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_SafeRegionTransition<AsymmetricSignalFence>)
+    ->Name("safepoint/region_transition/lmfence");
+BENCHMARK(BM_SafeRegionTransition<SymmetricFence>)
+    ->Name("safepoint/region_transition/mfence");
+
+/// Cost of a full stop-the-world against N busy mutators (the slow path the
+/// asymmetric design deliberately makes expensive).
+template <FencePolicy P>
+void BM_StopTheWorld(benchmark::State& state) {
+  const int mutators = static_cast<int>(state.range(0));
+  Safepoint<P> sp;
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> pool;
+  for (int i = 0; i < mutators; ++i) {
+    pool.emplace_back([&] {
+      auto token = sp.register_mutator();
+      ready.fetch_add(1);
+      volatile long x = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = x + 1;
+        token.poll();
+      }
+      benchmark::DoNotOptimize(x);
+    });
+  }
+  while (ready.load() < mutators) std::this_thread::yield();
+
+  for (auto _ : state) {
+    sp.stop_the_world([] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+}
+
+BENCHMARK(BM_StopTheWorld<AsymmetricSignalFence>)
+    ->Name("safepoint/stop_the_world/lmfence")
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------------------------- epoch
+
+/// RCU-style read-side critical section — the membarrier(2) use case.
+template <FencePolicy P>
+void BM_EpochReadSection(benchmark::State& state) {
+  EpochDomain<P> d;
+  auto token = d.register_reader();
+  volatile long x = 0;
+  for (auto _ : state) {
+    auto g = token.read_lock();
+    x = x + 1;
+  }
+  benchmark::DoNotOptimize(x);
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_EpochReadSection<AsymmetricSignalFence>)
+    ->Name("epoch/read_section/lmfence");
+BENCHMARK(BM_EpochReadSection<SymmetricFence>)
+    ->Name("epoch/read_section/mfence");
+
+/// Grace-period cost against one busy reader (the deliberate slow path).
+template <FencePolicy P>
+void BM_EpochSynchronize(benchmark::State& state) {
+  EpochDomain<P> d;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> ready{false};
+  std::thread reader([&] {
+    auto token = d.register_reader();
+    ready.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto g = token.read_lock();
+    }
+  });
+  while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
+  for (auto _ : state) {
+    d.synchronize();
+  }
+  state.SetItemsProcessed(state.iterations());
+  stop.store(true, std::memory_order_release);
+  reader.join();
+}
+
+BENCHMARK(BM_EpochSynchronize<AsymmetricSignalFence>)
+    ->Name("epoch/synchronize/lmfence")
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace lbmf
+
+BENCHMARK_MAIN();

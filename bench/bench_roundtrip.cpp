@@ -1,0 +1,118 @@
+// E2 — Sec. 5 cost comparison: "The estimated cost of a single round trip
+// communication is in the order of 10,000 cycles ... the round trip time in
+// the LE/ST mechanism ... costs about 150 cycles on our system."
+//
+// Measures, in cycles:
+//   * the real signal-based serialize() round trip (the software prototype),
+//   * the real membarrier() round trip (the modern asymmetric fence),
+//   * a local mfence for scale,
+//   * the simulated LE/ST round trip (the hardware the paper proposes),
+//   * the simulated signal round trip (sanity check of the cost table).
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "lbmf/core/fence.hpp"
+#include "lbmf/core/membarrier.hpp"
+#include "lbmf/core/serializer.hpp"
+#include "lbmf/sim/litmus.hpp"
+#include "lbmf/util/stats.hpp"
+#include "lbmf/util/timing.hpp"
+
+using namespace lbmf;
+
+namespace {
+
+Summary measure_cycles(int reps, int inner, const std::function<void()>& op) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t c0 = rdtscp();
+    for (int i = 0; i < inner; ++i) op();
+    const std::uint64_t c1 = rdtscp();
+    samples.push_back(static_cast<double>(c1 - c0) /
+                      static_cast<double>(inner));
+  }
+  return summarize(std::move(samples));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: remote-serialization round-trip costs (cycles)\n\n");
+
+  // --- local mfence, for scale ------------------------------------------
+  const Summary fence = measure_cycles(50, 1000, [] { full_fence(); });
+  std::printf("%-26s p50=%8.0f  mean=%8.0f\n", "local mfence", fence.p50,
+              fence.mean);
+
+  // --- real signal round trip -------------------------------------------
+  {
+    auto& reg = SerializerRegistry::instance();
+    std::atomic<bool> ready{false};
+    std::atomic<bool> stop{false};
+    SerializerRegistry::Handle handle;
+    std::thread primary([&] {
+      handle = reg.register_self();
+      ready.store(true, std::memory_order_release);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      reg.unregister_self(handle);
+    });
+    while (!ready.load(std::memory_order_acquire)) std::this_thread::yield();
+
+    const Summary sig =
+        measure_cycles(30, 20, [&] { reg.serialize(handle); });
+    std::printf("%-26s p50=%8.0f  mean=%8.0f   (paper: ~10,000)\n",
+                "signal serialize (sw)", sig.p50, sig.mean);
+
+    stop.store(true, std::memory_order_release);
+    primary.join();
+  }
+
+  // --- membarrier round trip --------------------------------------------
+  if (membarrier::available()) {
+    std::atomic<bool> stop{false};
+    std::thread peer([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+      }
+    });
+    const Summary mb = measure_cycles(30, 20, [] { membarrier::barrier(); });
+    std::printf("%-26s p50=%8.0f  mean=%8.0f\n", "membarrier (kernel)",
+                mb.p50, mb.mean);
+    stop.store(true, std::memory_order_relaxed);
+    peer.join();
+  } else {
+    std::printf("%-26s (not supported on this kernel)\n", "membarrier");
+  }
+
+  // --- simulated LE/ST and signal round trips ----------------------------
+  {
+    using namespace lbmf::sim;
+    Machine hw = make_roundtrip_machine(/*use_interrupt=*/false);
+    for (int i = 0; i < 4; ++i) hw.step(0, Action::Execute);
+    hw.step(1, Action::Execute);
+    std::printf("%-26s      %8llu              (paper: ~150)\n",
+                "LE/ST round trip (sim)",
+                static_cast<unsigned long long>(hw.cpu(1).counters.cycles));
+
+    Machine sw = make_roundtrip_machine(/*use_interrupt=*/true);
+    sw.step(0, Action::Execute);
+    sw.deliver_interrupt(0);
+    sw.step(1, Action::Execute);
+    std::printf("%-26s      %8llu              (paper: ~10,000)\n",
+                "signal round trip (sim)",
+                static_cast<unsigned long long>(sw.cpu(0).counters.cycles +
+                                                sw.cpu(1).counters.cycles));
+  }
+
+  std::printf(
+      "\nShape check: signal-serialize must be orders of magnitude above a\n"
+      "local mfence, and the simulated LE/ST round trip sits at the L1-miss/\n"
+      "L2-hit scale the paper reports — the gap that motivates the hardware.\n");
+  return 0;
+}

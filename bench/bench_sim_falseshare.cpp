@@ -1,0 +1,97 @@
+// E12 (ablation) — false sharing on the guarded line. LE/ST operates at
+// cache-line granularity, so colocating the guarded location with
+// unrelated hot data makes innocent remote accesses break the link and
+// flush the primary's store buffer. This bench quantifies the penalty and
+// shows that padding (the standard fix, which this library's CacheAligned
+// applies to every real protocol flag) restores the fast path.
+//
+// Sweep: line width x probe placement; report the primary's cycles and
+// link-break counts for a fixed l-mfence loop.
+
+#include <cstdio>
+
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/sim/program.hpp"
+
+using namespace lbmf::sim;
+
+namespace {
+
+constexpr int kIters = 500;
+constexpr int kProbes = 100;
+
+struct Result {
+  std::uint64_t primary_cycles;
+  std::uint64_t link_breaks;
+  std::uint64_t mfences;
+};
+
+Result run_case(std::size_t line_words, Addr probe_addr) {
+  SimConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.line_words = line_words;
+  Machine m(cfg);
+
+  ProgramBuilder p("primary");
+  p.mov(2, kIters);
+  p.label("top");
+  p.lmfence(0, 1);
+  p.delay(10);
+  p.store(0, 0);
+  p.add(2, -1);
+  p.branch_ne(2, 0, "top");
+  p.halt();
+  m.load_program(0, p.build());
+
+  ProgramBuilder q("prober");
+  q.mov(2, kProbes);
+  q.label("top");
+  q.load(1, probe_addr);
+  q.mfence();  // drop state so every probe is a fresh bus transaction
+  q.add(2, -1);
+  q.branch_ne(2, 0, "top");
+  q.halt();
+  m.load_program(1, q.build());
+
+  m.run_round_robin();
+  return Result{m.cpu(0).counters.cycles,
+                m.cpu(0).counters.link_breaks_remote,
+                m.cpu(0).counters.mfences};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12 — false sharing on the l-mfence guarded line\n");
+  std::printf("(%d-iteration primary loop, %d remote probes)\n\n", kIters,
+              kProbes);
+  std::printf("%10s %-22s %12s %12s %9s\n", "line", "probe target",
+              "primary cyc", "link breaks", "mfences");
+
+  for (std::size_t words : {1u, 4u, 8u}) {
+    // Probe the word right next to the guarded location...
+    const Result neighbour = run_case(words, 1);
+    // ...and a word padded onto its own line.
+    const Result padded = run_case(words, static_cast<Addr>(words));
+    const char* same_line = words == 1 ? "word 1 (own line)"
+                                       : "word 1 (SAME line)";
+    std::printf("%7zu w  %-22s %12llu %12llu %9llu\n", words, same_line,
+                static_cast<unsigned long long>(neighbour.primary_cycles),
+                static_cast<unsigned long long>(neighbour.link_breaks),
+                static_cast<unsigned long long>(neighbour.mfences));
+    std::printf("%7zu w  %-22s %12llu %12llu %9llu\n", words,
+                "padded (next line)",
+                static_cast<unsigned long long>(padded.primary_cycles),
+                static_cast<unsigned long long>(padded.link_breaks),
+                static_cast<unsigned long long>(padded.mfences));
+  }
+
+  std::printf(
+      "\nWith one word per line the neighbour lives on its own line and\n"
+      "never disturbs the guard. With wider lines the same neighbour\n"
+      "colocates with the guarded word: every probe breaks the link and\n"
+      "flushes the primary (and can force the Fig. 3(b) mfence fallback).\n"
+      "Padding the guarded location — as this library's CacheAligned does\n"
+      "for every real flag — restores the contact-free fast path.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Packet-processing example (the paper's fourth motivating application):
+// an owner thread accounts synthetic traffic into its private flow table
+// through the l-mfence fast path while a control-plane thread occasionally
+// installs forwarding rules from outside, paying the remote serialization.
+//
+// Usage: packet_pipeline [seconds] [update_interval_us]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "lbmf/flowtable/pipeline.hpp"
+
+using namespace lbmf;
+using namespace lbmf::flowtable;
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const std::uint64_t interval_us =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1000;
+
+  std::printf("packet pipeline, %.2fs, control-plane update every %lluus\n\n",
+              seconds, static_cast<unsigned long long>(interval_us));
+
+  const PipelineResult sym =
+      run_pipeline<SymmetricFence>(seconds, 1, interval_us);
+  const PipelineResult asym =
+      run_pipeline<AsymmetricSignalFence>(seconds, 1, interval_us);
+
+  auto report = [](const char* name, const PipelineResult& r) {
+    std::printf("%-10s %12.0f pkt/s   %8llu rule updates   "
+                "%llu owner announces, %llu serializations\n",
+                name, r.packets_per_second(),
+                static_cast<unsigned long long>(r.remote_updates),
+                static_cast<unsigned long long>(r.sync.primary_acquires),
+                static_cast<unsigned long long>(r.sync.serializations));
+  };
+  report("mfence", sym);
+  report("l-mfence", asym);
+  std::printf("\nspeedup from removing the per-packet fence: %.2fx\n",
+              sym.packets_per_second() > 0
+                  ? asym.packets_per_second() / sym.packets_per_second()
+                  : 0.0);
+  return 0;
+}

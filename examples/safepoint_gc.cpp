@@ -1,0 +1,130 @@
+// A toy stop-the-world collector on the Safepoint mechanism — the paper's
+// JVM/GC motivating example end to end. Mutator threads continuously
+// rewire a shared object graph, polling the safepoint between operations
+// (fence-free under the asymmetric policy); the collector periodically
+// stops the world, marks from the roots, and sweeps.
+//
+// Usage: safepoint_gc [seconds] [mutators]
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "lbmf/core/safepoint.hpp"
+#include "lbmf/util/rng.hpp"
+#include "lbmf/util/timing.hpp"
+
+using namespace lbmf;
+
+namespace {
+
+constexpr std::size_t kHeapSize = 4096;
+constexpr std::size_t kRoots = 8;
+
+struct Object {
+  int next = -1;      // single reference slot (a cons-cell heap)
+  bool allocated = false;
+  bool marked = false;
+};
+
+struct Heap {
+  std::vector<Object> objects{kHeapSize};
+  int roots[kRoots] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  std::size_t free_hint = 0;
+
+  int allocate() {
+    for (std::size_t probe = 0; probe < kHeapSize; ++probe) {
+      const std::size_t i = (free_hint + probe) % kHeapSize;
+      if (!objects[i].allocated) {
+        objects[i] = Object{-1, true, false};
+        free_hint = i + 1;
+        return static_cast<int>(i);
+      }
+    }
+    return -1;  // out of memory: wait for the collector
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 0.5;
+  const int mutators = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  Safepoint<AsymmetricSignalFence> sp;
+  Heap heap;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> allocations{0};
+  std::atomic<std::uint64_t> oom_waits{0};
+
+  // Mutators: allocate chains hanging off per-thread roots, truncate them
+  // at random (creating garbage), and poll the safepoint each step. All
+  // heap access is safepoint-synchronized: the collector only touches the
+  // heap while every mutator is parked.
+  std::vector<std::thread> pool;
+  for (int m = 0; m < mutators; ++m) {
+    pool.emplace_back([&, m] {
+      auto token = sp.register_mutator();
+      Xoshiro256 rng(static_cast<std::uint64_t>(m) + 1);
+      const std::size_t my_root = static_cast<std::size_t>(m) % kRoots;
+      while (!stop.load(std::memory_order_relaxed)) {
+        token.poll();
+        const int obj = heap.allocate();
+        if (obj < 0) {
+          oom_waits.fetch_add(1, std::memory_order_relaxed);
+          token.poll();
+          continue;
+        }
+        allocations.fetch_add(1, std::memory_order_relaxed);
+        // Push onto my root chain; sometimes drop the whole chain.
+        heap.objects[static_cast<std::size_t>(obj)].next =
+            heap.roots[my_root];
+        heap.roots[my_root] = obj;
+        if (rng.next_bool(0.02)) heap.roots[my_root] = -1;  // garbage!
+      }
+    });
+  }
+
+  std::uint64_t collections = 0;
+  std::uint64_t swept_total = 0;
+  Stopwatch sw;
+  while (sw.seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    sp.stop_the_world([&] {
+      ++collections;
+      for (Object& o : heap.objects) o.marked = false;
+      for (int root : heap.roots) {
+        for (int cur = root; cur >= 0;
+             cur = heap.objects[static_cast<std::size_t>(cur)].next) {
+          Object& o = heap.objects[static_cast<std::size_t>(cur)];
+          if (o.marked) break;  // cycle guard (chains are acyclic anyway)
+          o.marked = true;
+        }
+      }
+      for (Object& o : heap.objects) {
+        if (o.allocated && !o.marked) {
+          o.allocated = false;
+          ++swept_total;
+        }
+      }
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+
+  std::printf("ran %.2fs with %d mutators (asymmetric safepoint):\n",
+              seconds, mutators);
+  std::printf("  allocations   : %llu\n",
+              static_cast<unsigned long long>(allocations.load()));
+  std::printf("  collections   : %llu\n",
+              static_cast<unsigned long long>(collections));
+  std::printf("  objects swept : %llu\n",
+              static_cast<unsigned long long>(swept_total));
+  std::printf("  oom waits     : %llu\n",
+              static_cast<unsigned long long>(oom_waits.load()));
+  std::printf("\nmutator polls are fence-free; only stop-the-world pauses\n"
+              "serialize them — the JVM/JNI pattern from the paper's intro.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/rng.hpp"
+#include "lbmf/ws/algorithms.hpp"
+#include "lbmf/ws/scheduler.hpp"
+
+namespace lbmf::cilkbench {
+
+/// Row-major dense square/rectangular matrix used by the linear-algebra
+/// benchmarks (matmul, rectmul, lu, cholesky, strassen).
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix random(std::size_t rows, std::size_t cols,
+                       std::uint64_t seed) {
+    Matrix m(rows, cols);
+    Xoshiro256 rng(seed);
+    for (double& x : m.data_) x = rng.next_double() - 0.5;
+    return m;
+  }
+
+  /// Symmetric positive-definite matrix (for cholesky) / diagonally
+  /// dominant (safe for LU without pivoting).
+  static Matrix random_spd(std::size_t n, std::uint64_t seed) {
+    Matrix m = random(n, n, seed);
+    // A := (A + A^T)/2 + n*I  — symmetric and strictly diagonally dominant.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const double v = 0.5 * (m(i, j) + m(j, i));
+        m(i, j) = v;
+        m(j, i) = v;
+      }
+      m(i, i) += static_cast<double>(n);
+    }
+    return m;
+  }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// A view into a sub-block of a row-major matrix: the recursive algorithms
+/// partition in place without copying.
+struct Block {
+  double* p;          // pointer to (0, 0) of the block
+  std::size_t ld;     // leading dimension (stride between rows)
+
+  double& at(std::size_t r, std::size_t c) const noexcept {
+    return p[r * ld + c];
+  }
+  Block sub(std::size_t r, std::size_t c) const noexcept {
+    return Block{p + r * ld + c, ld};
+  }
+};
+
+inline Block block_of(Matrix& m) { return Block{m.data(), m.cols()}; }
+
+/// Quantized checksum of floating-point output, stable across policies and
+/// worker counts for deterministic algorithms.
+std::uint64_t checksum_doubles(const double* p, std::size_t n);
+
+inline std::uint64_t checksum_matrix(const Matrix& m) {
+  return checksum_doubles(m.data(), m.rows() * m.cols());
+}
+
+/// Combine hashes.
+inline constexpr std::uint64_t hash_mix(std::uint64_t h,
+                                        std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Parallel loop skeleton used by the array benchmarks — the public
+/// ws::parallel_for (every split costs one deque push/pop under the fence
+/// policy being measured).
+using ws::parallel_for;
+
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,92 @@
+#pragma once
+
+// fft (Fig. 4): recursive radix-2 Cooley-Tukey over std::complex<double>,
+// with parallel recursion on the even/odd halves and a parallel butterfly
+// combine for large sizes. Paper input: 2^26 points.
+
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "lbmf/cilkbench/common.hpp"
+
+namespace lbmf::cilkbench {
+
+using Complex = std::complex<double>;
+
+namespace detail {
+
+inline constexpr std::size_t kFftBase = 256;       // serial below this
+inline constexpr std::size_t kButterflyGrain = 512;
+
+inline void fft_serial(Complex* a, std::size_t n, std::size_t stride,
+                       Complex* out) {
+  if (n == 1) {
+    out[0] = a[0];
+    return;
+  }
+  const std::size_t half = n / 2;
+  fft_serial(a, half, stride * 2, out);
+  fft_serial(a + stride, half, stride * 2, out + half);
+  for (std::size_t k = 0; k < half; ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    const Complex w(std::cos(ang), std::sin(ang));
+    const Complex e = out[k];
+    const Complex o = w * out[k + half];
+    out[k] = e + o;
+    out[k + half] = e - o;
+  }
+}
+
+template <FencePolicy P>
+void fft_rec(Complex* a, std::size_t n, std::size_t stride, Complex* out) {
+  if (n <= kFftBase) {
+    fft_serial(a, n, stride, out);
+    return;
+  }
+  const std::size_t half = n / 2;
+  {
+    typename ws::Scheduler<P>::TaskGroup tg;
+    auto even = tg.capture([=] { fft_rec<P>(a, half, stride * 2, out); });
+    tg.spawn(even);
+    fft_rec<P>(a + stride, half, stride * 2, out + half);
+    tg.sync();
+  }
+  parallel_for<P>(0, half, kButterflyGrain, [&](std::size_t k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    const Complex w(std::cos(ang), std::sin(ang));
+    const Complex e = out[k];
+    const Complex o = w * out[k + half];
+    out[k] = e + o;
+    out[k + half] = e - o;
+  });
+}
+
+}  // namespace detail
+
+/// Forward FFT of n (power of two) pseudo-random points; returns a checksum
+/// of the spectrum.
+template <FencePolicy P>
+std::uint64_t fft(std::size_t n, std::uint64_t seed = 0xff7) {
+  LBMF_CHECK((n & (n - 1)) == 0 && n >= 2);
+  std::vector<Complex> in(n);
+  Xoshiro256 rng(seed);
+  for (auto& x : in) x = Complex(rng.next_double() - 0.5, 0.0);
+  std::vector<Complex> out(n);
+  detail::fft_rec<P>(in.data(), n, 1, out.data());
+  std::vector<double> flat;
+  flat.reserve(2 * n);
+  for (const Complex& c : out) {
+    flat.push_back(c.real());
+    flat.push_back(c.imag());
+  }
+  return checksum_doubles(flat.data(), flat.size());
+}
+
+/// Reference O(n^2) DFT for validation in tests (small n only).
+std::vector<Complex> dft_reference(const std::vector<Complex>& in);
+
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,47 @@
+#pragma once
+
+// heat (Fig. 4): Jacobi iteration for 2D heat diffusion on a rectangular
+// grid, parallelized over rows — the benchmark the paper singles out as
+// having the *fewest fences avoided per signal sent*, which is why it is
+// one of the three that lose under the software prototype at 16 cores.
+// Paper input: 2048 x 500 grid.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "lbmf/cilkbench/common.hpp"
+
+namespace lbmf::cilkbench {
+namespace detail {
+
+inline constexpr std::size_t kHeatRowGrain = 8;
+
+}  // namespace detail
+
+/// Run `steps` Jacobi sweeps on an nx-by-ny grid with a hot left edge;
+/// returns a checksum of the final temperature field.
+template <FencePolicy P>
+std::uint64_t heat(std::size_t nx, std::size_t ny, std::size_t steps) {
+  LBMF_CHECK(nx >= 3 && ny >= 3);
+  Matrix cur(nx, ny);
+  Matrix next(nx, ny);
+  // Dirichlet boundary: hot left edge, cold elsewhere.
+  for (std::size_t i = 0; i < nx; ++i) {
+    cur(i, 0) = 100.0;
+    next(i, 0) = 100.0;
+  }
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    parallel_for<P>(1, nx - 1, detail::kHeatRowGrain, [&](std::size_t i) {
+      for (std::size_t j = 1; j + 1 < ny; ++j) {
+        next(i, j) = 0.25 * (cur(i - 1, j) + cur(i + 1, j) + cur(i, j - 1) +
+                             cur(i, j + 1));
+      }
+    });
+    std::swap(cur, next);
+  }
+  return checksum_matrix(cur);
+}
+
+}  // namespace lbmf::cilkbench

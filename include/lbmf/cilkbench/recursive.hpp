@@ -1,0 +1,181 @@
+#pragma once
+
+// The "pure recursion" benchmarks of Fig. 4: fib, fibx, nqueens, knapsack.
+// fib/fibx/knapsack deliberately have *uncoarsened* base cases — the paper
+// uses them to measure spawn overhead, i.e. the fence cost itself.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "lbmf/cilkbench/common.hpp"
+
+namespace lbmf::cilkbench {
+
+/// Recursive Fibonacci — one spawn per internal node; the canonical spawn-
+/// overhead probe ("the number suggests that the spawn overhead is cut by
+/// half if one could avoid the fence", Sec. 5).
+template <FencePolicy P>
+std::uint64_t fib(long n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0;
+  typename ws::Scheduler<P>::TaskGroup tg;
+  auto t = tg.capture([n, &a] { a = fib<P>(n - 1); });
+  tg.spawn(t);
+  const std::uint64_t b = fib<P>(n - 2);
+  tg.sync();
+  return a + b;
+}
+
+/// fibx — the skewed-recursion probe: alternates a deep branch (n-1) with a
+/// shallow branch (n-gap), i.e. X(n) = X(n-1) + X(n-gap). The paper runs it
+/// at n=280 with gap 40; `gap` scales that shape to our input sizes. The
+/// result is a tall, thin spawn tree: lots of spawns with little work each
+/// and a long span — spawn overhead dominated, like fib, but lopsided.
+template <FencePolicy P>
+std::uint64_t fibx(long n, long gap) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0;
+  typename ws::Scheduler<P>::TaskGroup tg;
+  auto t = tg.capture(
+      [&, n, gap] { a = fibx<P>(n - gap < 0 ? 0 : n - gap, gap); });
+  tg.spawn(t);
+  const std::uint64_t b = fibx<P>(n - 1, gap);
+  tg.sync();
+  return a + b;
+}
+
+// --------------------------------------------------------------- n-queens
+
+namespace detail {
+
+inline bool queen_ok(const std::array<std::int8_t, 24>& rows, int n, int col) {
+  for (int i = 0; i < n; ++i) {
+    const int d = rows[i] - col;
+    if (d == 0 || d == n - i || d == i - n) return false;
+  }
+  return true;
+}
+
+template <FencePolicy P>
+std::uint64_t nqueens_rec(std::array<std::int8_t, 24> rows, int placed,
+                          int size, int spawn_depth) {
+  if (placed == size) return 1;
+  if (spawn_depth == 0) {
+    // Serial tail: no spawning below the cutoff.
+    std::uint64_t total = 0;
+    for (int col = 0; col < size; ++col) {
+      if (queen_ok(rows, placed, col)) {
+        rows[placed] = static_cast<std::int8_t>(col);
+        total += nqueens_rec<P>(rows, placed + 1, size, 0);
+      }
+    }
+    return total;
+  }
+  std::array<std::uint64_t, 24> partial{};
+  typename ws::Scheduler<P>::TaskGroup tg;
+  // One stack-allocated task per candidate column; storage must persist
+  // until sync, so build them all before syncing.
+  struct ColTask {
+    std::array<std::int8_t, 24> rows;
+    std::uint64_t* out;
+    int placed, size, depth;
+    void operator()() const {
+      *out = nqueens_rec<P>(rows, placed, size, depth);
+    }
+  };
+  std::array<ws::ClosureTask<ColTask>*, 24> spawned{};
+  alignas(ws::ClosureTask<ColTask>) unsigned char
+      storage[24][sizeof(ws::ClosureTask<ColTask>)];
+  int n_spawned = 0;
+  for (int col = 0; col < size; ++col) {
+    if (!queen_ok(rows, placed, col)) continue;
+    auto next = rows;
+    next[placed] = static_cast<std::int8_t>(col);
+    auto* task = new (storage[n_spawned]) ws::ClosureTask<ColTask>(
+        tg, ColTask{next, &partial[static_cast<std::size_t>(n_spawned)],
+                    placed + 1, size, spawn_depth - 1});
+    spawned[static_cast<std::size_t>(n_spawned)] = task;
+    tg.spawn(*task);
+    ++n_spawned;
+  }
+  tg.sync();
+  std::uint64_t total = 0;
+  for (int i = 0; i < n_spawned; ++i) {
+    total += partial[static_cast<std::size_t>(i)];
+    using ColClosure = ws::ClosureTask<ColTask>;
+    spawned[static_cast<std::size_t>(i)]->~ColClosure();
+  }
+  return total;
+}
+
+}  // namespace detail
+
+/// Count the placements of `size` non-attacking queens (paper input: 14).
+/// Spawns per-column up to `spawn_depth` levels, serial below.
+template <FencePolicy P>
+std::uint64_t nqueens(int size, int spawn_depth = 3) {
+  LBMF_CHECK(size >= 1 && size <= 24);
+  return detail::nqueens_rec<P>({}, 0, size, spawn_depth);
+}
+
+// --------------------------------------------------------------- knapsack
+
+struct KnapsackItem {
+  int value;
+  int weight;
+};
+
+/// Deterministic pseudo-random knapsack instance (paper input: 32 items).
+std::vector<KnapsackItem> make_knapsack_items(int n, std::uint64_t seed);
+
+namespace detail {
+
+/// Branch-and-bound 0/1 knapsack, cilk-style: spawn the "take" branch,
+/// run the "skip" branch inline; a shared atomic best bound prunes. The
+/// bound makes the workload irregular — the paper's knapsack is also
+/// uncoarsened, so spawn overhead dominates.
+template <FencePolicy P>
+void knapsack_rec(const std::vector<KnapsackItem>& items, int idx,
+                  int cap_left, int value, std::atomic<int>& best) {
+  if (cap_left < 0) return;
+  if (idx == static_cast<int>(items.size())) {
+    int cur = best.load(std::memory_order_relaxed);
+    while (value > cur && !best.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+    return;
+  }
+  // Optimistic bound: value of everything left (fractional relaxation would
+  // be tighter; this keeps more parallelism alive, like the cilk demo).
+  int ub = value;
+  for (std::size_t i = static_cast<std::size_t>(idx); i < items.size(); ++i) {
+    ub += items[i].value;
+  }
+  if (ub <= best.load(std::memory_order_relaxed)) return;
+
+  typename ws::Scheduler<P>::TaskGroup tg;
+  auto take = tg.capture([&, idx, cap_left, value] {
+    knapsack_rec<P>(items, idx + 1, cap_left - items[static_cast<std::size_t>(idx)].weight,
+                    value + items[static_cast<std::size_t>(idx)].value, best);
+  });
+  tg.spawn(take);
+  knapsack_rec<P>(items, idx + 1, cap_left, value, best);
+  tg.sync();
+}
+
+}  // namespace detail
+
+/// Best achievable value for the canned instance with n items.
+template <FencePolicy P>
+std::uint64_t knapsack(int n, std::uint64_t seed = 0xbeef) {
+  const auto items = make_knapsack_items(n, seed);
+  int capacity = 0;
+  for (const auto& it : items) capacity += it.weight;
+  capacity /= 2;
+  std::atomic<int> best{0};
+  detail::knapsack_rec<P>(items, 0, capacity, 0, best);
+  return static_cast<std::uint64_t>(best.load());
+}
+
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,81 @@
+#pragma once
+
+// cilksort (Fig. 4): parallel mergesort with a parallel divide-and-conquer
+// merge, ported from the classic Cilk-5 demo. Coarsened base cases (the
+// paper notes all but fib/fibx/knapsack are coarsened).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "lbmf/cilkbench/common.hpp"
+
+namespace lbmf::cilkbench {
+namespace detail {
+
+inline constexpr std::size_t kSortBase = 1024;   // std::sort below this
+inline constexpr std::size_t kMergeBase = 2048;  // serial merge below this
+
+/// Merge [a, a+na) and [b, b+nb) into out, splitting the larger run at its
+/// median and binary-searching the split point in the other run.
+template <FencePolicy P>
+void merge_par(const std::uint32_t* a, std::size_t na, const std::uint32_t* b,
+               std::size_t nb, std::uint32_t* out) {
+  if (na < nb) {
+    std::swap(a, b);
+    std::swap(na, nb);
+  }
+  if (na + nb <= kMergeBase || nb == 0) {
+    std::merge(a, a + na, b, b + nb, out);
+    return;
+  }
+  const std::size_t ma = na / 2;
+  const std::size_t mb = static_cast<std::size_t>(
+      std::lower_bound(b, b + nb, a[ma]) - b);
+  typename ws::Scheduler<P>::TaskGroup tg;
+  auto left = tg.capture([=] { merge_par<P>(a, ma, b, mb, out); });
+  tg.spawn(left);
+  merge_par<P>(a + ma, na - ma, b + mb, nb - mb, out + ma + mb);
+  tg.sync();
+}
+
+/// Sort [data, data+n) using tmp as scratch; the result lands in data.
+template <FencePolicy P>
+void cilksort_rec(std::uint32_t* data, std::uint32_t* tmp, std::size_t n) {
+  if (n <= kSortBase) {
+    std::sort(data, data + n);
+    return;
+  }
+  const std::size_t half = n / 2;
+  {
+    typename ws::Scheduler<P>::TaskGroup tg;
+    auto left = tg.capture([=] { cilksort_rec<P>(data, tmp, half); });
+    tg.spawn(left);
+    cilksort_rec<P>(data + half, tmp + half, n - half);
+    tg.sync();
+  }
+  merge_par<P>(data, half, data + half, n - half, tmp);
+  std::copy(tmp, tmp + n, data);
+}
+
+}  // namespace detail
+
+/// Generate, sort, and checksum n pseudo-random keys (paper input: 10^8).
+/// Returns a checksum of the sorted sequence; aborts if the output is not a
+/// sorted permutation (cheap spot checks).
+template <FencePolicy P>
+std::uint64_t cilksort(std::size_t n, std::uint64_t seed = 0x50f7) {
+  std::vector<std::uint32_t> data(n);
+  Xoshiro256 rng(seed);
+  for (auto& x : data) x = static_cast<std::uint32_t>(rng.next());
+  std::vector<std::uint32_t> tmp(n);
+  detail::cilksort_rec<P>(data.data(), tmp.data(), n);
+  std::uint64_t h = 0x5ed;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) LBMF_CHECK_MSG(data[i - 1] <= data[i], "cilksort output unsorted");
+    h = hash_mix(h, data[i]);
+  }
+  return h;
+}
+
+}  // namespace lbmf::cilkbench

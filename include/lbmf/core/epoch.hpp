@@ -1,0 +1,204 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "lbmf/core/policies.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf {
+
+/// A user-space-RCU-style epoch domain with l-mfence readers — the pattern
+/// the Linux membarrier(2) syscall (the shipped descendant of this paper's
+/// mechanism) exists to serve.
+///
+/// Readers are the primaries: entering a read-side critical section is one
+/// plain store plus a compiler fence — the Dekker announce. A writer's
+/// synchronize() is the secondary: it advances the global epoch, fences,
+/// remotely serializes every registered reader once (exposing any
+/// in-flight announce parked in a store buffer), and waits until every
+/// reader is either outside a critical section or has entered one that
+/// began after the epoch advanced. After synchronize() returns, no reader
+/// can still hold a reference obtained before it — the grace-period
+/// guarantee deferred reclamation needs.
+template <FencePolicy P>
+class EpochDomain {
+ private:
+  struct Slot;  // MutatorToken-style early declaration
+
+ public:
+  static constexpr std::size_t kMaxReaders = 64;
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  ~EpochDomain() {
+    // Run any still-deferred reclamations: no readers can remain
+    // registered at this point (tokens must not outlive the domain).
+    for (auto& [ptr, deleter] : retired_) deleter(ptr);
+  }
+
+  /// RAII read-side critical section (see ReaderToken::read_lock()).
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& o) noexcept : slot_(o.slot_) { o.slot_ = nullptr; }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ~ReadGuard() {
+      if (slot_ != nullptr) {
+        slot_->state.store(0, std::memory_order_release);
+      }
+    }
+
+   private:
+    friend class EpochDomain;
+    explicit ReadGuard(Slot* s) noexcept : slot_(s) {}
+    Slot* slot_;
+  };
+
+  /// Per-thread reader registration (RAII; same contract as the other
+  /// primaries in this library: create/destroy on the reader's own thread,
+  /// never outliving the domain).
+  class ReaderToken {
+   public:
+    ReaderToken(ReaderToken&& o) noexcept : d_(o.d_), slot_(o.slot_) {
+      o.d_ = nullptr;
+    }
+    ReaderToken(const ReaderToken&) = delete;
+    ReaderToken& operator=(const ReaderToken&) = delete;
+    ReaderToken& operator=(ReaderToken&&) = delete;
+    ~ReaderToken() {
+      if (d_ != nullptr) d_->unregister_reader(*this);
+    }
+
+    /// Enter a read-side critical section. Fence-free under the
+    /// asymmetric policies; non-reentrant (one guard at a time per token).
+    ReadGuard read_lock() {
+      Slot& s = *d_->slots_[slot_];
+      LBMF_CHECK_MSG(s.state.load(std::memory_order_relaxed) == 0,
+                     "EpochDomain read_lock is not reentrant");
+      // Announce: active in the current epoch. The epoch value may be
+      // stale by the time the store lands — that is fine: a stale epoch
+      // only makes synchronize() wait for us, never miss us.
+      compiler_fence();
+      s.state.store(d_->epoch_->load(std::memory_order_relaxed) | 1u,
+                    std::memory_order_relaxed);
+      P::primary_fence();
+      return ReadGuard(&s);
+    }
+
+   private:
+    friend class EpochDomain;
+    ReaderToken(EpochDomain* d, std::size_t slot) : d_(d), slot_(slot) {}
+
+    EpochDomain* d_;
+    std::size_t slot_;
+  };
+
+  ReaderToken register_reader() {
+    for (std::size_t i = 0; i < kMaxReaders; ++i) {
+      Slot& s = *slots_[i];
+      bool expected = false;
+      if (!s.used.load(std::memory_order_relaxed) &&
+          s.used.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+        s.handle = P::register_primary();
+        s.state.store(0, std::memory_order_relaxed);
+        s.live.store(true, std::memory_order_release);
+        std::size_t hw = high_water_.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_acq_rel)) {
+        }
+        return ReaderToken(this, i);
+      }
+    }
+    LBMF_CHECK_MSG(false, "EpochDomain reader slots exhausted");
+    return ReaderToken(this, 0);  // unreachable
+  }
+
+  /// Wait for a full grace period: every read-side critical section that
+  /// existed when synchronize() was called has ended by the time it
+  /// returns. Also runs all reclamations retired before the call.
+  void synchronize() {
+    std::lock_guard<std::mutex> g(writer_gate_);
+    std::vector<std::pair<void*, void (*)(void*)>> to_free;
+    to_free.swap(retired_);
+
+    // Advance the epoch (low bit reserved for the reader-active flag).
+    const std::uint64_t new_epoch =
+        epoch_->fetch_add(2, std::memory_order_relaxed) + 2;
+    P::secondary_fence();
+
+    const std::size_t hw = high_water_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < hw; ++i) {
+      Slot& s = *slots_[i];
+      if (!s.live.load(std::memory_order_acquire)) continue;
+      // One remote serialization exposes any announce still parked in the
+      // reader's store buffer; afterwards, plain loads suffice.
+      P::serialize(s.handle);
+      SpinWait w;
+      for (;;) {
+        const std::uint64_t st = s.state.load(std::memory_order_acquire);
+        if ((st & 1u) == 0) break;            // not in a critical section
+        if ((st | 1u) >= (new_epoch | 1u)) break;  // entered after advance
+        w.wait();
+      }
+    }
+    ++grace_periods_;
+
+    for (auto& [ptr, deleter] : to_free) deleter(ptr);
+  }
+
+  /// Defer reclamation of `ptr` until after the next grace period (the
+  /// next synchronize() call runs the deleter).
+  void retire(void* ptr, void (*deleter)(void*)) {
+    std::lock_guard<std::mutex> g(writer_gate_);
+    retired_.emplace_back(ptr, deleter);
+  }
+
+  /// Typed convenience: retire a heap object for deferred deletion.
+  template <typename T>
+  void retire(T* ptr) {
+    retire(static_cast<void*>(ptr),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  std::uint64_t grace_periods() const noexcept { return grace_periods_; }
+  std::size_t retired_pending() {
+    std::lock_guard<std::mutex> g(writer_gate_);
+    return retired_.size();
+  }
+
+ private:
+  struct Slot {
+    /// 0 = quiescent; otherwise (epoch | 1) of the in-progress section.
+    std::atomic<std::uint64_t> state{0};
+    std::atomic<bool> used{false};
+    std::atomic<bool> live{false};
+    typename P::Handle handle{};
+  };
+
+  void unregister_reader(ReaderToken& t) {
+    Slot& s = *slots_[t.slot_];
+    std::lock_guard<std::mutex> g(writer_gate_);
+    s.live.store(false, std::memory_order_release);
+    P::unregister_primary(s.handle);
+    s.used.store(false, std::memory_order_release);
+  }
+
+  CacheAligned<Slot> slots_[kMaxReaders];
+  CacheAligned<std::atomic<std::uint64_t>> epoch_{2};
+  std::mutex writer_gate_;
+  std::vector<std::pair<void*, void (*)(void*)>> retired_;
+  std::uint64_t grace_periods_ = 0;  // gate-protected
+  std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace lbmf

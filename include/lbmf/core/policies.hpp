@@ -1,0 +1,125 @@
+#pragma once
+
+#include <concepts>
+
+#include "lbmf/core/fence.hpp"
+#include "lbmf/core/membarrier.hpp"
+#include "lbmf/core/serializer.hpp"
+
+namespace lbmf {
+
+/// A FencePolicy packages one answer to the question the paper poses: who
+/// pays for the StoreLoad ordering in a Dekker-duality protocol?
+///
+///   * primary_fence()   — executed by the primary between its intent store
+///                         and its read of the peer flag. The whole point of
+///                         l-mfence is making this a compiler fence only.
+///   * secondary_fence() — executed by the secondary in the same position;
+///                         always a real fence (Sec. 4: the secondary uses
+///                         mfence so the primary need not wait for it).
+///   * serialize(h)      — executed by the secondary after secondary_fence()
+///                         and before reading the primary's flag: remotely
+///                         forces the primary's prior stores to become
+///                         visible. A no-op for symmetric policies, where
+///                         primary_fence() already did the work locally.
+template <typename P>
+concept FencePolicy = requires(typename P::Handle h) {
+  { P::register_primary() } -> std::same_as<typename P::Handle>;
+  { P::unregister_primary(h) };
+  { P::primary_fence() };
+  { P::secondary_fence() };
+  { P::serialize(h) } -> std::convertible_to<bool>;
+  { P::name() } -> std::convertible_to<const char*>;
+  { P::kAsymmetric } -> std::convertible_to<bool>;
+};
+
+/// Program-based fences on both sides — the baseline the paper compares
+/// against (plain Dekker / Cilk-5 / SRW lock).
+struct SymmetricFence {
+  struct Handle {};
+  static constexpr bool kAsymmetric = false;
+  static Handle register_primary() noexcept { return {}; }
+  static void unregister_primary(Handle&) noexcept {}
+  static void primary_fence() noexcept { store_load_fence(); }
+  static void secondary_fence() noexcept { store_load_fence(); }
+  static bool serialize(const Handle&) noexcept { return true; }
+  static constexpr const char* name() noexcept { return "symmetric-mfence"; }
+};
+
+/// The paper's software prototype: primary pays a compiler fence; secondary
+/// signals the primary and waits for the handler's acknowledgment.
+struct AsymmetricSignalFence {
+  using Handle = SerializerRegistry::Handle;
+  static constexpr bool kAsymmetric = true;
+  static Handle register_primary() {
+    return SerializerRegistry::instance().register_self();
+  }
+  static void unregister_primary(Handle& h) {
+    SerializerRegistry::instance().unregister_self(h);
+  }
+  static void primary_fence() noexcept { compiler_fence(); }
+  static void secondary_fence() noexcept { store_load_fence(); }
+  static bool serialize(const Handle& h) {
+    return SerializerRegistry::instance().serialize(h);
+  }
+  static constexpr const char* name() noexcept { return "asymmetric-signal"; }
+};
+
+/// Modern-kernel variant: one membarrier(2) syscall serializes every thread
+/// of the process. No registration handshake; the handle is vestigial.
+struct AsymmetricMembarrierFence {
+  struct Handle {};
+  static constexpr bool kAsymmetric = true;
+  static Handle register_primary() noexcept {
+    (void)membarrier::available();  // eager registration with the kernel
+    return {};
+  }
+  static void unregister_primary(Handle&) noexcept {}
+  static void primary_fence() noexcept { compiler_fence(); }
+  static void secondary_fence() noexcept { store_load_fence(); }
+  static bool serialize(const Handle&) noexcept {
+    membarrier::barrier();
+    return true;
+  }
+  static constexpr const char* name() noexcept {
+    return "asymmetric-membarrier";
+  }
+};
+
+/// No hardware fence anywhere. UNSAFE under contention — exists only to
+/// measure the no-fence upper bound the paper quotes ("4-7x slower with a
+/// fence than without", Sec. 1) and as the negative control in simulator
+/// tests.
+struct UnsafeNoFence {
+  struct Handle {};
+  static constexpr bool kAsymmetric = false;
+  static Handle register_primary() noexcept { return {}; }
+  static void unregister_primary(Handle&) noexcept {}
+  static void primary_fence() noexcept { compiler_fence(); }
+  static void secondary_fence() noexcept { compiler_fence(); }
+  static bool serialize(const Handle&) noexcept { return true; }
+  static constexpr const char* name() noexcept { return "unsafe-no-fence"; }
+};
+
+static_assert(FencePolicy<SymmetricFence>);
+static_assert(FencePolicy<AsymmetricSignalFence>);
+static_assert(FencePolicy<AsymmetricMembarrierFence>);
+static_assert(FencePolicy<UnsafeNoFence>);
+
+/// RAII registration of the calling thread as a primary under policy P.
+template <FencePolicy P>
+class ScopedPrimary {
+ public:
+  ScopedPrimary() : handle_(P::register_primary()) {}
+  ~ScopedPrimary() { P::unregister_primary(handle_); }
+  ScopedPrimary(const ScopedPrimary&) = delete;
+  ScopedPrimary& operator=(const ScopedPrimary&) = delete;
+
+  typename P::Handle& handle() noexcept { return handle_; }
+  const typename P::Handle& handle() const noexcept { return handle_; }
+
+ private:
+  typename P::Handle handle_;
+};
+
+}  // namespace lbmf

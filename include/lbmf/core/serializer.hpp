@@ -1,0 +1,111 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include <pthread.h>
+
+#include "lbmf/util/cacheline.hpp"
+
+namespace lbmf {
+
+/// Signal-based remote serialization — the paper's software prototype of
+/// l-mfence (Sec. 5, "Software Prototype of l-mfence").
+///
+/// A thread that wants to act as a *primary* (the thread whose fences we
+/// optimize away) registers itself and receives a slot. A *secondary* thread
+/// that is about to read a location guarded by the primary's l-mfence calls
+/// serialize(slot): it posts a POSIX signal to the primary and spins until
+/// the primary's handler acknowledges. Delivering the signal forces the
+/// primary's core through a kernel entry/exit, which drains its store buffer
+/// — exactly the serialization a remote mfence would provide — and the
+/// acknowledgment tells the secondary the drain has happened, so its
+/// subsequent load observes every store the primary had committed.
+///
+/// The handler is async-signal-safe: it touches only lock-free std::atomic
+/// fields of the registered slot.
+class SerializerRegistry {
+ public:
+  /// One registered primary thread. Fields are cache-line separated so the
+  /// secondary's request traffic does not false-share with the ack word the
+  /// primary writes.
+  struct Slot {
+    std::atomic<std::uint64_t> req_seq{0};   // bumped by secondaries
+    std::atomic<std::uint64_t> ack_seq{0};   // published by the handler
+    std::atomic<bool> live{false};           // slot holds a registered thread
+    pthread_t thread{};
+    std::atomic<std::uint64_t> signals_received{0};
+  };
+
+  /// Opaque handle a secondary uses to target a primary.
+  class Handle {
+   public:
+    Handle() = default;
+    bool valid() const noexcept { return slot_ != nullptr; }
+
+   private:
+    friend class SerializerRegistry;
+    explicit Handle(Slot* s) noexcept : slot_(s) {}
+    Slot* slot_ = nullptr;
+  };
+
+  static constexpr std::size_t kMaxPrimaries = 256;
+
+  /// Process-wide registry (installs the signal handler on first use).
+  static SerializerRegistry& instance();
+
+  /// Register the calling thread as a primary. Must be paired with
+  /// unregister_self() on the same thread before it exits. Returns an
+  /// invalid handle if the registry is full.
+  Handle register_self();
+
+  /// Remove the calling thread's registration.
+  void unregister_self(Handle& h);
+
+  /// Force the primary identified by `h` to serialize its instruction
+  /// stream, and return only after it has done so. Safe to call from any
+  /// thread except the primary itself; calling it on a dead/unregistered
+  /// handle is a no-op. Returns false if the slot was not live.
+  bool serialize(const Handle& h);
+
+  /// Number of signals a primary's handler has run (for event accounting).
+  static std::uint64_t signals_received(const Handle& h) noexcept {
+    return h.slot_ ? h.slot_->signals_received.load(std::memory_order_relaxed)
+                   : 0;
+  }
+
+  /// The signal number used for serialization requests (SIGURG by default:
+  /// rarely used by applications and ignored by default, so a stray late
+  /// delivery after unregistration cannot kill the process).
+  static int signal_number() noexcept;
+
+ private:
+  SerializerRegistry();
+  SerializerRegistry(const SerializerRegistry&) = delete;
+  SerializerRegistry& operator=(const SerializerRegistry&) = delete;
+
+  static void handler(int);
+
+  CacheAligned<Slot> slots_[kMaxPrimaries];
+  std::atomic<std::size_t> high_water_{0};
+};
+
+/// RAII registration of the calling thread as an l-mfence primary.
+class PrimaryRegistration {
+ public:
+  PrimaryRegistration()
+      : handle_(SerializerRegistry::instance().register_self()) {}
+  ~PrimaryRegistration() {
+    SerializerRegistry::instance().unregister_self(handle_);
+  }
+  PrimaryRegistration(const PrimaryRegistration&) = delete;
+  PrimaryRegistration& operator=(const PrimaryRegistration&) = delete;
+
+  const SerializerRegistry::Handle& handle() const noexcept { return handle_; }
+
+ private:
+  SerializerRegistry::Handle handle_;
+};
+
+}  // namespace lbmf

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <mutex>
+
+#include "lbmf/dekker/dekker.hpp"
+
+namespace lbmf {
+
+/// The *augmented* Dekker protocol the paper's motivating applications use
+/// (Sec. 1): one primary thread enters often and cheaply; any number of
+/// secondary threads first compete for the right to synchronize with the
+/// primary (an internal gate lock) and the winner then runs the two-party
+/// asymmetric Dekker protocol. Biased locks, JVM safepoints and
+/// work-stealing deques all share this shape.
+template <FencePolicy P>
+class AsymmetricMutex {
+ public:
+  using Policy = P;
+
+  /// Primary-thread registration; same contract as AsymmetricDekker.
+  void bind_primary() { dekker_.bind_primary(); }
+  void unbind_primary() { dekker_.unbind_primary(); }
+
+  /// Fast path, primary only.
+  void lock_primary() noexcept { dekker_.lock_primary(); }
+  void unlock_primary() noexcept { dekker_.unlock_primary(); }
+  bool try_lock_primary() noexcept { return dekker_.try_lock_primary(); }
+
+  /// Slow path, any non-primary thread.
+  void lock_secondary() {
+    gate_.lock();
+    dekker_.lock_secondary();
+  }
+
+  void unlock_secondary() {
+    dekker_.unlock_secondary();
+    gate_.unlock();
+  }
+
+  bool try_lock_secondary() {
+    if (!gate_.try_lock()) return false;
+    if (!dekker_.try_lock_secondary()) {
+      gate_.unlock();
+      return false;
+    }
+    return true;
+  }
+
+  DekkerStats stats() const noexcept { return dekker_.stats(); }
+  void reset_stats() noexcept { dekker_.reset_stats(); }
+
+ private:
+  AsymmetricDekker<P> dekker_;
+  std::mutex gate_;
+};
+
+/// RAII guards binding a role to a scope.
+template <typename Mutex>
+class PrimaryLockGuard {
+ public:
+  explicit PrimaryLockGuard(Mutex& m) noexcept : m_(m) { m_.lock_primary(); }
+  ~PrimaryLockGuard() { m_.unlock_primary(); }
+  PrimaryLockGuard(const PrimaryLockGuard&) = delete;
+  PrimaryLockGuard& operator=(const PrimaryLockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+template <typename Mutex>
+class SecondaryLockGuard {
+ public:
+  explicit SecondaryLockGuard(Mutex& m) : m_(m) { m_.lock_secondary(); }
+  ~SecondaryLockGuard() { m_.unlock_secondary(); }
+  SecondaryLockGuard(const SecondaryLockGuard&) = delete;
+  SecondaryLockGuard& operator=(const SecondaryLockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+}  // namespace lbmf

@@ -1,0 +1,205 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lbmf/core/policies.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf {
+
+/// Event counters for the Dekker protocol; these feed the analytic cost
+/// model (how many fences were avoided, how many remote serializations were
+/// paid — the quantities Sec. 5 of the paper reasons with). Internally each
+/// side writes only its own cache-line-separated half, so counting is
+/// race-free; stats() merges the halves.
+struct DekkerStats {
+  std::uint64_t primary_acquires = 0;
+  std::uint64_t primary_fences = 0;     // primary_fence() executions
+  std::uint64_t secondary_acquires = 0;
+  std::uint64_t secondary_fences = 0;   // secondary_fence() executions
+  std::uint64_t serializations = 0;     // remote serialize() calls
+  std::uint64_t primary_retreats = 0;   // tie-break backoffs (primary)
+  std::uint64_t secondary_retreats = 0; // tie-break backoffs (secondary)
+};
+
+/// The asymmetric Dekker protocol of Fig. 3(a), augmented with the classic
+/// turn variable so it is livelock-free (the paper presents the simplified
+/// version and notes the full protocol adds exactly this tie-breaking).
+///
+/// Roles are fixed: the *primary* is the frequent entrant whose fence the
+/// protocol optimizes away (its announce path runs P::primary_fence(), a
+/// compiler fence under asymmetric policies); the *secondary* pays a real
+/// fence plus a remote serialization of the primary before every
+/// mutual-exclusion-deciding read of the primary's flag.
+///
+/// Why one serialization per announce suffices: the secondary's intent store
+/// is globally visible before its first read of the primary flag (it issued
+/// mfence), so from that point on any primary announce will observe the
+/// secondary's flag and retreat. The only store the secondary can miss is a
+/// primary flag-store still sitting in the primary's store buffer from
+/// *before* the secondary's fence — and serialize() flushes exactly that
+/// buffer. Spin re-reads between retreats therefore use plain loads.
+template <FencePolicy P>
+class AsymmetricDekker {
+ public:
+  using Policy = P;
+
+  AsymmetricDekker() = default;
+  AsymmetricDekker(const AsymmetricDekker&) = delete;
+  AsymmetricDekker& operator=(const AsymmetricDekker&) = delete;
+
+  /// Register the calling thread as the primary. Must happen-before any
+  /// lock_secondary() on other threads (e.g. sequenced before launching
+  /// them) and the primary must stay registered while secondaries run.
+  void bind_primary() {
+    LBMF_CHECK_MSG(!bound_, "AsymmetricDekker primary already bound");
+    handle_ = P::register_primary();
+    bound_ = true;
+  }
+
+  void unbind_primary() {
+    if (bound_) {
+      P::unregister_primary(handle_);
+      bound_ = false;
+    }
+  }
+
+  ~AsymmetricDekker() { LBMF_CHECK_MSG(!bound_, "unbind_primary not called"); }
+
+  // ------------------------------------------------------------------
+  // Primary side (single thread, the one that called bind_primary()).
+  // ------------------------------------------------------------------
+
+  void lock_primary() noexcept {
+    announce_primary();
+    ++pstats_->acquires;
+    SpinWait waiter;
+    while (flag_[1]->load(std::memory_order_acquire) != 0) {
+      if (turn_->load(std::memory_order_acquire) != 0) {
+        // Not our turn: retreat so the secondary can proceed, wait for the
+        // turn to come back, then re-announce (which needs a fresh fence).
+        flag_[0]->store(0, std::memory_order_release);
+        ++pstats_->retreats;
+        waiter.reset();
+        while (turn_->load(std::memory_order_acquire) != 0) waiter.wait();
+        announce_primary();
+      } else {
+        waiter.wait();
+      }
+    }
+  }
+
+  void unlock_primary() noexcept {
+    turn_->store(1, std::memory_order_release);
+    flag_[0]->store(0, std::memory_order_release);
+  }
+
+  /// Non-blocking primary entry: returns false instead of waiting out the
+  /// secondary. This is the shape work-stealing victims use (Cilk-5 pops
+  /// fall back to a slow path rather than spin).
+  bool try_lock_primary() noexcept {
+    announce_primary();
+    ++pstats_->acquires;
+    if (flag_[1]->load(std::memory_order_acquire) != 0) {
+      flag_[0]->store(0, std::memory_order_release);
+      ++pstats_->retreats;
+      return false;
+    }
+    return true;
+  }
+
+  // ------------------------------------------------------------------
+  // Secondary side. With more than one prospective secondary, callers must
+  // first win an external gate (see AsymmetricMutex) — the Dekker pair is
+  // strictly two-party.
+  // ------------------------------------------------------------------
+
+  void lock_secondary() {
+    announce_secondary();
+    ++sstats_->acquires;
+    SpinWait waiter;
+    while (flag_[0]->load(std::memory_order_acquire) != 0) {
+      if (turn_->load(std::memory_order_acquire) != 1) {
+        flag_[1]->store(0, std::memory_order_release);
+        ++sstats_->retreats;
+        waiter.reset();
+        while (turn_->load(std::memory_order_acquire) != 1) waiter.wait();
+        announce_secondary();
+      } else {
+        waiter.wait();
+      }
+    }
+  }
+
+  void unlock_secondary() noexcept {
+    turn_->store(0, std::memory_order_release);
+    flag_[1]->store(0, std::memory_order_release);
+  }
+
+  bool try_lock_secondary() {
+    announce_secondary();
+    ++sstats_->acquires;
+    if (flag_[0]->load(std::memory_order_acquire) != 0) {
+      flag_[1]->store(0, std::memory_order_release);
+      ++sstats_->retreats;
+      return false;
+    }
+    return true;
+  }
+
+  /// Merged snapshot of both sides' counters. Exact once both threads have
+  /// quiesced; approximate (but tear-free per field) while they run.
+  DekkerStats stats() const noexcept {
+    DekkerStats s;
+    s.primary_acquires = pstats_->acquires;
+    s.primary_fences = pstats_->fences;
+    s.primary_retreats = pstats_->retreats;
+    s.secondary_acquires = sstats_->acquires;
+    s.secondary_fences = sstats_->fences;
+    s.secondary_retreats = sstats_->retreats;
+    s.serializations = sstats_->serializations;
+    return s;
+  }
+
+  void reset_stats() noexcept {
+    *pstats_ = SideStats{};
+    *sstats_ = SideStats{};
+  }
+
+ private:
+  /// Lines K1 of Fig. 3(a): l-mfence(&L1, 1).
+  void announce_primary() noexcept {
+    compiler_fence();
+    flag_[0]->store(1, std::memory_order_relaxed);
+    P::primary_fence();
+    ++pstats_->fences;
+  }
+
+  /// Lines J1-J2 of Fig. 3(a) plus the remote trigger: L2 = 1; mfence;
+  /// force the primary to serialize before we read L1.
+  void announce_secondary() {
+    flag_[1]->store(1, std::memory_order_relaxed);
+    P::secondary_fence();
+    ++sstats_->fences;
+    if (P::serialize(handle_)) ++sstats_->serializations;
+  }
+
+  struct SideStats {
+    std::uint64_t acquires = 0;
+    std::uint64_t fences = 0;
+    std::uint64_t retreats = 0;
+    std::uint64_t serializations = 0;  // used by the secondary side only
+  };
+
+  CacheAligned<std::atomic<int>> flag_[2];
+  CacheAligned<std::atomic<int>> turn_;
+  CacheAligned<SideStats> pstats_;  // written by the primary only
+  CacheAligned<SideStats> sstats_;  // written by the secondary only
+  typename P::Handle handle_{};
+  bool bound_ = false;
+};
+
+}  // namespace lbmf

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "lbmf/core/policies.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf {
+
+/// Peterson's two-thread mutual exclusion with a location-based fence on
+/// the primary's announce — the paper's Sec. 7 future-work question ("what
+/// other algorithms can benefit") realized on real hardware. The simulator
+/// proves the scheme exhaustively (PetersonExhaustive tests); this is the
+/// same protocol over std::atomic and the FencePolicy machinery.
+///
+/// Peterson's announce is TWO stores (flag[i] = 1; turn = peer), yet one
+/// l-mfence on the *last* store suffices on TSO: the store buffer drains in
+/// FIFO order, so any serialization that completes `turn` has already
+/// completed `flag[i]`. The secondary therefore serializes the primary once
+/// per announce and then reads both variables.
+///
+/// Unlike Dekker, Peterson needs no extra tie-breaking: the turn word makes
+/// the last announcer defer, giving deadlock- and livelock-freedom for two
+/// threads out of the box.
+template <FencePolicy P>
+class AsymmetricPeterson {
+ public:
+  using Policy = P;
+
+  AsymmetricPeterson() = default;
+  AsymmetricPeterson(const AsymmetricPeterson&) = delete;
+  AsymmetricPeterson& operator=(const AsymmetricPeterson&) = delete;
+
+  /// Register the calling thread as the primary; same lifetime contract as
+  /// AsymmetricDekker (bind before secondaries run, unbind after they
+  /// quiesce, both on the primary thread).
+  void bind_primary() {
+    LBMF_CHECK_MSG(!bound_, "AsymmetricPeterson primary already bound");
+    handle_ = P::register_primary();
+    bound_ = true;
+  }
+
+  void unbind_primary() {
+    if (bound_) {
+      P::unregister_primary(handle_);
+      bound_ = false;
+    }
+  }
+
+  ~AsymmetricPeterson() {
+    LBMF_CHECK_MSG(!bound_, "unbind_primary not called");
+  }
+
+  void lock_primary() noexcept {
+    // Announce: flag, then turn — the l-mfence conceptually guards `turn`,
+    // and FIFO store-buffer order covers `flag` (see class comment).
+    compiler_fence();
+    flag_[0]->store(1, std::memory_order_relaxed);
+    turn_->store(kPrimaryToken, std::memory_order_relaxed);
+    P::primary_fence();
+    SpinWait w;
+    while (flag_[1]->load(std::memory_order_acquire) != 0 &&
+           turn_->load(std::memory_order_acquire) == kPrimaryToken) {
+      w.wait();
+    }
+  }
+
+  void unlock_primary() noexcept {
+    flag_[0]->store(0, std::memory_order_release);
+  }
+
+  void lock_secondary() {
+    flag_[1]->store(1, std::memory_order_relaxed);
+    turn_->store(kSecondaryToken, std::memory_order_relaxed);
+    P::secondary_fence();
+    P::serialize(handle_);  // expose the primary's buffered announce
+    SpinWait w;
+    while (flag_[0]->load(std::memory_order_acquire) != 0 &&
+           turn_->load(std::memory_order_acquire) == kSecondaryToken) {
+      w.wait();
+    }
+  }
+
+  void unlock_secondary() noexcept {
+    flag_[1]->store(0, std::memory_order_release);
+  }
+
+ private:
+  static constexpr int kPrimaryToken = 1;
+  static constexpr int kSecondaryToken = 2;
+
+  CacheAligned<std::atomic<int>> flag_[2];
+  CacheAligned<std::atomic<int>> turn_;
+  typename P::Handle handle_{};
+  bool bound_ = false;
+};
+
+}  // namespace lbmf

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "lbmf/dekker/asymmetric_mutex.hpp"
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::flowtable {
+
+/// Surrogate for a hashed 5-tuple flow identifier.
+using FlowKey = std::uint64_t;
+
+/// Per-flow accounting plus the forwarding rule applied to the flow.
+struct FlowStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t rule = 0;  // forwarding/action rule id
+};
+
+/// The paper's fourth motivating application (Sec. 1): "in network package
+/// processing applications, each processing thread (primary) maintains its
+/// own data structures for its group of source addresses, but occasionally,
+/// a thread (secondary) might need to update data structures maintained by
+/// a different thread."
+///
+/// FlowTable is that per-thread structure: an open-addressing hash table of
+/// flow statistics owned by exactly one processing thread. The owner
+/// records packets through the *primary* side of an asymmetric Dekker
+/// mutex — one l-mfence-style announce per packet, no hardware fence under
+/// the asymmetric policies — while remote rule updates come through the
+/// gated *secondary* side, paying the fence and the remote serialization.
+///
+/// With P = SymmetricFence the same table becomes the conventional design
+/// (an mfence per packet), which is what the flow-table benchmark compares
+/// against.
+template <FencePolicy P>
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity_pow2 = 1u << 12)
+      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+    LBMF_CHECK((capacity_pow2 & (capacity_pow2 - 1)) == 0);
+  }
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  /// Owner-thread registration; same contract as AsymmetricMutex.
+  void bind_owner() { mutex_.bind_primary(); }
+  void unbind_owner() { mutex_.unbind_primary(); }
+
+  // -------------------------------------------------------------- owner
+
+  /// Owner fast path: account one packet for `key`. Returns the rule
+  /// currently applied to the flow (what a real pipeline would act on).
+  std::uint32_t record_packet(FlowKey key, std::uint32_t bytes) {
+    mutex_.lock_primary();
+    Slot& s = find_or_insert(key);
+    ++s.stats.packets;
+    s.stats.bytes += bytes;
+    const std::uint32_t rule = s.stats.rule;
+    mutex_.unlock_primary();
+    return rule;
+  }
+
+  /// Owner-side read without contention handling (diagnostics).
+  std::optional<FlowStats> owner_peek(FlowKey key) {
+    mutex_.lock_primary();
+    std::optional<FlowStats> out;
+    if (Slot* s = find(key)) out = s->stats;
+    mutex_.unlock_primary();
+    return out;
+  }
+
+  // ------------------------------------------------------------- remote
+
+  /// Remote (secondary) path: install or change the rule for a flow. Any
+  /// thread other than the owner; serialized through the gate.
+  void update_rule(FlowKey key, std::uint32_t rule) {
+    mutex_.lock_secondary();
+    find_or_insert(key).stats.rule = rule;
+    mutex_.unlock_secondary();
+  }
+
+  /// Remote read of a flow's statistics (e.g. an exporter thread).
+  std::optional<FlowStats> remote_read(FlowKey key) {
+    mutex_.lock_secondary();
+    std::optional<FlowStats> out;
+    if (Slot* s = find(key)) out = s->stats;
+    mutex_.unlock_secondary();
+    return out;
+  }
+
+  /// Total packets across all flows (remote path).
+  std::uint64_t remote_total_packets() {
+    mutex_.lock_secondary();
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) {
+      if (s.occupied) total += s.stats.packets;
+    }
+    mutex_.unlock_secondary();
+    return total;
+  }
+
+  std::size_t flow_count() const noexcept { return occupied_; }
+  DekkerStats sync_stats() const noexcept { return mutex_.stats(); }
+
+ private:
+  struct Slot {
+    FlowKey key = 0;
+    bool occupied = false;
+    FlowStats stats;
+  };
+
+  static std::size_t hash(FlowKey k) noexcept {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdULL;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+
+  Slot* find(FlowKey key) {
+    std::size_t i = hash(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      Slot& s = slots_[i];
+      if (!s.occupied) return nullptr;
+      if (s.key == key) return &s;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  Slot& find_or_insert(FlowKey key) {
+    std::size_t i = hash(key) & mask_;
+    for (std::size_t probes = 0; probes <= mask_; ++probes) {
+      Slot& s = slots_[i];
+      if (!s.occupied) {
+        LBMF_CHECK_MSG(occupied_ < slots_.size() - 1, "flow table full");
+        s.occupied = true;
+        s.key = key;
+        ++occupied_;
+        return s;
+      }
+      if (s.key == key) return s;
+      i = (i + 1) & mask_;
+    }
+    LBMF_CHECK_MSG(false, "flow table probe loop exhausted");
+    return slots_[0];  // unreachable
+  }
+
+  AsymmetricMutex<P> mutex_;
+  std::size_t mask_;
+  std::size_t occupied_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace lbmf::flowtable

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "lbmf/flowtable/flow_table.hpp"
+#include "lbmf/util/rng.hpp"
+#include "lbmf/util/timing.hpp"
+
+namespace lbmf::flowtable {
+
+/// Synthetic traffic source: keys drawn from a bounded flow population with
+/// a hot set (approximating the skew of real traffic), deterministic per
+/// seed.
+class PacketGenerator {
+ public:
+  PacketGenerator(std::uint64_t seed, std::uint32_t flows,
+                  double hot_fraction = 0.1, double hot_probability = 0.9)
+      : rng_(seed),
+        flows_(flows),
+        hot_flows_(std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                                  flows * hot_fraction))),
+        hot_probability_(hot_probability) {}
+
+  struct Packet {
+    FlowKey key;
+    std::uint32_t bytes;
+  };
+
+  Packet next() {
+    const bool hot = rng_.next_bool(hot_probability_);
+    const std::uint64_t base = hot ? rng_.next_below(hot_flows_)
+                                   : rng_.next_below(flows_);
+    return Packet{base + 1, static_cast<std::uint32_t>(
+                                64 + rng_.next_below(1436))};
+  }
+
+ private:
+  Xoshiro256 rng_;
+  std::uint32_t flows_;
+  std::uint32_t hot_flows_;
+  double hot_probability_;
+};
+
+/// Measurement output of one pipeline run.
+struct PipelineResult {
+  std::uint64_t packets_processed = 0;
+  std::uint64_t remote_updates = 0;
+  double seconds = 0;
+  DekkerStats sync;
+
+  double packets_per_second() const noexcept {
+    return seconds > 0 ? static_cast<double>(packets_processed) / seconds
+                       : 0.0;
+  }
+};
+
+/// One owner thread processing synthetic traffic into its FlowTable while
+/// `updaters` other threads occasionally install rules into it — the
+/// paper's asymmetric-contention shape, as a reusable harness for tests,
+/// the example and the bench.
+///
+/// `update_interval_us`: mean microseconds between remote rule updates
+/// (0 = no updaters).
+template <FencePolicy P>
+PipelineResult run_pipeline(double duration_s, std::size_t updaters,
+                            std::uint64_t update_interval_us,
+                            std::uint32_t flows = 4096,
+                            std::uint64_t seed = 0xf10u) {
+  // Size the table at 4x the flow population (next power of two) so load
+  // factor stays low even when every flow appears.
+  std::size_t cap = 1;
+  while (cap < static_cast<std::size_t>(flows) * 4) cap <<= 1;
+  FlowTable<P> table(cap);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> owner_ready{false};
+  std::atomic<std::size_t> updaters_done{0};
+  std::atomic<std::uint64_t> updates{0};
+  PipelineResult result;
+
+  std::thread owner([&] {
+    table.bind_owner();
+    owner_ready.store(true, std::memory_order_release);
+    PacketGenerator gen(seed, flows);
+    std::uint64_t n = 0;
+    Stopwatch sw;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto pkt = gen.next();
+      (void)table.record_packet(pkt.key, pkt.bytes);
+      ++n;
+    }
+    result.packets_processed = n;
+    result.seconds = sw.seconds();
+    // Unbind only after every updater has issued its last serialize().
+    while (updaters_done.load(std::memory_order_acquire) < updaters) {
+      std::this_thread::yield();
+    }
+    table.unbind_owner();
+  });
+  while (!owner_ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  std::vector<std::thread> pool;
+  for (std::size_t u = 0; u < updaters; ++u) {
+    pool.emplace_back([&, u] {
+      Xoshiro256 rng(seed ^ (u + 1));
+      while (!stop.load(std::memory_order_relaxed)) {
+        table.update_rule(rng.next_below(flows) + 1,
+                          static_cast<std::uint32_t>(rng.next_below(16)));
+        updates.fetch_add(1, std::memory_order_relaxed);
+        if (update_interval_us > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(update_interval_us));
+        }
+      }
+      updaters_done.fetch_add(1, std::memory_order_acq_rel);
+    });
+  }
+
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(duration_s * 1e3)));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : pool) t.join();
+  owner.join();
+
+  result.remote_updates = updates.load();
+  result.sync = table.sync_stats();
+  return result;
+}
+
+}  // namespace lbmf::flowtable

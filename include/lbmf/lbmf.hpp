@@ -1,0 +1,28 @@
+#pragma once
+
+/// Umbrella header: the whole lbmf public surface. Prefer the individual
+/// headers in translation units that care about compile time.
+
+#include "lbmf/core/epoch.hpp"
+#include "lbmf/core/fence.hpp"
+#include "lbmf/core/lmfence.hpp"
+#include "lbmf/core/membarrier.hpp"
+#include "lbmf/core/policies.hpp"
+#include "lbmf/core/safepoint.hpp"
+#include "lbmf/core/serializer.hpp"
+#include "lbmf/dekker/asymmetric_mutex.hpp"
+#include "lbmf/dekker/biased_lock.hpp"
+#include "lbmf/dekker/dekker.hpp"
+#include "lbmf/dekker/peterson.hpp"
+#include "lbmf/flowtable/flow_table.hpp"
+#include "lbmf/flowtable/pipeline.hpp"
+#include "lbmf/model/cost_model.hpp"
+#include "lbmf/rwlock/rwlock.hpp"
+#include "lbmf/sim/assembler.hpp"
+#include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/litmus.hpp"
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/sim/trace.hpp"
+#include "lbmf/ws/algorithms.hpp"
+#include "lbmf/ws/chase_lev.hpp"
+#include "lbmf/ws/scheduler.hpp"

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lbmf::model {
+
+/// Per-event costs in CPU cycles. Defaults are the constants the paper
+/// measures on its 16-core 2 GHz Opteron (Sec. 5): a signal round trip
+/// ≈ 10,000 cycles (plus the primary stalling for the handler, ≈ half a
+/// round trip), an LE/ST round trip ≈ 150 cycles with negligible primary
+/// impact, and an mfence in the ~100-cycle class.
+struct CostTable {
+  double mfence_cycles = 100.0;
+  double compiler_fence_cycles = 0.0;
+  double lest_victim_cycles = 3.0;  // SetLink + LE(hit) + branch
+  double signal_roundtrip_cycles = 10'000.0;
+  double signal_primary_penalty_cycles = 5'000.0;  // 4 kernel crossings
+  double lest_roundtrip_cycles = 150.0;
+  double lest_primary_penalty_cycles = 10.0;  // store-buffer flush only
+  double symmetric_steal_cycles = 200.0;      // cache misses on the deque
+  /// ARW+ ack check: the writer polls a shared word instead of signaling
+  /// (one coherence miss per reader).
+  double ack_roundtrip_cycles = 100.0;
+};
+
+/// How the StoreLoad ordering of the Dekker duality is implemented.
+enum class FenceImpl {
+  kMfence,     // program-based fence on the primary (Cilk-5 / SRW)
+  kSignal,     // software l-mfence prototype (ACilk-5 / ARW)
+  kSignalAck,  // software prototype + waiting heuristic (ARW+)
+  kLest,       // the proposed LE/ST hardware
+  kNone,       // no fence (unsafe; the serial upper bound)
+};
+
+const char* to_string(FenceImpl f) noexcept;
+
+/// Cycles the primary pays per announce (per pop / per read-lock).
+double victim_fence_cycles(FenceImpl f, const CostTable& c) noexcept;
+
+/// Cycles the secondary pays per remote serialization (per steal attempt /
+/// per writer-vs-reader round).
+double remote_serialize_cycles(FenceImpl f, const CostTable& c) noexcept;
+
+/// Cycles the *primary* loses per remote serialization targeting it.
+double primary_penalty_cycles(FenceImpl f, const CostTable& c) noexcept;
+
+// ---------------------------------------------------------------------------
+// Fig. 5 model: work-stealing runtime
+// ---------------------------------------------------------------------------
+
+/// Event counts of one benchmark run — the policy-independent shape the
+/// paper's Sec. 5 analysis reasons with. Collect them from
+/// ws::SchedulerStats and a no-fence serial timing.
+struct WsCounts {
+  std::uint64_t spawns = 0;          // victim pops == fences on victim path
+  std::uint64_t steal_attempts = 0;  // remote serializations issued
+  std::uint64_t steals_success = 0;
+  double work_cycles = 0;            // pure work (no-fence serial run)
+};
+
+/// Predicted execution cycles with `workers` workers under fence
+/// implementation `f`: work and victim-side fence costs parallelize; each
+/// steal attempt costs the thief a remote round trip and the victim its
+/// penalty. This is exactly the accounting the paper uses to explain which
+/// benchmarks win and lose (work per fence avoided vs signals per steal).
+double ws_predicted_cycles(const WsCounts& w, std::size_t workers,
+                           FenceImpl f, const CostTable& c) noexcept;
+
+/// Convenience: predicted relative execution time of an asymmetric runtime
+/// (impl `f`) against the symmetric mfence baseline, same counts.
+double ws_relative_time(const WsCounts& w, std::size_t workers, FenceImpl f,
+                        const CostTable& c) noexcept;
+
+// ---------------------------------------------------------------------------
+// Fig. 6 model: biased readers-writer lock
+// ---------------------------------------------------------------------------
+
+/// Microbenchmark parameters (Sec. 5, "Evaluation Using ARW Lock"): P
+/// threads, read:write ratio N:1 (each thread writes once per N/P reads).
+struct RwParams {
+  std::size_t threads = 1;
+  double read_write_ratio = 1000.0;      // N
+  /// Cost of one read-lock/read/unlock pass beyond the fence: lock
+  /// bookkeeping plus touching the 4-element array. Calibrated so the
+  /// single-thread normalized throughput lands in the paper's ~1.2-1.7
+  /// band rather than at the raw fence ratio.
+  double read_work_cycles = 150.0;
+  double write_work_cycles = 200.0;
+};
+
+/// Predicted read throughput (reads per cycle, absolute) under `f`.
+/// Per write period each thread performs N/P reads (each costing work +
+/// victim fence) and one write whose exclusion round costs one remote
+/// serialization + wait per registered reader, serialized at the writer.
+double rw_read_throughput(const RwParams& p, FenceImpl f,
+                          const CostTable& c) noexcept;
+
+/// Predicted Fig. 6 data point: throughput under `f` normalized to the SRW
+/// (kMfence) baseline. Values above 1 mean the asymmetric lock wins.
+double rw_relative_throughput(const RwParams& p, FenceImpl f,
+                              const CostTable& c) noexcept;
+
+}  // namespace lbmf::model

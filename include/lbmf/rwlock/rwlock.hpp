@@ -1,0 +1,255 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include <pthread.h>
+
+#include "lbmf/core/policies.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf {
+
+/// Aggregate event counters for the biased readers-writer lock.
+struct RwLockStats {
+  std::uint64_t read_acquires = 0;
+  std::uint64_t reader_retreats = 0;   // reader backed off for a writer
+  std::uint64_t write_acquires = 0;
+  std::uint64_t serializations = 0;    // writer remotely serialized a reader
+  std::uint64_t ack_clears = 0;        // ARW+: slot cleared by a reader ack
+  std::uint64_t signal_clears = 0;     // slot cleared by forced serialization
+};
+
+/// The paper's asymmetric multiple-readers single-writer lock (Sec. 5),
+/// biased toward readers: each *registered reader* is an l-mfence primary
+/// whose read-lock fast path is
+///
+///     flag = 1;  <primary fence: compiler-only for ARW>;  check intent
+///
+/// and the writer is the secondary, engaging in an augmented Dekker protocol
+/// with *each* registered reader: publish intent, mfence, then for every
+/// reader either remotely serialize it (ARW), or — with the waiting
+/// heuristic (ARW+) — first give readers a grace window to acknowledge the
+/// intent voluntarily and signal only the silent ones.
+///
+/// Flavors (matching the paper's three locks):
+///   BiasedRwLock<SymmetricFence>                    — the SRW control
+///   BiasedRwLock<AsymmetricSignalFence>             — ARW
+///   BiasedRwLock<AsymmetricSignalFence, true>       — ARW+
+template <FencePolicy P, bool kWaitingHeuristic = false>
+class BiasedRwLock {
+ public:
+  static constexpr std::size_t kMaxReaders = 64;
+  /// ARW+ grace window (spin iterations) before the writer falls back to
+  /// signaling the non-acknowledging readers.
+  static constexpr int kAckSpinBudget = 512;
+
+  BiasedRwLock() = default;
+  BiasedRwLock(const BiasedRwLock&) = delete;
+  BiasedRwLock& operator=(const BiasedRwLock&) = delete;
+
+  /// RAII registration of the calling thread as a reader. Must be created
+  /// and destroyed on the reader's own thread; must not outlive the lock.
+  class ReaderToken {
+   public:
+    ReaderToken(ReaderToken&& o) noexcept
+        : lock_(o.lock_), slot_(o.slot_) {
+      o.lock_ = nullptr;
+    }
+    ReaderToken(const ReaderToken&) = delete;
+    ReaderToken& operator=(const ReaderToken&) = delete;
+    ReaderToken& operator=(ReaderToken&&) = delete;
+
+    ~ReaderToken() {
+      if (lock_ != nullptr) lock_->unregister_reader(*this);
+    }
+
+    /// Reader fast path — the l-mfence announce of Fig. 3(a).
+    void read_lock() {
+      Slot& s = *lock_->slots_[slot_];
+      SpinWait waiter;
+      for (;;) {
+        compiler_fence();
+        s.flag.store(1, std::memory_order_relaxed);
+        P::primary_fence();  // compiler-only under ARW/ARW+
+        const std::uint64_t intent =
+            lock_->intent_->load(std::memory_order_acquire);
+        if (intent == 0) break;  // no writer pending: we are in
+        // A writer is pending: retreat, acknowledge its epoch (ARW+ fast
+        // clear; harmless otherwise), and wait it out.
+        s.flag.store(0, std::memory_order_release);
+        s.ack.store(intent, std::memory_order_release);
+        s.retreats.fetch_add(1, std::memory_order_relaxed);
+        waiter.reset();
+        while (lock_->intent_->load(std::memory_order_acquire) != 0) {
+          waiter.wait();
+        }
+      }
+      s.reads.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void read_unlock() {
+      Slot& s = *lock_->slots_[slot_];
+      s.flag.store(0, std::memory_order_release);
+      // Waiting heuristic: tell a pending writer it no longer needs to
+      // signal us. The TSO store buffer completes flag=0 before ack, so an
+      // observed ack implies our flag is down.
+      const std::uint64_t intent =
+          lock_->intent_->load(std::memory_order_acquire);
+      if (intent != 0) s.ack.store(intent, std::memory_order_release);
+    }
+
+   private:
+    friend class BiasedRwLock;
+    ReaderToken(BiasedRwLock* lock, std::size_t slot)
+        : lock_(lock), slot_(slot) {}
+
+    BiasedRwLock* lock_;
+    std::size_t slot_;
+  };
+
+  /// Register the calling thread as a reader (binds its l-mfence primary
+  /// registration). Aborts if more than kMaxReaders register concurrently.
+  ReaderToken register_reader() {
+    for (std::size_t i = 0; i < kMaxReaders; ++i) {
+      Slot& s = *slots_[i];
+      bool expected = false;
+      if (!s.used.load(std::memory_order_relaxed) &&
+          s.used.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+        s.handle = P::register_primary();
+        s.owner = pthread_self();
+        s.flag.store(0, std::memory_order_relaxed);
+        s.ack.store(0, std::memory_order_relaxed);
+        s.live.store(true, std::memory_order_release);
+        std::size_t hw = high_water_.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_acq_rel)) {
+        }
+        return ReaderToken(this, i);
+      }
+    }
+    LBMF_CHECK_MSG(false, "BiasedRwLock reader slots exhausted");
+    return ReaderToken(this, 0);  // unreachable
+  }
+
+  /// Writer slow path: the augmented Dekker round against every reader.
+  void write_lock() {
+    writer_gate_.lock();
+    const std::uint64_t epoch = ++epoch_counter_;
+    intent_->store(epoch, std::memory_order_relaxed);
+    P::secondary_fence();  // always a real fence
+
+    const std::size_t hw = high_water_.load(std::memory_order_acquire);
+
+    if constexpr (kWaitingHeuristic) {
+      // Grace window: wait for readers to acknowledge the epoch on their
+      // own (they do so at lock/unlock) before resorting to signals. The
+      // waiter yields, so the heuristic works even on an oversubscribed
+      // host where the readers need this core to run. The writer's own
+      // reader slot is excluded: it cannot acknowledge itself, and its
+      // flag=0 store is already ordered by the intent fence above.
+      SpinWait grace(/*spin_limit=*/8);
+      bool all_acked = false;
+      for (int spin = 0; spin < kAckSpinBudget && !all_acked; ++spin) {
+        all_acked = true;
+        for (std::size_t i = 0; i < hw; ++i) {
+          Slot& s = *slots_[i];
+          if (!s.live.load(std::memory_order_acquire)) continue;
+          if (pthread_equal(s.owner, pthread_self())) continue;
+          if (s.ack.load(std::memory_order_acquire) != epoch) {
+            all_acked = false;
+          }
+        }
+        if (!all_acked) grace.wait();
+      }
+    }
+
+    for (std::size_t i = 0; i < hw; ++i) {
+      Slot& s = *slots_[i];
+      if (!s.live.load(std::memory_order_acquire)) continue;
+      // Only ARW+ trusts reader acknowledgments; the plain ARW writer
+      // signals every reader unconditionally (Sec. 5: "the writer ends up
+      // signaling a list of readers ... one by one"). A writer's own
+      // reader slot needs neither ack nor signal: its flag stores are
+      // ordered by the intent fence it just executed.
+      bool cleared_by_ack = false;
+      if constexpr (kWaitingHeuristic) {
+        cleared_by_ack = s.ack.load(std::memory_order_acquire) == epoch ||
+                         pthread_equal(s.owner, pthread_self());
+      }
+      if (cleared_by_ack) {
+        // Reader acknowledged: its flag=0 completed before the ack (TSO
+        // FIFO), and it cannot re-enter while intent is set.
+        ++wstats_->ack_clears;
+      } else {
+        // Force the reader to serialize so a flag=1 parked in its store
+        // buffer (committed before our intent became visible) is exposed.
+        if (P::serialize(s.handle)) ++wstats_->serializations;
+        ++wstats_->signal_clears;
+      }
+      SpinWait waiter;
+      while (s.flag.load(std::memory_order_acquire) != 0) waiter.wait();
+    }
+    ++wstats_->write_acquires;
+  }
+
+  void write_unlock() {
+    intent_->store(0, std::memory_order_release);
+    writer_gate_.unlock();
+  }
+
+  /// Merged counters (exact while quiescent).
+  RwLockStats stats() const {
+    RwLockStats out;
+    out.write_acquires = wstats_->write_acquires;
+    out.serializations = wstats_->serializations;
+    out.ack_clears = wstats_->ack_clears;
+    out.signal_clears = wstats_->signal_clears;
+    for (std::size_t i = 0; i < kMaxReaders; ++i) {
+      out.read_acquires +=
+          slots_[i]->reads.load(std::memory_order_relaxed);
+      out.reader_retreats +=
+          slots_[i]->retreats.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<int> flag{0};          // reader's Dekker flag (L1)
+    std::atomic<std::uint64_t> ack{0}; // last intent epoch acknowledged
+    std::atomic<bool> used{false};     // slot claimed (never recycled race)
+    std::atomic<bool> live{false};     // reader currently registered
+    pthread_t owner{};                 // registered reader's thread
+    typename P::Handle handle{};
+    std::atomic<std::uint64_t> reads{0};  // owning reader only; relaxed
+    std::atomic<std::uint64_t> retreats{0};
+  };
+
+  void unregister_reader(ReaderToken& t) {
+    Slot& s = *slots_[t.slot_];
+    // Exclude a concurrent writer: it may be about to serialize us.
+    std::lock_guard<std::mutex> g(writer_gate_);
+    s.live.store(false, std::memory_order_release);
+    P::unregister_primary(s.handle);
+    s.used.store(false, std::memory_order_release);
+  }
+
+  CacheAligned<Slot> slots_[kMaxReaders];
+  CacheAligned<std::atomic<std::uint64_t>> intent_{0};  // 0 = no writer (L2)
+  CacheAligned<RwLockStats> wstats_;  // writer-side counters (gate-held)
+  std::mutex writer_gate_;
+  std::atomic<std::uint64_t> epoch_counter_{0};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+/// The paper's three locks.
+using SrwLock = BiasedRwLock<SymmetricFence, false>;
+using ArwLock = BiasedRwLock<AsymmetricSignalFence, false>;
+using ArwPlusLock = BiasedRwLock<AsymmetricSignalFence, true>;
+
+}  // namespace lbmf

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/sim/program.hpp"
+
+namespace lbmf::sim {
+
+/// Parse error with the 1-based source line it occurred on.
+struct AssembleError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Output of assemble(): one Program per `cpu N:` section plus the mapping
+/// from symbolic location names to simulated addresses.
+struct AssembleResult {
+  std::vector<Program> programs;
+  std::map<std::string, Addr> symbols;
+  /// `init [loc], value` directives, in source order.
+  std::vector<std::pair<Addr, Word>> initial_memory;
+  std::optional<AssembleError> error;
+
+  bool ok() const noexcept { return !error.has_value(); }
+};
+
+/// Assemble a textual litmus test into simulator programs.
+///
+/// Syntax (one instruction per line; `#` or `//` start a comment):
+///
+///   init [flag], 0       # optional initial memory, before any cpu section
+///   cpu 0:
+///     mov   r2, 5          # registers r0..r7
+///   top:
+///     store [flag], 1      # locations are symbolic or numeric: [3]
+///     lmfence [flag], 1    # the full Fig. 3(b) expansion
+///     mfence
+///     load  r0, [peer]
+///     le    r0, [peer]     # load-exclusive
+///     add   r2, -1
+///     beq   r0, 0, top
+///     bne   r2, 0, top
+///     jmp   top
+///     delay 20
+///     cs_enter
+///     cs_exit
+///     halt
+///   cpu 1:
+///     ...
+///
+/// Symbolic location names are assigned ascending addresses in order of
+/// first appearance (shared across all CPUs — that is the point). Every
+/// CPU section must end with `halt`.
+AssembleResult assemble(std::string_view source);
+
+/// Convenience: assemble, abort (LBMF_CHECK) on error, and load the
+/// programs into a machine configured for that many CPUs.
+Machine assemble_machine(std::string_view source, SimConfig cfg = {});
+
+}  // namespace lbmf::sim

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/sim/program.hpp"
+
+namespace lbmf::sim {
+
+/// Which fence a litmus thread places between its intent store and its read
+/// of the peer's flag.
+enum class FenceKind : std::uint8_t {
+  kNone,     // nothing (incorrect under TSO; the negative control)
+  kMfence,   // the traditional program-based fence
+  kLmfence,  // the paper's location-based fence (Fig. 3(b) expansion)
+};
+
+const char* to_string(FenceKind k) noexcept;
+
+/// Well-known addresses used by the canned litmus programs.
+namespace addr {
+inline constexpr Addr kFlag0 = 0;   // L1 in the paper's Fig. 3(a)
+inline constexpr Addr kFlag1 = 1;   // L2
+inline constexpr Addr kData = 2;
+inline constexpr Addr kTurn = 3;    // Peterson's tie-breaker
+inline constexpr Addr kScratchBase = 16;
+}  // namespace addr
+
+/// Registers holding litmus observations at halt.
+namespace reg {
+inline constexpr std::uint8_t kObs0 = 0;  // first observed value
+inline constexpr std::uint8_t kObs1 = 1;  // second observed value
+}  // namespace reg
+
+/// One side of the (simplified, single-attempt) Dekker entry of Fig. 1 /
+/// Fig. 3(a): announce intent with `fence` semantics, read the peer flag
+/// into reg::kObs0, enter the critical section only if the peer flag was 0,
+/// then clear the flag and halt. `cs_work` cycles are spent inside the
+/// critical section.
+Program dekker_side(Addr my_flag, Addr peer_flag, FenceKind fence,
+                    Word cs_work = 0);
+
+/// A 2-CPU machine running the Dekker entry with the given fences, e.g.
+/// {kLmfence, kMfence} is exactly the paper's asymmetric protocol.
+Machine make_dekker_machine(FenceKind primary, FenceKind secondary,
+                            SimConfig cfg = {});
+
+/// Classic store-buffering (SB) litmus:
+///   CPU0: [x]=1; <fence>; r0=[y]      CPU1: [y]=1; <fence>; r0=[x]
+/// The outcome r0==0 on both CPUs is allowed on TSO without fences and
+/// forbidden with them (any combination of mfence / l-mfence).
+Machine make_store_buffer_litmus(FenceKind f0, FenceKind f1,
+                                 SimConfig cfg = {});
+
+/// Message-passing litmus:
+///   CPU0: [data]=42; [flag]=1         CPU1: r0=[flag]; r1=[data]
+/// TSO forbids r0==1 && r1==0 with no fences at all (stores are not
+/// reordered with stores; loads not reordered with loads) — this validates
+/// that the simulator implements TSO rather than something weaker.
+Machine make_message_passing_litmus(SimConfig cfg = {});
+
+/// Load-buffering (LB) litmus:
+///   CPU0: r0=[x]; [y]=1            CPU1: r0=[y]; [x]=1
+/// The outcome r0==1 on both sides requires loads to be reordered after
+/// later stores — forbidden on TSO (and by this simulator) with no fences
+/// at all.
+Machine make_load_buffering_litmus(SimConfig cfg = {});
+
+/// IRIW (independent reads of independent writes):
+///   CPU0: [x]=1   CPU1: [y]=1
+///   CPU2: r0=[x]; r1=[y]           CPU3: r0=[y]; r1=[x]
+/// The outcome where the two readers observe the writes in opposite orders
+/// (r0==1, r1==0 on both) is forbidden on TSO: store visibility is a
+/// single total order (the coherence bus serializes completions).
+Machine make_iriw_litmus(SimConfig cfg = {});
+
+/// Peterson's mutual-exclusion entry (single attempt): flag[i]=1; turn=j;
+/// <fence>; enter iff !(flag[j] && turn==j). Peterson needs the same
+/// StoreLoad ordering as Dekker, but the announce is TWO stores. With
+/// kLmfence the l-mfence guards only the *last* store (turn) — sufficient
+/// on TSO because the store buffer drains in FIFO order, so flushing turn
+/// also completes flag[i]. This is the paper's Sec. 7 future-work question
+/// ("what other algorithms can benefit") answered exhaustively.
+Machine make_peterson_machine(FenceKind primary, FenceKind secondary,
+                              SimConfig cfg = {});
+
+/// Single-CPU program running `iters` iterations of announce-check-enter
+/// (the solo Dekker loop from the paper's Sec. 1 overhead claim).
+Machine make_solo_dekker_machine(FenceKind fence, int iters,
+                                 Word cs_work = 4, SimConfig cfg = {});
+
+/// Round-trip probe (Sec. 5 cost comparison): CPU0 arms an l-mfence link on
+/// kFlag0 and then spins on private work; CPU1 performs a single load of
+/// kFlag0. Run with run_round_robin and read CPU1's cycle counter: with
+/// LE/ST this is the ~150-cycle remote round trip; with `use_interrupt`
+/// the secondary instead pays a simulated signal round trip.
+Machine make_roundtrip_machine(bool use_interrupt, SimConfig cfg = {});
+
+/// Format the litmus observation registers of every CPU, e.g. "r0=0,r0=1".
+std::string observe_obs0(const Machine& m);
+
+}  // namespace lbmf::sim

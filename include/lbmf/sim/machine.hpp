@@ -1,0 +1,157 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lbmf/sim/cache.hpp"
+#include "lbmf/sim/program.hpp"
+#include "lbmf/sim/types.hpp"
+
+namespace lbmf::sim {
+
+class TraceRecorder;
+
+/// Per-CPU event counters (not part of the canonical state; pure telemetry).
+struct CpuCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t mfences = 0;
+  std::uint64_t bus_transactions = 0;
+  std::uint64_t sb_drains = 0;          // entries completed
+  std::uint64_t links_armed = 0;        // SetLink executions arming a link
+  std::uint64_t link_breaks_remote = 0; // guard fired on remote downgrade/inv
+  std::uint64_t link_breaks_evict = 0;  // guard fired on local eviction
+  std::uint64_t link_breaks_second = 0; // second l-mfence to a new location
+  std::uint64_t link_clears_complete = 0;  // guarded store completed
+};
+
+/// The architectural (explorable) state of one simulated CPU, plus its
+/// program. Value-semantic: the explorer copies whole machines.
+struct CpuState {
+  explicit CpuState(const SimConfig& cfg)
+      : sb(cfg.sb_capacity), cache(cfg.cache_capacity) {}
+
+  std::shared_ptr<const Program> program;  // immutable, shared across copies
+  std::int32_t pc = 0;
+  std::array<Word, 8> regs{};
+  StoreBuffer sb;
+  Cache cache;
+
+  // The two registers the LE/ST mechanism adds (Sec. 3).
+  bool le_bit = false;
+  Addr le_addr = kInvalidAddr;
+
+  bool in_cs = false;
+  bool halted = false;
+  bool flushing = false;  // re-entrancy latch for guard-triggered flushes
+
+  CpuCounters counters;
+};
+
+/// A TSO multiprocessor with per-CPU FIFO store buffers, MESI private
+/// caches over a shared memory, and the LE/ST location-based-memory-fence
+/// mechanism. Coherence transactions are atomic in simulator time; the
+/// schedulable nondeterminism is *which CPU steps next* and *when a store
+/// buffer drains an entry* — exactly the degrees of freedom that produce
+/// TSO reorderings and the corner cases in Sec. 3/4 of the paper.
+class Machine {
+ public:
+  explicit Machine(SimConfig cfg);
+
+  /// Attach a program to a CPU (before the first step).
+  void load_program(std::size_t cpu, Program p);
+
+  void set_memory(Addr a, Word v) { mem_[a] = v; }
+  Word memory(Addr a) const;
+
+  /// Whether `step(cpu, a)` is currently legal.
+  bool action_enabled(std::size_t cpu, Action a) const;
+
+  /// Perform one atomic step. Precondition: action_enabled(cpu, a).
+  void step(std::size_t cpu, Action a);
+
+  /// Every CPU halted and every store buffer drained.
+  bool finished() const;
+
+  /// Drive with a fixed round-robin schedule (drains interleaved); returns
+  /// steps taken. Aborts via LBMF_CHECK if max_steps is exceeded (i.e. the
+  /// program does not terminate).
+  std::uint64_t run_round_robin(std::uint64_t max_steps = 10'000'000);
+
+  /// Drive with a seeded random schedule; returns steps taken.
+  std::uint64_t run_random(std::uint64_t seed,
+                           std::uint64_t max_steps = 10'000'000);
+
+  /// MESI single-writer / value-coherence invariants. Returns a description
+  /// of the first violated invariant, or nullopt if all hold.
+  std::optional<std::string> check_coherence() const;
+
+  /// Number of CPUs currently inside a critical section.
+  std::size_t cpus_in_cs() const;
+
+  /// Canonical encoding of the architectural state (excludes counters), for
+  /// explorer memoization. Two machines with equal canonical state have
+  /// identical future behaviour.
+  std::string canonical_state() const;
+
+  std::size_t num_cpus() const noexcept { return cpus_.size(); }
+  const CpuState& cpu(std::size_t i) const { return cpus_[i]; }
+  const SimConfig& config() const noexcept { return cfg_; }
+
+  /// State of address `a` in cpu `i`'s cache (Invalid if absent).
+  Mesi line_state(std::size_t i, Addr a) const;
+
+  /// Deliver an interrupt to a CPU (models signal delivery: kernel crossing
+  /// plus a full store-buffer flush). Usable any time before halt.
+  void deliver_interrupt(std::size_t cpu);
+
+  /// Sum of cycles across CPUs (a serial-machine view of cost).
+  std::uint64_t total_cycles() const;
+
+  /// Attach (or detach with nullptr) an event recorder. Not part of the
+  /// architectural state: copies of the machine share the pointer, and
+  /// recording changes no behaviour.
+  void set_trace(TraceRecorder* t) noexcept { trace_ = t; }
+
+ private:
+  CpuState& mut_cpu(std::size_t i) { return cpus_[i]; }
+
+  void exec_instr(CpuState& c);
+
+  // --- memory-system internals. All return the latency (cycles) the
+  // *initiating* CPU experiences; callees also charge remote CPUs for work
+  // they perform (e.g. a guard-triggered flush).
+  std::uint64_t bus_read(CpuState& c, Addr a, Word& out);        // GetS
+  std::uint64_t bus_read_exclusive(CpuState& c, Addr a, Word& out);  // GetX
+  std::uint64_t acquire_exclusive(CpuState& c, Addr a);
+  std::uint64_t complete_oldest(CpuState& c);
+  std::uint64_t flush_sb(CpuState& c);
+  /// Guard check on CPU `owner` for a remote request to `a`. Returns the
+  /// latency the requester must wait for the owner's flush (0 if no guard).
+  std::uint64_t notify_guard_remote(CpuState& owner, Addr base);
+  void handle_self_eviction(CpuState& c, const CacheLine& evicted);
+  void clear_link(CpuState& c);
+
+  // Line geometry (SimConfig::line_words) and whole-line memory access.
+  Addr line_base(Addr a) const noexcept;
+  std::size_t line_off(Addr a) const noexcept;
+  std::vector<Word> memory_line(Addr base) const;
+  void writeback_line(const CacheLine& l);
+
+  void trace(const CpuState& c, int kind_int, Addr a = kInvalidAddr,
+             Word v = 0, std::string detail = {}) const;
+
+  SimConfig cfg_;
+  std::vector<CpuState> cpus_;
+  std::map<Addr, Word> mem_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace lbmf::sim

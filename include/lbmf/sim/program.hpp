@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lbmf/sim/types.hpp"
+
+namespace lbmf::sim {
+
+/// The simulated ISA. Deliberately tiny: just enough to express the Dekker
+/// protocols, the Fig. 3(b) l-mfence expansion, and litmus tests, while
+/// keeping each instruction one atomic simulator step so the explorer can
+/// interleave at the granularity where the paper's corner cases live (e.g.
+/// a downgrade arriving between LE and ST).
+enum class Op : std::uint8_t {
+  kLoad,          // reg <- [addr]   (SB forwarding, then cache)
+  kStore,         // [addr] <- imm   (commit to store buffer)
+  kStoreReg,      // [addr] <- reg
+  kLoadExclusive, // reg <- [addr], acquiring Exclusive state (the LE instr)
+  kMfence,        // drain the store buffer, stall until complete
+  kSetLink,       // LEBit <- 1, LEAddr <- addr (lines K1.1-K1.2 fused)
+  kBranchLinkSet, // if LEBit != 0 goto target   (line K1.5)
+  kMovImm,        // reg <- imm
+  kAddImm,        // reg <- reg + imm
+  kBranchEq,      // if reg == imm goto target
+  kBranchNe,      // if reg != imm goto target
+  kJump,          // goto target
+  kCsEnter,       // enter critical section (checker bookkeeping)
+  kCsExit,        // leave critical section
+  kDelay,         // spend imm cycles of local work
+  kHalt,
+};
+
+const char* to_string(Op op) noexcept;
+
+struct Instr {
+  Op op{};
+  std::uint8_t reg = 0;
+  Addr addr = kInvalidAddr;
+  Word imm = 0;
+  std::int32_t target = -1;  // branch destination (instruction index)
+};
+
+std::string to_string(const Instr& i);
+
+/// An immutable instruction sequence for one CPU.
+struct Program {
+  std::vector<Instr> code;
+  std::string name;
+};
+
+/// Builder with label back-patching plus the macro-instructions used
+/// throughout the tests and benches. All emit methods return *this for
+/// chaining.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name = "") { prog_.name = std::move(name); }
+
+  ProgramBuilder& load(std::uint8_t reg, Addr a);
+  ProgramBuilder& store(Addr a, Word v);
+  ProgramBuilder& store_reg(Addr a, std::uint8_t reg);
+  ProgramBuilder& load_exclusive(std::uint8_t reg, Addr a);
+  ProgramBuilder& mfence();
+  ProgramBuilder& mov(std::uint8_t reg, Word v);
+  ProgramBuilder& add(std::uint8_t reg, Word v);
+  ProgramBuilder& cs_enter();
+  ProgramBuilder& cs_exit();
+  ProgramBuilder& delay(Word cycles);
+  ProgramBuilder& halt();
+
+  /// Define a label at the current position.
+  ProgramBuilder& label(const std::string& name);
+  ProgramBuilder& branch_eq(std::uint8_t reg, Word v, const std::string& label);
+  ProgramBuilder& branch_ne(std::uint8_t reg, Word v, const std::string& label);
+  ProgramBuilder& jump(const std::string& label);
+
+  /// The paper's Fig. 3(b) expansion of l-mfence(addr, v):
+  ///   SetLink addr; LE addr; ST addr <- v; if (LEBit) goto done; MFENCE;
+  /// done:
+  /// Each micro-op is a separate simulator step, so the explorer can inject
+  /// a remote access between any two of them. `scratch` is a register the
+  /// LE may clobber.
+  ProgramBuilder& lmfence(Addr a, Word v, std::uint8_t scratch = 7);
+
+  /// Finalize: patches labels; aborts on undefined labels or a missing
+  /// trailing HALT.
+  Program build();
+
+  /// Like build(), but reports problems instead of aborting: returns the
+  /// error message, or nullopt on success (with *out filled in).
+  std::optional<std::string> try_build(Program* out);
+
+ private:
+  ProgramBuilder& emit(Instr i);
+
+  Program prog_;
+  std::vector<std::pair<std::size_t, std::string>> fixups_;
+  std::vector<std::pair<std::string, std::int32_t>> labels_;
+};
+
+}  // namespace lbmf::sim

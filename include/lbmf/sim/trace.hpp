@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lbmf/sim/types.hpp"
+
+namespace lbmf::sim {
+
+/// Everything observable that happens inside the simulated machine, at the
+/// granularity a hardware-bringup engineer would want in a waveform: one
+/// event per instruction, buffer drain, coherence transaction and LE/ST
+/// link transition.
+enum class EventKind : std::uint8_t {
+  kExec,           // instruction executed (detail = disassembly)
+  kDrain,          // one store-buffer entry completed
+  kInterrupt,      // interrupt delivered (full flush)
+  kBusRead,        // GetS transaction
+  kBusReadX,       // GetX / RFO transaction
+  kWriteback,      // dirty data written to memory
+  kLinkArm,        // SetLink armed the LE/ST link
+  kGuardRemote,    // link broken by a remote downgrade/invalidate
+  kGuardEvict,     // link broken by a local eviction
+  kGuardSecond,    // link broken by a second l-mfence elsewhere
+  kLinkComplete,   // link cleared by the guarded store completing
+};
+
+const char* to_string(EventKind k) noexcept;
+
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  std::uint8_t cpu = 0;
+  EventKind kind{};
+  Addr addr = kInvalidAddr;
+  Word value = 0;
+  std::string detail;
+};
+
+std::string to_string(const TraceEvent& e);
+
+/// Append-only event sink attached to a Machine via set_trace(). Not part
+/// of the architectural state: explorer snapshots share (or drop) the
+/// recorder, and recorded cycles/ordering have no effect on behaviour.
+class TraceRecorder {
+ public:
+  void record(std::uint8_t cpu, EventKind kind, Addr addr = kInvalidAddr,
+              Word value = 0, std::string detail = {}) {
+    events_.push_back(TraceEvent{next_seq_++, cpu, kind, addr, value,
+                                 std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept {
+    events_.clear();
+    next_seq_ = 0;
+  }
+
+  /// Number of recorded events of one kind.
+  std::size_t count(EventKind k) const noexcept;
+
+  /// Multi-line human-readable dump.
+  std::string to_string() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace lbmf::sim

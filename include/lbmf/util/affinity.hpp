@@ -1,0 +1,15 @@
+#pragma once
+
+#include <cstddef>
+
+namespace lbmf {
+
+/// Pin the calling thread to logical CPU `cpu` (modulo the number of CPUs in
+/// the process's affinity mask). Returns true on success. On a single-core
+/// host this is a no-op that still succeeds, so callers need no special case.
+bool pin_to_cpu(std::size_t cpu) noexcept;
+
+/// Number of logical CPUs available to this process.
+std::size_t online_cpus() noexcept;
+
+}  // namespace lbmf

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lbmf {
+
+/// Size of the destructive-interference granule we pad to. We use a fixed
+/// 64 bytes (the line size of every x86-64 part this library targets) rather
+/// than std::hardware_destructive_interference_size, whose value may vary
+/// between TUs compiled with different tuning flags.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a T so that it occupies (at least) one cache line by itself.
+/// Used for per-thread flags in Dekker-style protocols, where false sharing
+/// between the two flag words would destroy the asymmetry the protocol
+/// is designed to exploit.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  static_assert(!std::is_reference_v<T>, "CacheAligned cannot hold references");
+
+  T value{};
+
+  CacheAligned() = default;
+
+  template <typename... Args>
+  explicit CacheAligned(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+// alignas on the struct rounds sizeof up to the alignment, so arrays of
+// CacheAligned<T> never place two elements on one line.
+static_assert(sizeof(CacheAligned<char>) == kCacheLineSize);
+
+}  // namespace lbmf

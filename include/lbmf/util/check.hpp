@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lbmf::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "LBMF_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace lbmf::detail
+
+/// Always-on invariant check (simulator state machines rely on these even in
+/// Release builds; a silently corrupt MESI state would invalidate every
+/// downstream result).
+#define LBMF_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lbmf::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define LBMF_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::lbmf::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

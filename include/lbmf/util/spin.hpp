@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lbmf {
+
+/// Hint to the core that we are in a spin-wait loop. On x86 this is `pause`,
+/// which reduces the penalty of leaving the loop and yields pipeline
+/// resources to a hyper-sibling.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Portable fallback: a compiler barrier so the loop is not collapsed.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Adaptive spin-waiter: spins with `pause` for a bounded number of rounds,
+/// then starts yielding the CPU. On an oversubscribed host (fewer cores than
+/// threads) the yield path is essential — a pure spin would deadlock the very
+/// thread we are waiting on off the only core.
+class SpinWait {
+ public:
+  /// `spin_limit` = number of pause-only rounds before we begin yielding.
+  explicit SpinWait(std::uint32_t spin_limit = 64) noexcept
+      : spin_limit_(spin_limit) {}
+
+  void wait() noexcept {
+    if (count_ < spin_limit_) {
+      // Exponential backoff inside the pause phase: 1, 2, 4, ... pauses.
+      const std::uint32_t reps = 1u << (count_ < 6 ? count_ : 6);
+      for (std::uint32_t i = 0; i < reps; ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+  std::uint32_t rounds() const noexcept { return count_; }
+
+ private:
+  std::uint32_t spin_limit_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace lbmf

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lbmf {
+
+/// Streaming mean / variance (Welford). Numerically stable; O(1) space.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cv() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a batch of samples.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Compute a Summary from samples (copies and sorts internally).
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a *sorted* sample vector; q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace lbmf

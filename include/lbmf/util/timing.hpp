@@ -1,0 +1,60 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace lbmf {
+
+/// Read the time-stamp counter. On modern x86-64 the TSC is invariant
+/// (constant rate, synchronized across cores), so it is usable as a cheap
+/// cycle-resolution clock. Falls back to steady_clock nanoseconds elsewhere.
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Serializing rdtsc (rdtscp + lfence would be stricter; rdtscp alone waits
+/// for prior instructions to retire, which is what benchmark edges need).
+inline std::uint64_t rdtscp() noexcept {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi, aux;
+  asm volatile("rdtscp" : "=a"(lo), "=d"(hi), "=c"(aux));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return rdtsc();
+#endif
+}
+
+/// Measured TSC frequency in Hz (calibrated once against steady_clock on
+/// first use). Used to convert cycle counts into seconds in reports.
+double tsc_hz();
+
+/// Convert a TSC delta to nanoseconds using the calibrated frequency.
+double tsc_to_ns(std::uint64_t cycles);
+
+/// Simple wall-clock stopwatch over steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+  double micros() const { return seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lbmf

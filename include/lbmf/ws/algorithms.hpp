@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "lbmf/util/check.hpp"
+#include "lbmf/ws/scheduler.hpp"
+
+namespace lbmf::ws {
+
+/// Divide-and-conquer parallel loop over [lo, hi): recursively splits the
+/// range, spawning the left half, until chunks reach `grain`. Each split is
+/// one deque push/pop under the scheduler's fence policy — the structured
+/// skeleton all the Fig. 4 array benchmarks are built from.
+///
+/// Must be called from inside Scheduler<P>::run.
+template <FencePolicy P, typename Body>
+void parallel_for(std::size_t lo, std::size_t hi, std::size_t grain,
+                  const Body& body) {
+  LBMF_CHECK(grain >= 1);
+  if (hi <= lo) return;
+  if (hi - lo <= grain) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+    return;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  typename Scheduler<P>::TaskGroup tg;
+  auto left = tg.capture([&] { parallel_for<P>(lo, mid, grain, body); });
+  tg.spawn(left);
+  parallel_for<P>(mid, hi, grain, body);
+  tg.sync();
+}
+
+/// Parallel reduction over [lo, hi): `leaf(i)` produces a value per index,
+/// `combine(a, b)` must be associative. Deterministic combination order
+/// (the split tree), so non-commutative but associative operations are
+/// fine.
+template <FencePolicy P, typename T, typename Leaf, typename Combine>
+T parallel_reduce(std::size_t lo, std::size_t hi, std::size_t grain,
+                  T identity, const Leaf& leaf, const Combine& combine) {
+  LBMF_CHECK(grain >= 1);
+  if (hi <= lo) return identity;
+  if (hi - lo <= grain) {
+    T acc = identity;
+    for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, leaf(i));
+    return acc;
+  }
+  const std::size_t mid = lo + (hi - lo) / 2;
+  T left_result = identity;
+  typename Scheduler<P>::TaskGroup tg;
+  auto left = tg.capture([&] {
+    left_result =
+        parallel_reduce<P>(lo, mid, grain, identity, leaf, combine);
+  });
+  tg.spawn(left);
+  T right_result =
+      parallel_reduce<P>(mid, hi, grain, identity, leaf, combine);
+  tg.sync();
+  return combine(left_result, right_result);
+}
+
+/// Run two callables in parallel (spawn the first, run the second inline).
+template <FencePolicy P, typename F0, typename F1>
+void parallel_invoke(F0&& f0, F1&& f1) {
+  typename Scheduler<P>::TaskGroup tg;
+  auto t = tg.capture([&f0] { f0(); });
+  tg.spawn(t);
+  f1();
+  tg.sync();
+}
+
+/// Run three callables in parallel.
+template <FencePolicy P, typename F0, typename F1, typename F2>
+void parallel_invoke(F0&& f0, F1&& f1, F2&& f2) {
+  typename Scheduler<P>::TaskGroup tg;
+  auto t0 = tg.capture([&f0] { f0(); });
+  auto t1 = tg.capture([&f1] { f1(); });
+  tg.spawn(t0);
+  tg.spawn(t1);
+  f2();
+  tg.sync();
+}
+
+/// Elementwise transform: out[i] = f(i) for i in [lo, hi).
+template <FencePolicy P, typename T, typename F>
+void parallel_transform(std::size_t lo, std::size_t hi, std::size_t grain,
+                        T* out, const F& f) {
+  parallel_for<P>(lo, hi, grain, [&](std::size_t i) { out[i] = f(i); });
+}
+
+}  // namespace lbmf::ws

@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "lbmf/core/policies.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/ws/deque.hpp"
+
+namespace lbmf::ws {
+
+class TaskBase;
+
+/// The Chase-Lev lock-free work-stealing deque, parameterized on the fence
+/// policy — demonstrating that the paper's l-mfence applies beyond the
+/// Cilk-5 THE protocol: Chase-Lev's take() contains the *same* Dekker
+/// duality (publish `bottom`, then read `top`), and its required StoreLoad
+/// fence is exactly what the asymmetric policies replace with a
+/// compiler fence plus thief-side remote serialization.
+///
+///   take  (owner):  bottom = b-1; <primary fence>;  t = top; ...
+///   steal (thief):  t = top; <secondary fence + serialize>; b = bottom; CAS
+///
+/// Thieves race each other with a CAS on `top` instead of a gate lock —
+/// otherwise the synchronization shape matches TheDeque, so the two can be
+/// benchmarked one against the other with everything else constant.
+template <FencePolicy P>
+class ChaseLevDeque {
+ public:
+  static constexpr std::size_t kCapacity = std::size_t{1} << 15;
+
+  ChaseLevDeque() : buffer_(kCapacity) {}
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  void set_owner_handle(const typename P::Handle& h) noexcept {
+    owner_handle_ = h;
+  }
+
+  /// Owner-only: push at the bottom.
+  void push(TaskBase* task) {
+    const std::int64_t b = bottom_->load(std::memory_order_relaxed);
+    const std::int64_t t = top_->load(std::memory_order_acquire);
+    LBMF_CHECK_MSG(b - t < static_cast<std::int64_t>(kCapacity),
+                   "Chase-Lev deque overflow");
+    buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)] = task;
+    bottom_->store(b + 1, std::memory_order_release);
+    ++vstats_->pushes;
+  }
+
+  /// Owner-only: take from the bottom; nullptr when empty.
+  TaskBase* take() {
+    const std::int64_t b = bottom_->load(std::memory_order_relaxed) - 1;
+    bottom_->store(b, std::memory_order_release);  // announce (L1 = 1)
+    P::primary_fence();                            // the l-mfence slot
+    ++vstats_->victim_fences;
+    std::int64_t t = top_->load(std::memory_order_relaxed);
+    if (t < b) {
+      // More than one task: no race possible on this element.
+      ++vstats_->pops_fast;
+      return buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)];
+    }
+    TaskBase* result = nullptr;
+    ++vstats_->pops_conflict;
+    if (t == b) {
+      // Last element: race the thieves via CAS on top.
+      if (top_->compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        result = buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)];
+      }
+    }
+    bottom_->store(b + 1, std::memory_order_relaxed);  // restore
+    if (result == nullptr) ++vstats_->pops_empty;
+    return result;
+  }
+
+  /// Any thief: steal from the top; nullptr when empty or lost the race.
+  TaskBase* steal() {
+    std::int64_t t = top_->load(std::memory_order_acquire);
+    P::secondary_fence();
+    if (P::serialize(owner_handle_)) {
+      tstats_->serializations.fetch_add(1, std::memory_order_relaxed);
+    }
+    tstats_->thief_fences.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t b = bottom_->load(std::memory_order_acquire);
+    if (t >= b) {
+      tstats_->steals_empty.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;  // empty
+    }
+    TaskBase* task = buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)];
+    if (!top_->compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
+      tstats_->steals_empty.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;  // lost to another thief or to the owner's take
+    }
+    tstats_->steals_success.fetch_add(1, std::memory_order_relaxed);
+    return task;
+  }
+
+  /// Merged snapshot; thief counters are atomics because Chase-Lev thieves
+  /// race each other without a gate.
+  DequeStats stats() const noexcept {
+    DequeStats s = *vstats_;
+    s.steals_success = tstats_->steals_success.load(std::memory_order_relaxed);
+    s.steals_empty = tstats_->steals_empty.load(std::memory_order_relaxed);
+    s.thief_fences = tstats_->thief_fences.load(std::memory_order_relaxed);
+    s.serializations =
+        tstats_->serializations.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset_stats() noexcept {
+    *vstats_ = DequeStats{};
+    tstats_->steals_success.store(0, std::memory_order_relaxed);
+    tstats_->steals_empty.store(0, std::memory_order_relaxed);
+    tstats_->thief_fences.store(0, std::memory_order_relaxed);
+    tstats_->serializations.store(0, std::memory_order_relaxed);
+  }
+
+  /// Scheduler-facing alias so TheDeque and ChaseLevDeque are drop-in
+  /// interchangeable (Chase-Lev literature calls this operation take()).
+  TaskBase* pop() { return take(); }
+
+  bool looks_empty() const noexcept {
+    return top_->load(std::memory_order_acquire) >=
+           bottom_->load(std::memory_order_acquire);
+  }
+
+  std::int64_t size_estimate() const noexcept {
+    return bottom_->load(std::memory_order_acquire) -
+           top_->load(std::memory_order_acquire);
+  }
+
+ private:
+  struct ThiefStats {
+    std::atomic<std::uint64_t> steals_success{0};
+    std::atomic<std::uint64_t> steals_empty{0};
+    std::atomic<std::uint64_t> thief_fences{0};
+    std::atomic<std::uint64_t> serializations{0};
+  };
+
+  CacheAligned<std::atomic<std::int64_t>> top_{0};
+  CacheAligned<std::atomic<std::int64_t>> bottom_{0};
+  CacheAligned<DequeStats> vstats_;   // owner-written fields only
+  CacheAligned<ThiefStats> tstats_;   // thief-written (racing, atomic)
+  typename P::Handle owner_handle_{};
+  std::vector<TaskBase*> buffer_;
+};
+
+}  // namespace lbmf::ws

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "lbmf/core/policies.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::ws {
+
+class TaskBase;
+
+/// Per-deque event counters; split per side (victim-written vs
+/// thief-written) so no counter update races.
+struct DequeStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops_fast = 0;      // pop won without touching the lock
+  std::uint64_t pops_conflict = 0;  // pop had to take the THE lock
+  std::uint64_t pops_empty = 0;
+  std::uint64_t victim_fences = 0;  // primary_fence() on the pop path
+  std::uint64_t steals_success = 0;
+  std::uint64_t steals_empty = 0;
+  std::uint64_t thief_fences = 0;
+  std::uint64_t serializations = 0;  // remote serialize() by thieves
+};
+
+/// A Cilk-5-style THE (Tail / Head / Exception-free variant) work-stealing
+/// deque, parameterized on the fence policy. The victim owns the tail; the
+/// thieves share the head behind a mutex (one thief at a time — the paper's
+/// "secondaries first compete for the right to synchronize", Sec. 1).
+///
+/// The Dekker duality lives in pop vs steal:
+///   pop   (victim, primary):  T = T-1;  <primary fence>;   read H
+///   steal (thief,  secondary): H = H+1; <mfence+serialize>; read T
+/// With an asymmetric policy the victim's fence is a compiler fence only —
+/// exactly the l-mfence application the paper evaluates on Cilk-5.
+template <FencePolicy P>
+class TheDeque {
+ public:
+  static constexpr std::size_t kCapacity = std::size_t{1} << 15;
+
+  TheDeque() : buffer_(kCapacity) {}
+  TheDeque(const TheDeque&) = delete;
+  TheDeque& operator=(const TheDeque&) = delete;
+
+  /// The owning worker's serializer registration (set by the worker thread
+  /// itself before any thief may target this deque).
+  void set_owner_handle(const typename P::Handle& h) noexcept {
+    owner_handle_ = h;
+  }
+
+  /// Victim-only: push a task at the tail. No fence needed — publication to
+  /// thieves is via the release store of tail, and the Dekker race only
+  /// exists on the pop side.
+  void push(TaskBase* task) {
+    const std::int64_t t = tail_->load(std::memory_order_relaxed);
+    LBMF_CHECK_MSG(t - head_->load(std::memory_order_relaxed) <
+                       static_cast<std::int64_t>(kCapacity),
+                   "work-stealing deque overflow");
+    buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)] = task;
+    tail_->store(t + 1, std::memory_order_release);
+    ++vstats_->pushes;
+  }
+
+  /// Victim-only: pop from the tail. Returns nullptr when empty. This is
+  /// the hot path whose fence the paper removes.
+  TaskBase* pop() {
+    // All tail/head stores are release and cross-side loads acquire: plain
+    // MOVs on x86, so the *only* StoreLoad ordering in play is the policy
+    // fence below — the variable the paper's experiment isolates.
+    const std::int64_t t = tail_->load(std::memory_order_relaxed) - 1;
+    tail_->store(t, std::memory_order_release);  // announce intent (L1 = 1)
+    P::primary_fence();                          // l-mfence / mfence / ...
+    ++vstats_->victim_fences;
+    const std::int64_t h = head_->load(std::memory_order_acquire);
+    if (h <= t) {
+      // No conflict: the deque had at least one task beyond every thief.
+      ++vstats_->pops_fast;
+      return buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)];
+    }
+    // Possible conflict with a thief racing for the last task: retreat and
+    // resolve under the thief gate (the augmented-Dekker slow path).
+    tail_->store(t + 1, std::memory_order_release);
+    std::lock_guard<std::mutex> g(gate_);
+    ++vstats_->pops_conflict;
+    const std::int64_t h2 = head_->load(std::memory_order_acquire);
+    if (h2 <= t) {
+      tail_->store(t, std::memory_order_release);
+      return buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)];
+    }
+    ++vstats_->pops_empty;
+    return nullptr;
+  }
+
+  /// Thief-only: steal from the head. Returns nullptr when empty.
+  TaskBase* steal() {
+    std::lock_guard<std::mutex> g(gate_);
+    const std::int64_t h = head_->load(std::memory_order_relaxed);
+    head_->store(h + 1, std::memory_order_release);  // announce (L2 = 1)
+    P::secondary_fence();                            // always a real fence
+    if (P::serialize(owner_handle_)) {
+      ++tstats_->serializations;  // force the victim's tail store visible
+    }
+    ++tstats_->thief_fences;
+    const std::int64_t t = tail_->load(std::memory_order_acquire);
+    if (h + 1 > t) {
+      head_->store(h, std::memory_order_release);  // retreat (L2 = 0)
+      ++tstats_->steals_empty;
+      return nullptr;
+    }
+    ++tstats_->steals_success;
+    return buffer_[static_cast<std::size_t>(h) & (kCapacity - 1)];
+  }
+
+  bool looks_empty() const noexcept {
+    return head_->load(std::memory_order_acquire) >=
+           tail_->load(std::memory_order_acquire);
+  }
+
+  /// Merged snapshot; exact when victim and thieves are quiescent.
+  DequeStats stats() const noexcept {
+    DequeStats s = *vstats_;
+    s.steals_success = tstats_->steals_success;
+    s.steals_empty = tstats_->steals_empty;
+    s.thief_fences = tstats_->thief_fences;
+    s.serializations = tstats_->serializations;
+    return s;
+  }
+
+  void reset_stats() noexcept {
+    *vstats_ = DequeStats{};
+    *tstats_ = DequeStats{};
+  }
+
+ private:
+  CacheAligned<std::atomic<std::int64_t>> head_{0};
+  CacheAligned<std::atomic<std::int64_t>> tail_{0};
+  CacheAligned<DequeStats> vstats_;  // victim-written fields only
+  CacheAligned<DequeStats> tstats_;  // thief-written fields (gate-serialized)
+  std::mutex gate_;
+  typename P::Handle owner_handle_{};
+  std::vector<TaskBase*> buffer_;
+};
+
+}  // namespace lbmf::ws

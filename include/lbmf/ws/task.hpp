@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace lbmf::ws {
+
+class TaskGroupBase;
+
+/// A unit of work in the runtime. Tasks are intrusive and typically live on
+/// the *stack* of the spawning function (like Cilk-5 frames, and unlike
+/// heap-allocating task systems) so that spawn overhead is dominated by the
+/// deque protocol — the quantity the paper's experiment varies.
+class TaskBase {
+ public:
+  virtual ~TaskBase() = default;
+
+  /// Run the task and notify its group. Called exactly once, by the worker
+  /// that popped or stole the task.
+  void run();
+
+ protected:
+  explicit TaskBase(TaskGroupBase& group) : group_(&group) {}
+
+ private:
+  virtual void execute() = 0;
+
+  TaskGroupBase* group_;
+};
+
+/// Join counter shared by the tasks a frame spawns. The scheduler layer
+/// (Scheduler<P>::TaskGroup) wraps this with spawn/sync; this base holds
+/// just the policy-independent bookkeeping.
+class TaskGroupBase {
+ public:
+  TaskGroupBase() = default;
+  TaskGroupBase(const TaskGroupBase&) = delete;
+  TaskGroupBase& operator=(const TaskGroupBase&) = delete;
+
+  bool done() const noexcept {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  std::uint64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ // Manual task accounting — used by the scheduler for root injection and
+  // by TaskGroup::spawn. A task registered with add_pending() must be
+  // balanced by exactly one complete_one() (TaskBase::run does this).
+  void add_pending() noexcept {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void complete_one() noexcept {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<std::uint64_t> pending_{0};
+};
+
+inline void TaskBase::run() {
+  execute();
+  group_->complete_one();
+}
+
+/// Stack-allocatable task wrapping a callable.
+template <typename F>
+class ClosureTask final : public TaskBase {
+ public:
+  static_assert(std::is_invocable_v<F&>, "task callable must be invocable");
+
+  ClosureTask(TaskGroupBase& group, F f)
+      : TaskBase(group), f_(std::move(f)) {}
+
+ private:
+  void execute() override { f_(); }
+
+  F f_;
+};
+
+}  // namespace lbmf::ws

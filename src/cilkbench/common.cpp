@@ -1,0 +1,19 @@
+#include "lbmf/cilkbench/common.hpp"
+
+#include <cmath>
+
+namespace lbmf::cilkbench {
+
+std::uint64_t checksum_doubles(const double* p, std::size_t n) {
+  // Quantize to 1e-6 so the hash tolerates non-associative summation-order
+  // differences far below algorithmic error, while still catching wrong
+  // results.
+  std::uint64_t h = 0x51ed270b0badc0deULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double q = std::nearbyint(p[i] * 1e6);
+    h = hash_mix(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(q)));
+  }
+  return h;
+}
+
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,88 @@
+#include "lbmf/cilkbench/dense.hpp"
+
+#include <cmath>
+
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::cilkbench::detail {
+
+void matmul_base(Block c, Block a, Block b, std::size_t m, std::size_t n,
+                 std::size_t k, double sign) {
+  // i-k-j loop order: streams B rows, accumulates into C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t t = 0; t < k; ++t) {
+      const double av = sign * a.at(i, t);
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += av * b.at(t, j);
+      }
+    }
+  }
+}
+
+void lu_base(Block a, std::size_t n) {
+  // Right-looking LU without pivoting; requires a nonsingular leading
+  // principal structure (our inputs are diagonally dominant).
+  for (std::size_t kk = 0; kk < n; ++kk) {
+    const double pivot = a.at(kk, kk);
+    LBMF_CHECK_MSG(pivot != 0.0, "zero pivot in unpivoted LU");
+    for (std::size_t i = kk + 1; i < n; ++i) {
+      a.at(i, kk) /= pivot;
+      const double lik = a.at(i, kk);
+      for (std::size_t j = kk + 1; j < n; ++j) {
+        a.at(i, j) -= lik * a.at(kk, j);
+      }
+    }
+  }
+}
+
+void cholesky_base(Block a, std::size_t n) {
+  // Lower Cholesky, reading/writing the lower triangle only.
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a.at(j, j);
+    for (std::size_t t = 0; t < j; ++t) d -= a.at(j, t) * a.at(j, t);
+    LBMF_CHECK_MSG(d > 0.0, "cholesky input not positive definite");
+    const double ljj = std::sqrt(d);
+    a.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a.at(i, j);
+      for (std::size_t t = 0; t < j; ++t) s -= a.at(i, t) * a.at(j, t);
+      a.at(i, j) = s / ljj;
+    }
+  }
+}
+
+void lower_solve_row(Block x, Block l, std::size_t row, std::size_t n) {
+  // Solve y L^T = x_row for one row, i.e. forward substitution against L:
+  // y[j] = (x[j] - sum_{t<j} y[t] L[j][t]) / L[j][j].
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = x.at(row, j);
+    for (std::size_t t = 0; t < j; ++t) s -= x.at(row, t) * l.at(j, t);
+    x.at(row, j) = s / l.at(j, j);
+  }
+}
+
+void block_add(Block out, Block x, Block y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.at(i, j) = x.at(i, j) + y.at(i, j);
+    }
+  }
+}
+
+void block_sub(Block out, Block x, Block y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.at(i, j) = x.at(i, j) - y.at(i, j);
+    }
+  }
+}
+
+void block_copy(Block out, Block x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.at(i, j) = x.at(i, j);
+    }
+  }
+}
+
+}  // namespace lbmf::cilkbench::detail

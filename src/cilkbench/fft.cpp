@@ -1,0 +1,22 @@
+#include "lbmf/cilkbench/fft.hpp"
+
+#include <cmath>
+
+namespace lbmf::cilkbench {
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& in) {
+  const std::size_t n = in.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) *
+                         static_cast<double>(j) / static_cast<double>(n);
+      acc += in[j] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,25 @@
+#include "lbmf/cilkbench/recursive.hpp"
+
+namespace lbmf::cilkbench {
+
+std::vector<KnapsackItem> make_knapsack_items(int n, std::uint64_t seed) {
+  LBMF_CHECK(n >= 1 && n <= 64);
+  std::vector<KnapsackItem> items;
+  items.reserve(static_cast<std::size_t>(n));
+  Xoshiro256 rng(seed);
+  for (int i = 0; i < n; ++i) {
+    items.push_back(KnapsackItem{
+        static_cast<int>(rng.next_below(90) + 10),   // value in [10, 100)
+        static_cast<int>(rng.next_below(90) + 10)}); // weight in [10, 100)
+  }
+  // Sort by value density (descending) so the bound prunes effectively —
+  // the standard branch-and-bound preparation.
+  std::sort(items.begin(), items.end(),
+            [](const KnapsackItem& a, const KnapsackItem& b) {
+              return static_cast<long>(a.value) * b.weight >
+                     static_cast<long>(b.value) * a.weight;
+            });
+  return items;
+}
+
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,91 @@
+#include "lbmf/cilkbench/registry.hpp"
+
+#include "lbmf/cilkbench/dense.hpp"
+#include "lbmf/cilkbench/fft.hpp"
+#include "lbmf/cilkbench/heat.hpp"
+#include "lbmf/cilkbench/recursive.hpp"
+#include "lbmf/cilkbench/sort.hpp"
+
+namespace lbmf::cilkbench {
+
+template <FencePolicy P>
+std::vector<Benchmark> all_benchmarks(Scale scale) {
+  const bool t = scale == Scale::kTest;
+  std::vector<Benchmark> v;
+
+  // Span estimates: recursion depth times the number of sequential phases
+  // per level at the kBench inputs; see each benchmark's structure.
+  v.push_back({"cholesky", "Cholesky factorization (dense substitution)",
+               "4000/40000 (sparse)", t ? "64" : "512",
+               [t] { return cholesky<P>(t ? 64 : 512); },
+               /*span=*/120.0, /*eff=*/0.536});
+
+  v.push_back({"cilksort", "Parallel merge sort", "10^8",
+               t ? "50000" : "2000000",
+               [t] { return cilksort<P>(t ? 50'000 : 2'000'000); },
+               /*span=*/35.0, /*eff=*/0.92});
+
+  v.push_back({"fft", "Fast Fourier transform", "2^26",
+               t ? "2^12" : "2^18",
+               [t] { return fft<P>(t ? (1u << 12) : (1u << 18)); },
+               /*span=*/60.0, /*eff=*/0.92});
+
+  v.push_back({"fib", "Recursive Fibonacci", "42", t ? "20" : "27",
+               [t] { return fib<P>(t ? 20 : 27); },
+               /*span=*/27.0, /*eff=*/0.92});
+
+  v.push_back({"fibx", "Skewed recursion: X(n)=X(n-1)+X(n-gap)",
+               "280 (gap 40)", t ? "30 (gap 8)" : "60 (gap 10)",
+               [t] { return fibx<P>(t ? 30 : 60, t ? 8 : 10); },
+               /*span=*/60.0, /*eff=*/0.92});
+
+  // heat: 60 fully sequential timesteps, each a parallel_for of depth
+  // ~log2(rows/grain) — a long span relative to its spawn count, which is
+  // exactly the paper's explanation for heat losing under signals.
+  v.push_back({"heat", "Jacobi heat diffusion", "2048x500",
+               t ? "64x64x8" : "1024x1024x60",
+               [t] {
+                 return t ? heat<P>(64, 64, 8) : heat<P>(1024, 1024, 60);
+               },
+               /*span=*/420.0, /*eff=*/0.92});
+
+  v.push_back({"knapsack", "Recursive branch-and-bound knapsack", "32",
+               t ? "16" : "26", [t] { return knapsack<P>(t ? 16 : 26); },
+               /*span=*/26.0, /*eff=*/0.92});
+
+  // lu: the recursive factorization is a sequential chain of 2^levels base
+  // factorizations with solves/updates between — a long span.
+  v.push_back({"lu", "LU decomposition", "4096", t ? "64" : "512",
+               [t] { return lu<P>(t ? 64 : 512); },
+               /*span=*/160.0, /*eff=*/0.728});
+
+  v.push_back({"matmul", "Recursive matrix multiply", "2048",
+               t ? "64" : "512", [t] { return matmul<P>(t ? 64 : 512); },
+               /*span=*/30.0, /*eff=*/0.92});
+
+  v.push_back({"nqueens", "Count N-queens placements", "14",
+               t ? "7" : "11", [t] { return nqueens<P>(t ? 7 : 11); },
+               /*span=*/12.0, /*eff=*/0.92});
+
+  v.push_back({"rectmul", "Rectangular matrix multiply", "4096",
+               t ? "64x64x64" : "512x512x512",
+               [t] {
+                 return t ? rectmul<P>(64, 64, 64)
+                          : rectmul<P>(512, 512, 512);
+               },
+               /*span=*/45.0, /*eff=*/0.92});
+
+  v.push_back({"strassen", "Strassen matrix multiply", "4096",
+               t ? "128" : "512", [t] { return strassen<P>(t ? 128 : 512); },
+               /*span=*/20.0, /*eff=*/0.92});
+
+  return v;
+}
+
+template std::vector<Benchmark> all_benchmarks<SymmetricFence>(Scale);
+template std::vector<Benchmark> all_benchmarks<AsymmetricSignalFence>(Scale);
+template std::vector<Benchmark> all_benchmarks<AsymmetricMembarrierFence>(
+    Scale);
+template std::vector<Benchmark> all_benchmarks<UnsafeNoFence>(Scale);
+
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,46 @@
+#include "lbmf/core/membarrier.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "lbmf/core/fence.hpp"
+
+namespace lbmf::membarrier {
+namespace {
+
+// Values from <linux/membarrier.h>; defined locally so the build does not
+// depend on kernel headers newer than the libc shipped with the toolchain.
+constexpr int kCmdQuery = 0;
+constexpr int kCmdPrivateExpedited = 1 << 3;
+constexpr int kCmdRegisterPrivateExpedited = 1 << 4;
+
+long sys_membarrier(int cmd) noexcept {
+#ifdef SYS_membarrier
+  return ::syscall(SYS_membarrier, cmd, 0, 0);
+#else
+  (void)cmd;
+  return -1;
+#endif
+}
+
+bool probe_and_register() noexcept {
+  const long mask = sys_membarrier(kCmdQuery);
+  if (mask < 0) return false;
+  if ((mask & kCmdPrivateExpedited) == 0) return false;
+  return sys_membarrier(kCmdRegisterPrivateExpedited) == 0;
+}
+
+}  // namespace
+
+bool available() noexcept {
+  static const bool ok = probe_and_register();
+  return ok;
+}
+
+void barrier() noexcept {
+  if (available() && sys_membarrier(kCmdPrivateExpedited) == 0) return;
+  // Degraded mode: at least order this thread. Callers gate on available().
+  full_fence();
+}
+
+}  // namespace lbmf::membarrier

@@ -1,0 +1,118 @@
+#include "lbmf/core/serializer.hpp"
+
+#include <csignal>
+
+#include "lbmf/core/fence.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf {
+namespace {
+
+// The handler needs to find the slot of the thread it interrupted. A
+// thread_local pointer is set at registration time, before any signal can
+// target the thread, so the TLS block is guaranteed to be allocated by the
+// time the handler dereferences it.
+thread_local SerializerRegistry::Slot* tls_slot = nullptr;
+
+}  // namespace
+
+int SerializerRegistry::signal_number() noexcept { return SIGURG; }
+
+SerializerRegistry& SerializerRegistry::instance() {
+  static SerializerRegistry registry;
+  return registry;
+}
+
+SerializerRegistry::SerializerRegistry() {
+  struct sigaction sa = {};
+  sa.sa_handler = &SerializerRegistry::handler;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  LBMF_CHECK(sigaction(signal_number(), &sa, nullptr) == 0);
+}
+
+void SerializerRegistry::handler(int) {
+  // Entering the kernel to deliver this signal already drained the
+  // interrupted core's store buffer (the serialization the secondary wants);
+  // the fence below gives the same guarantee at the C++ abstract-machine
+  // level so the code is correct under any compiler.
+  full_fence();
+  Slot* slot = tls_slot;
+  if (slot == nullptr) return;  // late signal after unregistration
+  slot->signals_received.fetch_add(1, std::memory_order_relaxed);
+  // Acknowledge every request issued so far. Reading req_seq *after* the
+  // fence means the ack covers exactly the requests whose stores we have
+  // made visible.
+  const std::uint64_t req = slot->req_seq.load(std::memory_order_acquire);
+  std::uint64_t ack = slot->ack_seq.load(std::memory_order_relaxed);
+  while (ack < req &&
+         !slot->ack_seq.compare_exchange_weak(ack, req,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed)) {
+  }
+}
+
+SerializerRegistry::Handle SerializerRegistry::register_self() {
+  for (std::size_t i = 0; i < kMaxPrimaries; ++i) {
+    Slot& slot = *slots_[i];
+    bool expected = false;
+    if (!slot.live.load(std::memory_order_relaxed) &&
+        slot.live.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      slot.thread = pthread_self();
+      // Start a fresh request epoch so stale acks from a previous tenant of
+      // this slot cannot satisfy new requests.
+      const std::uint64_t epoch =
+          slot.req_seq.load(std::memory_order_relaxed);
+      slot.ack_seq.store(epoch, std::memory_order_relaxed);
+      tls_slot = &slot;
+      // Publish thread/tls before secondaries can observe the handle.
+      std::atomic_thread_fence(std::memory_order_release);
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_relaxed)) {
+      }
+      return Handle(&slot);
+    }
+  }
+  return Handle{};
+}
+
+void SerializerRegistry::unregister_self(Handle& h) {
+  if (!h.valid()) return;
+  Slot& slot = *h.slot_;
+  LBMF_CHECK_MSG(pthread_equal(slot.thread, pthread_self()),
+                 "unregister_self must run on the registered thread");
+  tls_slot = nullptr;
+  // A signal already in flight will find tls_slot == nullptr and return;
+  // entering the kernel for it still serialized us, and any secondary that
+  // raced with this unregistration holds a handle whose serialize() call the
+  // caller promised not to overlap with destruction (see header contract).
+  slot.live.store(false, std::memory_order_release);
+  h.slot_ = nullptr;
+}
+
+bool SerializerRegistry::serialize(const Handle& h) {
+  Slot* slot = h.slot_;
+  if (slot == nullptr || !slot->live.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (pthread_equal(slot->thread, pthread_self())) {
+    // Self-serialization degenerates to an ordinary fence.
+    full_fence();
+    return true;
+  }
+  const std::uint64_t my_req =
+      slot->req_seq.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (pthread_kill(slot->thread, signal_number()) != 0) {
+    return false;  // thread already gone; caller violated the contract
+  }
+  SpinWait waiter;
+  while (slot->ack_seq.load(std::memory_order_acquire) < my_req) {
+    waiter.wait();
+  }
+  return true;
+}
+
+}  // namespace lbmf

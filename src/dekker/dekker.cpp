@@ -1,0 +1,28 @@
+#include "lbmf/dekker/asymmetric_mutex.hpp"
+#include "lbmf/dekker/biased_lock.hpp"
+#include "lbmf/dekker/peterson.hpp"
+#include "lbmf/dekker/dekker.hpp"
+
+namespace lbmf {
+
+// Explicit instantiations for every fence policy the library ships: catches
+// template errors at library-build time and lets client TUs share the code.
+template class AsymmetricDekker<SymmetricFence>;
+template class AsymmetricDekker<AsymmetricSignalFence>;
+template class AsymmetricDekker<AsymmetricMembarrierFence>;
+template class AsymmetricDekker<UnsafeNoFence>;
+
+template class AsymmetricMutex<SymmetricFence>;
+template class AsymmetricMutex<AsymmetricSignalFence>;
+template class AsymmetricMutex<AsymmetricMembarrierFence>;
+template class AsymmetricMutex<UnsafeNoFence>;
+
+template class BiasedLock<SymmetricFence>;
+template class BiasedLock<AsymmetricSignalFence>;
+template class BiasedLock<AsymmetricMembarrierFence>;
+
+template class AsymmetricPeterson<SymmetricFence>;
+template class AsymmetricPeterson<AsymmetricSignalFence>;
+template class AsymmetricPeterson<AsymmetricMembarrierFence>;
+
+}  // namespace lbmf

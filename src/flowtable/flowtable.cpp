@@ -1,0 +1,21 @@
+#include "lbmf/flowtable/flow_table.hpp"
+#include "lbmf/flowtable/pipeline.hpp"
+
+namespace lbmf::flowtable {
+
+// Explicit instantiations over the shipped fence policies.
+template class FlowTable<SymmetricFence>;
+template class FlowTable<AsymmetricSignalFence>;
+template class FlowTable<AsymmetricMembarrierFence>;
+
+template PipelineResult run_pipeline<SymmetricFence>(double, std::size_t,
+                                                     std::uint64_t,
+                                                     std::uint32_t,
+                                                     std::uint64_t);
+template PipelineResult run_pipeline<AsymmetricSignalFence>(double,
+                                                            std::size_t,
+                                                            std::uint64_t,
+                                                            std::uint32_t,
+                                                            std::uint64_t);
+
+}  // namespace lbmf::flowtable

@@ -1,0 +1,102 @@
+#include "lbmf/model/cost_model.hpp"
+
+#include <algorithm>
+
+namespace lbmf::model {
+
+const char* to_string(FenceImpl f) noexcept {
+  switch (f) {
+    case FenceImpl::kMfence: return "mfence";
+    case FenceImpl::kSignal: return "signal";
+    case FenceImpl::kSignalAck: return "signal+ack";
+    case FenceImpl::kLest: return "le/st";
+    case FenceImpl::kNone: return "none";
+  }
+  return "?";
+}
+
+double victim_fence_cycles(FenceImpl f, const CostTable& c) noexcept {
+  switch (f) {
+    case FenceImpl::kMfence: return c.mfence_cycles;
+    case FenceImpl::kSignal:
+    case FenceImpl::kSignalAck: return c.compiler_fence_cycles;
+    case FenceImpl::kLest: return c.lest_victim_cycles;
+    case FenceImpl::kNone: return 0.0;
+  }
+  return 0.0;
+}
+
+double remote_serialize_cycles(FenceImpl f, const CostTable& c) noexcept {
+  switch (f) {
+    case FenceImpl::kMfence: return c.symmetric_steal_cycles;
+    case FenceImpl::kSignal: return c.signal_roundtrip_cycles;
+    case FenceImpl::kSignalAck: return c.ack_roundtrip_cycles;
+    case FenceImpl::kLest: return c.lest_roundtrip_cycles;
+    case FenceImpl::kNone: return 0.0;
+  }
+  return 0.0;
+}
+
+double primary_penalty_cycles(FenceImpl f, const CostTable& c) noexcept {
+  switch (f) {
+    case FenceImpl::kMfence: return 0.0;
+    case FenceImpl::kSignal: return c.signal_primary_penalty_cycles;
+    case FenceImpl::kSignalAck:
+      // The heuristic replaces most signals with polled acks, which cost
+      // the primary a cache miss at worst.
+      return 10.0;
+    case FenceImpl::kLest: return c.lest_primary_penalty_cycles;
+    case FenceImpl::kNone: return 0.0;
+  }
+  return 0.0;
+}
+
+double ws_predicted_cycles(const WsCounts& w, std::size_t workers,
+                           FenceImpl f, const CostTable& c) noexcept {
+  const double p = static_cast<double>(std::max<std::size_t>(workers, 1));
+  const double spawns = static_cast<double>(w.spawns);
+  const double attempts = static_cast<double>(w.steal_attempts);
+  // Work and victim-path fences are spread over the workers; every steal
+  // attempt costs its thief a remote round trip and its victim a penalty
+  // (also spread: thieves are distinct workers).
+  const double victim_side = w.work_cycles + spawns * victim_fence_cycles(f, c);
+  const double steal_side =
+      attempts * (remote_serialize_cycles(f, c) + primary_penalty_cycles(f, c));
+  return (victim_side + steal_side) / p;
+}
+
+double ws_relative_time(const WsCounts& w, std::size_t workers, FenceImpl f,
+                        const CostTable& c) noexcept {
+  const double base = ws_predicted_cycles(w, workers, FenceImpl::kMfence, c);
+  return base <= 0.0 ? 0.0 : ws_predicted_cycles(w, workers, f, c) / base;
+}
+
+double rw_read_throughput(const RwParams& p, FenceImpl f,
+                          const CostTable& c) noexcept {
+  const double threads = static_cast<double>(std::max<std::size_t>(p.threads, 1));
+  const double reads_per_period = p.read_write_ratio / threads;  // per thread
+  const double read_cost = p.read_work_cycles + victim_fence_cycles(f, c);
+  // Writer exclusion round: one serialize + wait per *other* registered
+  // reader, executed serially by the writer while readers are held out.
+  const double write_round =
+      p.write_work_cycles +
+      (threads - 1) *
+          (remote_serialize_cycles(f, c) + primary_penalty_cycles(f, c));
+  // One period per thread: N/P reads then one write. Writers are serialized
+  // by the gate, so the write rounds of all P threads stack up while reads
+  // only progress outside write rounds; cycle cost of a full system period:
+  const double period_cycles =
+      reads_per_period * read_cost + write_round * threads / threads +
+      // amortized gate queueing: P writers per period, one at a time.
+      (threads - 1) * write_round / threads;
+  const double reads_per_cycle = reads_per_period / period_cycles;
+  return reads_per_cycle * threads;  // system throughput
+}
+
+double rw_relative_throughput(const RwParams& p, FenceImpl f,
+                              const CostTable& c) noexcept {
+  const double base = rw_read_throughput(p, FenceImpl::kMfence, c);
+  return base <= 0.0 ? 0.0 : rw_read_throughput(p, f, c) / base;
+}
+
+}  // namespace lbmf::model

@@ -1,0 +1,13 @@
+#include "lbmf/rwlock/rwlock.hpp"
+
+namespace lbmf {
+
+// Explicit instantiations of the paper's three locks plus the membarrier
+// variant, so template errors surface at library-build time.
+template class BiasedRwLock<SymmetricFence, false>;
+template class BiasedRwLock<AsymmetricSignalFence, false>;
+template class BiasedRwLock<AsymmetricSignalFence, true>;
+template class BiasedRwLock<AsymmetricMembarrierFence, false>;
+template class BiasedRwLock<AsymmetricMembarrierFence, true>;
+
+}  // namespace lbmf

@@ -1,0 +1,307 @@
+#include "lbmf/sim/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::sim {
+namespace {
+
+/// Cursor over one source line, with small lexing helpers. Commas are
+/// treated as whitespace; brackets delimit location operands.
+class LineLexer {
+ public:
+  explicit LineLexer(std::string_view line) : s_(line) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (std::isspace(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  /// Next bare token (identifier / number / sign), without brackets.
+  std::string_view token() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && !std::isspace(static_cast<unsigned char>(
+                                   s_[pos_])) &&
+           s_[pos_] != ',' && s_[pos_] != '[' && s_[pos_] != ']' &&
+           s_[pos_] != ':') {
+      ++pos_;
+    }
+    return s_.substr(start, pos_ - start);
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool parse_int(std::string_view tok, long long* out) {
+  if (tok.empty()) return false;
+  const auto* first = tok.data();
+  const auto* last = tok.data() + tok.size();
+  const auto res = std::from_chars(first, last, *out);
+  return res.ec == std::errc{} && res.ptr == last;
+}
+
+struct Assembler {
+  AssembleResult result;
+  ProgramBuilder* builder = nullptr;
+  std::vector<ProgramBuilder> builders;
+  std::size_t line_no = 0;
+  Addr next_addr = 0;
+  std::vector<std::pair<Addr, Word>> initials;
+
+  bool fail(std::string message) {
+    result.error = AssembleError{line_no, std::move(message)};
+    return false;
+  }
+
+  bool parse_reg(LineLexer& lex, std::uint8_t* out) {
+    const std::string_view t = lex.token();
+    if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) {
+      return fail("expected register r0..r7, got '" + std::string(t) + "'");
+    }
+    long long idx = -1;
+    if (!parse_int(t.substr(1), &idx) || idx < 0 || idx > 7) {
+      return fail("register out of range: '" + std::string(t) + "'");
+    }
+    *out = static_cast<std::uint8_t>(idx);
+    return true;
+  }
+
+  bool parse_addr(LineLexer& lex, Addr* out) {
+    if (!lex.consume('[')) return fail("expected '[' before location");
+    const std::string_view t = lex.token();
+    if (t.empty()) return fail("empty location");
+    long long numeric = -1;
+    if (parse_int(t, &numeric)) {
+      if (numeric < 0) return fail("negative address");
+      *out = static_cast<Addr>(numeric);
+    } else {
+      auto [it, inserted] =
+          result.symbols.try_emplace(std::string(t), next_addr);
+      if (inserted) ++next_addr;
+      *out = it->second;
+    }
+    if (!lex.consume(']')) return fail("expected ']' after location");
+    return true;
+  }
+
+  bool parse_imm(LineLexer& lex, Word* out) {
+    const std::string_view t = lex.token();
+    long long v = 0;
+    if (!parse_int(t, &v)) {
+      return fail("expected integer, got '" + std::string(t) + "'");
+    }
+    *out = static_cast<Word>(v);
+    return true;
+  }
+
+  bool parse_label(LineLexer& lex, std::string* out) {
+    const std::string_view t = lex.token();
+    if (t.empty()) return fail("expected label name");
+    *out = std::string(t);
+    return true;
+  }
+
+  bool require_end(LineLexer& lex) {
+    if (!lex.at_end()) return fail("trailing tokens on line");
+    return true;
+  }
+
+  bool finish_current() {
+    if (builder == nullptr) return true;
+    Program p;
+    if (const auto err = builders.back().try_build(&p)) {
+      return fail("cpu" + std::to_string(result.programs.size()) + ": " +
+                  *err);
+    }
+    result.programs.push_back(std::move(p));
+    builder = nullptr;
+    return true;
+  }
+
+  bool handle_line(std::string_view raw) {
+    // Strip comments.
+    std::string_view line = raw;
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    if (const auto slashes = line.find("//");
+        slashes != std::string_view::npos) {
+      line = line.substr(0, slashes);
+    }
+    LineLexer lex(line);
+    if (lex.at_end()) return true;
+
+    const std::string_view head = lex.token();
+
+    // `init [loc], value` — initial memory contents; only before the first
+    // cpu section (it describes the shared initial state).
+    if (head == "init") {
+      if (builder != nullptr || !result.programs.empty()) {
+        return fail("'init' must precede the first cpu section");
+      }
+      Addr a = 0;
+      Word v = 0;
+      if (!parse_addr(lex, &a) || !parse_imm(lex, &v)) return false;
+      initials.emplace_back(a, v);
+      return require_end(lex);
+    }
+
+    if (head == "cpu") {
+      long long n = -1;
+      const std::string_view num = lex.token();
+      if (!parse_int(num, &n) ||
+          n != static_cast<long long>(builders.size() +
+                                      result.programs.size())) {
+        return fail("cpu sections must be 'cpu 0:', 'cpu 1:', ... in order");
+      }
+      if (!lex.consume(':')) return fail("expected ':' after cpu N");
+      if (!finish_current()) return false;
+      builders.emplace_back("cpu" + std::to_string(n));
+      builder = &builders.back();
+      return require_end(lex);
+    }
+
+    if (builder == nullptr) {
+      return fail("instruction outside a 'cpu N:' section");
+    }
+
+    // Label definition: `name:` alone.
+    {
+      LineLexer probe(line);
+      const std::string_view t = probe.token();
+      if (!t.empty() && probe.consume(':') && probe.at_end() && t != "cpu") {
+        builder->label(std::string(t));
+        return true;
+      }
+    }
+
+    std::uint8_t reg = 0;
+    Addr a = 0;
+    Word imm = 0;
+    std::string label;
+
+    if (head == "mov") {
+      if (!parse_reg(lex, &reg) || !parse_imm(lex, &imm)) return false;
+      builder->mov(reg, imm);
+    } else if (head == "add") {
+      if (!parse_reg(lex, &reg) || !parse_imm(lex, &imm)) return false;
+      builder->add(reg, imm);
+    } else if (head == "load") {
+      if (!parse_reg(lex, &reg) || !parse_addr(lex, &a)) return false;
+      builder->load(reg, a);
+    } else if (head == "le") {
+      if (!parse_reg(lex, &reg) || !parse_addr(lex, &a)) return false;
+      builder->load_exclusive(reg, a);
+    } else if (head == "store") {
+      if (!parse_addr(lex, &a)) return false;
+      // Either an immediate or a register source.
+      LineLexer save = lex;
+      const std::string_view t = save.token();
+      long long v = 0;
+      if (!t.empty() && (t[0] == 'r' || t[0] == 'R') &&
+          parse_int(t.substr(1), &v) && v >= 0 && v <= 7) {
+        lex = save;
+        builder->store_reg(a, static_cast<std::uint8_t>(v));
+      } else if (!parse_imm(lex, &imm)) {
+        return false;
+      } else {
+        builder->store(a, imm);
+      }
+    } else if (head == "lmfence") {
+      if (!parse_addr(lex, &a) || !parse_imm(lex, &imm)) return false;
+      builder->lmfence(a, imm);
+    } else if (head == "mfence") {
+      builder->mfence();
+    } else if (head == "delay") {
+      if (!parse_imm(lex, &imm)) return false;
+      if (imm < 0) return fail("delay must be non-negative");
+      builder->delay(imm);
+    } else if (head == "beq") {
+      if (!parse_reg(lex, &reg) || !parse_imm(lex, &imm) ||
+          !parse_label(lex, &label)) {
+        return false;
+      }
+      builder->branch_eq(reg, imm, label);
+    } else if (head == "bne") {
+      if (!parse_reg(lex, &reg) || !parse_imm(lex, &imm) ||
+          !parse_label(lex, &label)) {
+        return false;
+      }
+      builder->branch_ne(reg, imm, label);
+    } else if (head == "jmp") {
+      if (!parse_label(lex, &label)) return false;
+      builder->jump(label);
+    } else if (head == "cs_enter") {
+      builder->cs_enter();
+    } else if (head == "cs_exit") {
+      builder->cs_exit();
+    } else if (head == "halt") {
+      builder->halt();
+    } else {
+      return fail("unknown instruction '" + std::string(head) + "'");
+    }
+    return require_end(lex);
+  }
+};
+
+}  // namespace
+
+AssembleResult assemble(std::string_view source) {
+  Assembler as;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    ++as.line_no;
+    const std::size_t nl = source.find('\n', start);
+    const std::string_view line =
+        nl == std::string_view::npos
+            ? source.substr(start)
+            : source.substr(start, nl - start);
+    if (!as.handle_line(line)) return std::move(as.result);
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  if (as.builders.empty() && as.result.programs.empty()) {
+    as.fail("no 'cpu N:' sections found");
+    return std::move(as.result);
+  }
+  as.finish_current();
+  as.result.initial_memory = std::move(as.initials);
+  return std::move(as.result);
+}
+
+Machine assemble_machine(std::string_view source, SimConfig cfg) {
+  AssembleResult r = assemble(source);
+  LBMF_CHECK_MSG(r.ok(), "litmus assembly failed");
+  cfg.num_cpus = r.programs.size();
+  Machine m(cfg);
+  for (const auto& [a, v] : r.initial_memory) m.set_memory(a, v);
+  for (std::size_t i = 0; i < r.programs.size(); ++i) {
+    m.load_program(i, std::move(r.programs[i]));
+  }
+  return m;
+}
+
+}  // namespace lbmf::sim

@@ -1,0 +1,105 @@
+#include "lbmf/sim/explorer.hpp"
+
+#include <utility>
+
+#include "lbmf/sim/trace.hpp"
+
+namespace lbmf::sim {
+
+Explorer::Explorer(Machine initial, Options opts)
+    : initial_(std::move(initial)), opts_(std::move(opts)) {}
+
+ExploreResult Explorer::run() {
+  result_ = ExploreResult{};
+  visited_.clear();
+  trace_.clear();
+  done_ = false;
+  dfs(initial_);
+  return result_;
+}
+
+void Explorer::dfs(const Machine& m) {
+  if (done_) return;
+  if (result_.states_explored >= opts_.max_states) {
+    result_.hit_limit = true;
+    done_ = true;
+    return;
+  }
+  if (!visited_.insert(m.canonical_state()).second) return;
+  ++result_.states_explored;
+
+  bool any_transition = false;
+  for (std::size_t cpu = 0; cpu < m.num_cpus(); ++cpu) {
+    for (Action a : {Action::Execute, Action::Drain}) {
+      if (!m.action_enabled(cpu, a)) continue;
+      any_transition = true;
+      Machine next = m;  // value-semantic snapshot
+      const Choice choice{static_cast<std::uint8_t>(cpu), a};
+      next.step(cpu, a);
+      ++result_.transitions;
+      trace_.push_back(choice);
+
+      std::optional<std::string> violation;
+      if (opts_.check_coherence) violation = next.check_coherence();
+      if (!violation && opts_.check_mutual_exclusion &&
+          next.cpus_in_cs() > 1) {
+        violation = "mutual exclusion violated: " +
+                    std::to_string(next.cpus_in_cs()) +
+                    " CPUs in the critical section";
+      }
+      if (!violation && opts_.check) violation = opts_.check(next);
+
+      if (violation) {
+        if (!result_.violation) {
+          result_.violation = violation;
+          result_.violation_trace = trace_;
+        }
+        if (opts_.stop_at_violation) {
+          done_ = true;
+          trace_.pop_back();
+          return;
+        }
+      } else {
+        dfs(next);
+      }
+      trace_.pop_back();
+      if (done_) return;
+    }
+  }
+
+  if (!any_transition) {
+    ++result_.terminal_states;
+    if (opts_.observe) result_.outcomes.insert(opts_.observe(m));
+  }
+}
+
+std::string annotate_schedule(Machine initial,
+                              const std::vector<Choice>& schedule) {
+  TraceRecorder rec;
+  initial.set_trace(&rec);
+  std::string out;
+  for (const Choice& c : schedule) {
+    if (!initial.action_enabled(c.cpu, c.action)) {
+      out += "<<schedule step not enabled: " + to_string(c) + ">>\n";
+      break;
+    }
+    initial.step(c.cpu, c.action);
+  }
+  out += rec.to_string();
+  out += "final: " + std::to_string(initial.cpus_in_cs()) +
+         " CPU(s) in critical section";
+  if (const auto v = initial.check_coherence()) {
+    out += "; coherence: " + *v;
+  }
+  out += '\n';
+  return out;
+}
+
+ExploreResult explore_all(Machine machine, std::uint64_t max_states) {
+  Explorer::Options opts;
+  opts.max_states = max_states;
+  Explorer ex(std::move(machine), std::move(opts));
+  return ex.run();
+}
+
+}  // namespace lbmf::sim

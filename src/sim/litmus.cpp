@@ -1,0 +1,233 @@
+#include "lbmf/sim/litmus.hpp"
+
+#include <string>
+
+namespace lbmf::sim {
+namespace {
+
+/// Emit "[my_flag] = 1" with the chosen fence discipline after it.
+void emit_announce(ProgramBuilder& b, Addr my_flag, FenceKind fence) {
+  switch (fence) {
+    case FenceKind::kNone:
+      b.store(my_flag, 1);
+      break;
+    case FenceKind::kMfence:
+      b.store(my_flag, 1);
+      b.mfence();
+      break;
+    case FenceKind::kLmfence:
+      b.lmfence(my_flag, 1);
+      break;
+  }
+}
+
+}  // namespace
+
+const char* to_string(FenceKind k) noexcept {
+  switch (k) {
+    case FenceKind::kNone: return "none";
+    case FenceKind::kMfence: return "mfence";
+    case FenceKind::kLmfence: return "l-mfence";
+  }
+  return "?";
+}
+
+Program dekker_side(Addr my_flag, Addr peer_flag, FenceKind fence,
+                    Word cs_work) {
+  ProgramBuilder b(std::string("dekker-") + to_string(fence));
+  emit_announce(b, my_flag, fence);
+  b.load(reg::kObs0, peer_flag);
+  b.branch_ne(reg::kObs0, 0, "skip");
+  b.cs_enter();
+  if (cs_work > 0) b.delay(cs_work);
+  b.cs_exit();
+  b.label("skip");
+  b.store(my_flag, 0);
+  b.halt();
+  return b.build();
+}
+
+Machine make_dekker_machine(FenceKind primary, FenceKind secondary,
+                            SimConfig cfg) {
+  cfg.num_cpus = 2;
+  Machine m(cfg);
+  m.load_program(0, dekker_side(addr::kFlag0, addr::kFlag1, primary));
+  m.load_program(1, dekker_side(addr::kFlag1, addr::kFlag0, secondary));
+  return m;
+}
+
+Machine make_store_buffer_litmus(FenceKind f0, FenceKind f1, SimConfig cfg) {
+  cfg.num_cpus = 2;
+  Machine m(cfg);
+  auto side = [](Addr mine, Addr theirs, FenceKind f) {
+    ProgramBuilder b(std::string("sb-") + to_string(f));
+    emit_announce(b, mine, f);
+    b.load(reg::kObs0, theirs);
+    b.halt();
+    return b.build();
+  };
+  m.load_program(0, side(addr::kFlag0, addr::kFlag1, f0));
+  m.load_program(1, side(addr::kFlag1, addr::kFlag0, f1));
+  return m;
+}
+
+Machine make_message_passing_litmus(SimConfig cfg) {
+  cfg.num_cpus = 2;
+  Machine m(cfg);
+  ProgramBuilder w("mp-writer");
+  w.store(addr::kData, 42);
+  w.store(addr::kFlag0, 1);
+  w.halt();
+  ProgramBuilder r("mp-reader");
+  r.load(reg::kObs0, addr::kFlag0);
+  r.load(reg::kObs1, addr::kData);
+  r.halt();
+  m.load_program(0, w.build());
+  m.load_program(1, r.build());
+  return m;
+}
+
+Machine make_load_buffering_litmus(SimConfig cfg) {
+  cfg.num_cpus = 2;
+  Machine m(cfg);
+  auto side = [](Addr mine, Addr theirs) {
+    ProgramBuilder b("lb");
+    b.load(reg::kObs0, theirs);
+    b.store(mine, 1);
+    b.halt();
+    return b.build();
+  };
+  m.load_program(0, side(addr::kFlag0, addr::kFlag1));
+  m.load_program(1, side(addr::kFlag1, addr::kFlag0));
+  return m;
+}
+
+Machine make_iriw_litmus(SimConfig cfg) {
+  cfg.num_cpus = 4;
+  Machine m(cfg);
+  ProgramBuilder w0("w-x");
+  w0.store(addr::kFlag0, 1).halt();
+  ProgramBuilder w1("w-y");
+  w1.store(addr::kFlag1, 1).halt();
+  auto reader = [](Addr first, Addr second) {
+    ProgramBuilder b("iriw-r");
+    b.load(reg::kObs0, first);
+    b.load(reg::kObs1, second);
+    b.halt();
+    return b.build();
+  };
+  m.load_program(0, w0.build());
+  m.load_program(1, w1.build());
+  m.load_program(2, reader(addr::kFlag0, addr::kFlag1));
+  m.load_program(3, reader(addr::kFlag1, addr::kFlag0));
+  return m;
+}
+
+namespace {
+
+/// One side of Peterson's entry protocol. `me` is this side's flag, `peer`
+/// the other's; `turn_value` is the value this side writes to the turn
+/// word (the *other* side's index).
+Program peterson_side(Addr me, Addr peer, Word turn_value, FenceKind fence) {
+  ProgramBuilder b(std::string("peterson-") + to_string(fence));
+  b.store(me, 1);
+  switch (fence) {
+    case FenceKind::kNone:
+      b.store(addr::kTurn, turn_value);
+      break;
+    case FenceKind::kMfence:
+      b.store(addr::kTurn, turn_value);
+      b.mfence();
+      break;
+    case FenceKind::kLmfence:
+      // Guard only the LAST announce store: FIFO drain completes `me` too.
+      b.lmfence(addr::kTurn, turn_value);
+      break;
+  }
+  b.load(reg::kObs0, peer);
+  b.branch_eq(reg::kObs0, 0, "enter");
+  b.load(reg::kObs1, addr::kTurn);
+  b.branch_eq(reg::kObs1, turn_value, "skip");
+  b.label("enter");
+  b.cs_enter();
+  b.cs_exit();
+  b.label("skip");
+  b.store(me, 0);
+  b.halt();
+  return b.build();
+}
+
+}  // namespace
+
+Machine make_peterson_machine(FenceKind primary, FenceKind secondary,
+                              SimConfig cfg) {
+  cfg.num_cpus = 2;
+  Machine m(cfg);
+  // turn value written by side i is the peer's id; a side waits when the
+  // peer's flag is up AND the turn still points at the peer.
+  m.load_program(0, peterson_side(addr::kFlag0, addr::kFlag1, 1, primary));
+  m.load_program(1, peterson_side(addr::kFlag1, addr::kFlag0, 2, secondary));
+  return m;
+}
+
+Machine make_solo_dekker_machine(FenceKind fence, int iters, Word cs_work,
+                                 SimConfig cfg) {
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  ProgramBuilder b(std::string("solo-dekker-") + to_string(fence));
+  b.mov(2, iters);
+  b.label("loop");
+  emit_announce(b, addr::kFlag0, fence);
+  b.load(reg::kObs0, addr::kFlag1);
+  b.branch_ne(reg::kObs0, 0, "skip");
+  b.cs_enter();
+  if (cs_work > 0) b.delay(cs_work);
+  b.cs_exit();
+  b.label("skip");
+  b.store(addr::kFlag0, 0);
+  b.add(2, -1);
+  b.branch_ne(2, 0, "loop");
+  b.halt();
+  m.load_program(0, b.build());
+  return m;
+}
+
+Machine make_roundtrip_machine(bool use_interrupt, SimConfig cfg) {
+  cfg.num_cpus = 2;
+  Machine m(cfg);
+
+  // Primary: arm the link on kFlag0, keep the store parked in the buffer by
+  // spinning on register-only work, then quiesce.
+  ProgramBuilder p("roundtrip-primary");
+  if (use_interrupt) {
+    // Software-prototype shape: no LE/ST; plain store sits in the buffer
+    // until the interrupt (signal) drains it.
+    p.store(addr::kFlag0, 1);
+  } else {
+    p.lmfence(addr::kFlag0, 1);
+  }
+  p.mov(2, 1000);
+  p.label("spin");
+  p.add(2, -1);
+  p.branch_ne(2, 0, "spin");
+  p.halt();
+  m.load_program(0, p.build());
+
+  // Secondary: a single remote read of the guarded location.
+  ProgramBuilder s("roundtrip-secondary");
+  s.load(reg::kObs0, addr::kFlag0);
+  s.halt();
+  m.load_program(1, s.build());
+  return m;
+}
+
+std::string observe_obs0(const Machine& m) {
+  std::string out;
+  for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+    if (i > 0) out += ',';
+    out += "r0=" + std::to_string(m.cpu(i).regs[reg::kObs0]);
+  }
+  return out;
+}
+
+}  // namespace lbmf::sim

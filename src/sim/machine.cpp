@@ -1,0 +1,685 @@
+#include "lbmf/sim/machine.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "lbmf/sim/trace.hpp"
+
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/rng.hpp"
+
+namespace lbmf::sim {
+
+const char* to_string(Mesi s) noexcept {
+  switch (s) {
+    case Mesi::Invalid: return "I";
+    case Mesi::Shared: return "S";
+    case Mesi::Exclusive: return "E";
+    case Mesi::Modified: return "M";
+    case Mesi::Owned: return "O";
+  }
+  return "?";
+}
+
+const char* to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kMsi: return "MSI";
+    case Protocol::kMesi: return "MESI";
+    case Protocol::kMoesi: return "MOESI";
+  }
+  return "?";
+}
+
+namespace {
+
+/// States in which no other cache may hold a valid copy — the states the
+/// l-mfence link requires (Def. 3) and in which a store may complete.
+bool is_exclusive_state(Mesi s) noexcept {
+  return s == Mesi::Exclusive || s == Mesi::Modified;
+}
+
+/// States holding dirty data (memory may be stale).
+bool is_dirty_state(Mesi s) noexcept {
+  return s == Mesi::Modified || s == Mesi::Owned;
+}
+
+}  // namespace
+
+const char* to_string(Action a) noexcept {
+  switch (a) {
+    case Action::Execute: return "exec";
+    case Action::Drain: return "drain";
+    case Action::Interrupt: return "intr";
+  }
+  return "?";
+}
+
+std::string to_string(const Choice& c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cpu%u:%s", unsigned{c.cpu},
+                to_string(c.action));
+  return buf;
+}
+
+Machine::Machine(SimConfig cfg) : cfg_(cfg) {
+  LBMF_CHECK(cfg_.num_cpus >= 1 && cfg_.num_cpus <= 64);
+  LBMF_CHECK(cfg_.sb_capacity >= 1);
+  LBMF_CHECK(cfg_.cache_capacity >= 2);
+  LBMF_CHECK(cfg_.line_words >= 1);
+  cpus_.reserve(cfg_.num_cpus);
+  for (std::size_t i = 0; i < cfg_.num_cpus; ++i) cpus_.emplace_back(cfg_);
+}
+
+void Machine::load_program(std::size_t cpu, Program p) {
+  LBMF_CHECK(cpu < cpus_.size());
+  cpus_[cpu].program = std::make_shared<const Program>(std::move(p));
+}
+
+Word Machine::memory(Addr a) const {
+  auto it = mem_.find(a);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+Addr Machine::line_base(Addr a) const noexcept {
+  return a - (a % static_cast<Addr>(cfg_.line_words));
+}
+
+std::size_t Machine::line_off(Addr a) const noexcept {
+  return a % cfg_.line_words;
+}
+
+std::vector<Word> Machine::memory_line(Addr base) const {
+  std::vector<Word> out(cfg_.line_words);
+  for (std::size_t i = 0; i < cfg_.line_words; ++i) {
+    out[i] = memory(base + static_cast<Addr>(i));
+  }
+  return out;
+}
+
+void Machine::writeback_line(const CacheLine& l) {
+  for (std::size_t i = 0; i < l.data.size(); ++i) {
+    mem_[l.base + static_cast<Addr>(i)] = l.data[i];
+  }
+}
+
+bool Machine::action_enabled(std::size_t cpu, Action a) const {
+  if (cpu >= cpus_.size()) return false;
+  const CpuState& c = cpus_[cpu];
+  switch (a) {
+    case Action::Execute:
+      return !c.halted && c.program != nullptr;
+    case Action::Drain:
+      return !c.sb.empty();
+    case Action::Interrupt:
+      return true;  // interrupts can always arrive
+  }
+  return false;
+}
+
+void Machine::step(std::size_t cpu, Action a) {
+  LBMF_CHECK(action_enabled(cpu, a));
+  CpuState& c = cpus_[cpu];
+  switch (a) {
+    case Action::Execute:
+      exec_instr(c);
+      break;
+    case Action::Drain:
+      c.counters.cycles += complete_oldest(c);
+      break;
+    case Action::Interrupt:
+      trace(c, static_cast<int>(EventKind::kInterrupt));
+      c.counters.cycles += cfg_.cost_interrupt + flush_sb(c);
+      break;
+  }
+}
+
+bool Machine::finished() const {
+  for (const auto& c : cpus_) {
+    if (!c.halted || !c.sb.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Machine::run_round_robin(std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!finished()) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < cpus_.size(); ++i) {
+      if (action_enabled(i, Action::Execute)) {
+        step(i, Action::Execute);
+        ++steps;
+        progressed = true;
+      } else if (action_enabled(i, Action::Drain)) {
+        step(i, Action::Drain);
+        ++steps;
+        progressed = true;
+      }
+      LBMF_CHECK_MSG(steps < max_steps, "simulated program did not terminate");
+    }
+    LBMF_CHECK_MSG(progressed, "simulated machine is wedged");
+  }
+  return steps;
+}
+
+std::uint64_t Machine::run_random(std::uint64_t seed,
+                                  std::uint64_t max_steps) {
+  Xoshiro256 rng(seed);
+  std::uint64_t steps = 0;
+  while (!finished()) {
+    // Collect enabled (cpu, action) pairs; pick one uniformly.
+    Choice enabled[128];
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < cpus_.size(); ++i) {
+      if (action_enabled(i, Action::Execute)) {
+        enabled[n++] = {static_cast<std::uint8_t>(i), Action::Execute};
+      }
+      if (action_enabled(i, Action::Drain)) {
+        enabled[n++] = {static_cast<std::uint8_t>(i), Action::Drain};
+      }
+    }
+    LBMF_CHECK_MSG(n > 0, "simulated machine is wedged");
+    const Choice pick = enabled[rng.next_below(n)];
+    step(pick.cpu, pick.action);
+    ++steps;
+    LBMF_CHECK_MSG(steps < max_steps, "simulated program did not terminate");
+  }
+  return steps;
+}
+
+std::size_t Machine::cpus_in_cs() const {
+  std::size_t n = 0;
+  for (const auto& c : cpus_) n += c.in_cs ? 1 : 0;
+  return n;
+}
+
+Mesi Machine::line_state(std::size_t i, Addr a) const {
+  const CacheLine* l = cpus_[i].cache.peek(line_base(a));
+  return l == nullptr ? Mesi::Invalid : l->state;
+}
+
+std::uint64_t Machine::total_cycles() const {
+  std::uint64_t t = 0;
+  for (const auto& c : cpus_) t += c.counters.cycles;
+  return t;
+}
+
+void Machine::trace(const CpuState& c, int kind_int, Addr a, Word v,
+                    std::string detail) const {
+  if (trace_ == nullptr) return;
+  const auto cpu_index =
+      static_cast<std::uint8_t>(&c - cpus_.data());
+  trace_->record(cpu_index, static_cast<EventKind>(kind_int), a, v,
+                 std::move(detail));
+}
+
+void Machine::deliver_interrupt(std::size_t cpu) {
+  LBMF_CHECK(cpu < cpus_.size());
+  step(cpu, Action::Interrupt);
+}
+
+// ---------------------------------------------------------------------------
+// Instruction execution
+// ---------------------------------------------------------------------------
+
+void Machine::exec_instr(CpuState& c) {
+  LBMF_CHECK(c.program != nullptr && !c.halted);
+  LBMF_CHECK(c.pc >= 0 &&
+             static_cast<std::size_t>(c.pc) < c.program->code.size());
+  const Instr& i = c.program->code[c.pc];
+  ++c.counters.instructions;
+  if (trace_ != nullptr) {
+    trace(c, static_cast<int>(EventKind::kExec), i.addr, i.imm,
+          sim::to_string(i));
+  }
+  std::int32_t next_pc = c.pc + 1;
+
+  switch (i.op) {
+    case Op::kLoad: {
+      ++c.counters.loads;
+      if (auto fwd = c.sb.forwarded_value(i.addr)) {
+        // Store-buffer forwarding: the CPU always sees its own stores.
+        c.regs[i.reg] = *fwd;
+        c.counters.cycles += cfg_.cost_load_hit;
+      } else if (CacheLine* l = c.cache.touch(line_base(i.addr))) {
+        c.regs[i.reg] = l->at(line_off(i.addr));
+        c.counters.cycles += cfg_.cost_load_hit;
+      } else {
+        Word v = 0;
+        c.counters.cycles += bus_read(c, i.addr, v);
+        c.regs[i.reg] = v;
+      }
+      break;
+    }
+
+    case Op::kStore:
+    case Op::kStoreReg: {
+      ++c.counters.stores;
+      const Word v = (i.op == Op::kStore) ? i.imm : c.regs[i.reg];
+      if (c.sb.full()) {
+        // Structural stall: the oldest entry must complete first.
+        c.counters.cycles += complete_oldest(c);
+      }
+      StoreEntry e;
+      e.addr = i.addr;
+      e.value = v;
+      // This store is "the store associated with the l-mfence" iff the link
+      // is armed for its address at commit time (Sec. 3).
+      e.guarded = c.le_bit && c.le_addr == i.addr;
+      c.sb.push(e);
+      c.counters.cycles += cfg_.cost_store_commit;
+      break;
+    }
+
+    case Op::kLoadExclusive: {
+      ++c.counters.loads;
+      // LE is "very similar to a regular load, except the requirement for
+      // Exclusive state" (Sec. 3).
+      const CacheLine* l = c.cache.peek(line_base(i.addr));
+      if (l != nullptr && is_exclusive_state(l->state)) {
+        c.regs[i.reg] =
+            c.cache.touch(line_base(i.addr))->at(line_off(i.addr));
+        c.counters.cycles += cfg_.cost_load_hit;
+      } else {
+        Word v = 0;
+        c.counters.cycles += bus_read_exclusive(c, i.addr, v);
+        c.regs[i.reg] = v;
+      }
+      break;
+    }
+
+    case Op::kMfence: {
+      ++c.counters.mfences;
+      c.counters.cycles += cfg_.cost_mfence_base + flush_sb(c);
+      break;
+    }
+
+    case Op::kSetLink: {
+      if (!cfg_.le_st_enabled) break;  // ablated hardware: link never arms
+      if (c.le_bit && c.le_addr != i.addr) {
+        // Second l-mfence with a different guarded location while the first
+        // link is live: clear and flush before proceeding (Sec. 3).
+        ++c.counters.link_breaks_second;
+        trace(c, static_cast<int>(EventKind::kGuardSecond), c.le_addr);
+        clear_link(c);
+        c.counters.cycles += flush_sb(c);
+      }
+      c.le_bit = true;
+      c.le_addr = i.addr;
+      ++c.counters.links_armed;
+      trace(c, static_cast<int>(EventKind::kLinkArm), i.addr);
+      c.counters.cycles += cfg_.cost_reg_op;
+      break;
+    }
+
+    case Op::kBranchLinkSet:
+      if (c.le_bit) next_pc = i.target;
+      c.counters.cycles += cfg_.cost_reg_op;
+      break;
+
+    case Op::kMovImm:
+      c.regs[i.reg] = i.imm;
+      c.counters.cycles += cfg_.cost_reg_op;
+      break;
+
+    case Op::kAddImm:
+      c.regs[i.reg] += i.imm;
+      c.counters.cycles += cfg_.cost_reg_op;
+      break;
+
+    case Op::kBranchEq:
+      if (c.regs[i.reg] == i.imm) next_pc = i.target;
+      c.counters.cycles += cfg_.cost_reg_op;
+      break;
+
+    case Op::kBranchNe:
+      if (c.regs[i.reg] != i.imm) next_pc = i.target;
+      c.counters.cycles += cfg_.cost_reg_op;
+      break;
+
+    case Op::kJump:
+      next_pc = i.target;
+      c.counters.cycles += cfg_.cost_reg_op;
+      break;
+
+    case Op::kCsEnter:
+      LBMF_CHECK_MSG(!c.in_cs, "nested critical section in litmus program");
+      c.in_cs = true;
+      break;
+
+    case Op::kCsExit:
+      LBMF_CHECK_MSG(c.in_cs, "CS_EXIT without CS_ENTER");
+      c.in_cs = false;
+      break;
+
+    case Op::kDelay:
+      c.counters.cycles += static_cast<std::uint64_t>(i.imm);
+      break;
+
+    case Op::kHalt:
+      c.halted = true;
+      next_pc = c.pc;
+      break;
+  }
+
+  c.pc = next_pc;
+}
+
+// ---------------------------------------------------------------------------
+// Memory system
+// ---------------------------------------------------------------------------
+
+void Machine::clear_link(CpuState& c) {
+  c.le_bit = false;
+  c.le_addr = kInvalidAddr;
+}
+
+std::uint64_t Machine::notify_guard_remote(CpuState& owner, Addr base) {
+  // The cache controller watches the *line* holding the guarded location:
+  // with multi-word lines a remote access to a neighbouring word (false
+  // sharing) fires the guard too.
+  if (!owner.le_bit || line_base(owner.le_addr) != base) return 0;
+  if (owner.flushing) return 0;  // flush already in progress up-stack
+  // Sec. 3: the processor clears LEBit/LEAddr, flushes the store buffer and
+  // only then replies, so the requester both waits out the flush and is
+  // guaranteed to see the completed guarded store.
+  ++owner.counters.link_breaks_remote;
+  trace(owner, static_cast<int>(EventKind::kGuardRemote), base);
+  clear_link(owner);
+  owner.flushing = true;
+  const std::uint64_t flush_cost = flush_sb(owner);
+  owner.flushing = false;
+  owner.counters.cycles += flush_cost;
+  return flush_cost;
+}
+
+void Machine::handle_self_eviction(CpuState& c, const CacheLine& evicted) {
+  if (is_dirty_state(evicted.state)) {
+    writeback_line(evicted);  // M, or MOESI's O
+    trace(c, static_cast<int>(EventKind::kWriteback), evicted.base);
+  }
+  if (c.le_bit && line_base(c.le_addr) == evicted.base) {
+    // The cache controller can no longer watch the guarded line (Sec. 3):
+    // break the link and serialize.
+    ++c.counters.link_breaks_evict;
+    trace(c, static_cast<int>(EventKind::kGuardEvict), evicted.base);
+    clear_link(c);
+    if (!c.flushing) {
+      c.flushing = true;
+      c.counters.cycles += flush_sb(c);
+      c.flushing = false;
+    }
+  }
+}
+
+std::uint64_t Machine::bus_read(CpuState& c, Addr a, Word& out) {
+  ++c.counters.bus_transactions;
+  const Addr base = line_base(a);
+  trace(c, static_cast<int>(EventKind::kBusRead), base);
+  std::uint64_t latency = cfg_.cost_bus_transfer;
+
+  bool someone_else_holds = false;
+  std::vector<Word> authoritative = memory_line(base);
+  for (auto& other : cpus_) {
+    if (&other == &c) continue;
+    const CacheLine* l = other.cache.peek(base);
+    if (l == nullptr) continue;
+    someone_else_holds = true;
+    if (is_exclusive_state(l->state)) {
+      // A downgrade request: fire the guard first, then surrender
+      // exclusivity. The guard flush may have evicted or rewritten the
+      // line, so re-look it up.
+      latency += notify_guard_remote(other, base);
+      if (const CacheLine* after = other.cache.peek(base)) {
+        if (after->state == Mesi::Modified) {
+          if (cfg_.protocol == Protocol::kMoesi) {
+            // MOESI: keep the dirty data, supply it to the reader, and
+            // stay responsible for the eventual writeback.
+            other.cache.set_state(base, Mesi::Owned);
+          } else {
+            writeback_line(*after);
+            other.cache.set_state(base, Mesi::Shared);
+          }
+          authoritative = after->data;
+        } else if (after->state == Mesi::Exclusive) {
+          other.cache.set_state(base, Mesi::Shared);
+          authoritative = after->data;
+        }
+      }
+      latency += cfg_.cost_bus_transfer;  // transfer/ack hop
+    } else if (l->state == Mesi::Owned) {
+      // Owner supplies the data; no state change, memory stays stale.
+      authoritative = l->data;
+      latency += cfg_.cost_bus_transfer;
+    }
+  }
+
+  out = authoritative[line_off(a)];
+  const Mesi fill =
+      someone_else_holds || cfg_.protocol == Protocol::kMsi
+          ? Mesi::Shared
+          : Mesi::Exclusive;  // E exists in both MESI and MOESI
+  if (auto evicted = c.cache.insert(base, fill, std::move(authoritative))) {
+    handle_self_eviction(c, *evicted);
+  }
+  return latency;
+}
+
+std::uint64_t Machine::bus_read_exclusive(CpuState& c, Addr a, Word& out) {
+  ++c.counters.bus_transactions;
+  const Addr base = line_base(a);
+  trace(c, static_cast<int>(EventKind::kBusReadX), base);
+  std::uint64_t latency = cfg_.cost_bus_transfer;
+
+  // Our own copy may be the authoritative dirty one (e.g. Owned after a
+  // downgrade); fold it into memory before we rebuild the line.
+  if (const CacheLine* mine = c.cache.peek(base)) {
+    if (is_dirty_state(mine->state)) writeback_line(*mine);
+  }
+  for (auto& other : cpus_) {
+    if (&other == &c) continue;
+    const CacheLine* l = other.cache.peek(base);
+    if (l == nullptr) continue;
+    if (is_exclusive_state(l->state)) {
+      latency += notify_guard_remote(other, base);
+      if (const CacheLine* after = other.cache.peek(base)) {
+        if (is_dirty_state(after->state)) writeback_line(*after);
+      }
+      latency += cfg_.cost_bus_transfer;
+    } else if (l->state == Mesi::Owned) {
+      writeback_line(*l);
+      latency += cfg_.cost_bus_transfer;
+    }
+    other.cache.erase(base);  // invalidate every remote copy
+  }
+
+  std::vector<Word> data = memory_line(base);
+  out = data[line_off(a)];
+  // MSI has no Exclusive state: an exclusive fill lands directly in M.
+  const Mesi fill = cfg_.protocol == Protocol::kMsi ? Mesi::Modified
+                                                    : Mesi::Exclusive;
+  if (auto evicted = c.cache.insert(base, fill, std::move(data))) {
+    handle_self_eviction(c, *evicted);
+  }
+  return latency;
+}
+
+std::uint64_t Machine::acquire_exclusive(CpuState& c, Addr a) {
+  const CacheLine* l = c.cache.peek(line_base(a));
+  if (l != nullptr && is_exclusive_state(l->state)) return 0;
+  Word dummy = 0;
+  return bus_read_exclusive(c, a, dummy);
+}
+
+std::uint64_t Machine::complete_oldest(CpuState& c) {
+  LBMF_CHECK(!c.sb.empty());
+  const StoreEntry e = c.sb.pop_oldest();
+  trace(c, static_cast<int>(EventKind::kDrain), e.addr, e.value);
+  std::uint64_t latency = cfg_.cost_drain_entry;
+  latency += acquire_exclusive(c, e.addr);
+  CacheLine* l = c.cache.touch(line_base(e.addr));
+  LBMF_CHECK_MSG(l != nullptr, "store completion lost its cache line");
+  l->at(line_off(e.addr)) = e.value;
+  l->state = Mesi::Modified;
+  ++c.counters.sb_drains;
+  if (e.guarded && c.le_bit && c.le_addr == e.addr) {
+    // "Upon completing the store, the processor also clears LEBit and
+    // LEAddr" (Sec. 3). With *consecutive same-location l-mfences* (which
+    // Sec. 3 explicitly allows without an intervening flush) several
+    // guarded stores can be buffered at once; the link must survive until
+    // the newest completes, or a remote reader could be handed the older
+    // value without triggering a flush of the newer one — violating the
+    // Definition 2 ordering. The line may stay in M either way.
+    bool newer_guarded_pending = false;
+    for (const StoreEntry& rest : c.sb.entries()) {
+      if (rest.guarded && rest.addr == e.addr) {
+        newer_guarded_pending = true;
+        break;
+      }
+    }
+    if (!newer_guarded_pending) {
+      ++c.counters.link_clears_complete;
+      trace(c, static_cast<int>(EventKind::kLinkComplete), e.addr);
+      clear_link(c);
+    }
+  }
+  return latency;
+}
+
+std::uint64_t Machine::flush_sb(CpuState& c) {
+  std::uint64_t latency = 0;
+  while (!c.sb.empty()) latency += complete_oldest(c);
+  return latency;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants and canonical state
+// ---------------------------------------------------------------------------
+
+std::optional<std::string> Machine::check_coherence() const {
+  // Def. 3: once the guarded store has committed (a guarded entry sits in
+  // the buffer) with LEBit still set, the guarded line must be in E/M
+  // locally — any event that takes the line out of E/M must have cleared
+  // LEBit on its way. Between SetLink and LE the bit may be set without the
+  // line; that window is legal.
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    const CpuState& c = cpus_[i];
+    if (!c.le_bit) continue;
+    bool has_guarded_entry = false;
+    for (const StoreEntry& e : c.sb.entries()) {
+      if (e.guarded && e.addr == c.le_addr) has_guarded_entry = true;
+    }
+    if (!has_guarded_entry) continue;
+    const CacheLine* g = c.cache.peek(c.le_addr);
+    if (g == nullptr || !is_exclusive_state(g->state)) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "armed link without E/M line on cpu %zu",
+                    i);
+      return std::string(buf);
+    }
+  }
+  // Single-writer-multiple-reader, protocol-conformance and value
+  // agreement invariants, per line.
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    for (const CacheLine& l : cpus_[i].cache.lines()) {
+      // Protocol conformance: which states may exist at all.
+      if (cfg_.protocol == Protocol::kMsi && l.state == Mesi::Exclusive) {
+        return "Exclusive state present under MSI";
+      }
+      if (cfg_.protocol != Protocol::kMoesi && l.state == Mesi::Owned) {
+        return "Owned state present outside MOESI";
+      }
+      if (l.data.size() != cfg_.line_words) {
+        return "cache line has wrong width";
+      }
+
+      std::size_t exclusive_holders = 0;  // E or M
+      std::size_t owned_holders = 0;      // O (MOESI)
+      std::size_t sharers = 0;
+      std::vector<Word> authoritative = memory_line(l.base);
+      for (std::size_t j = 0; j < cpus_.size(); ++j) {
+        const CacheLine* o = cpus_[j].cache.peek(l.base);
+        if (o == nullptr) continue;
+        if (is_exclusive_state(o->state)) {
+          ++exclusive_holders;
+        } else if (o->state == Mesi::Owned) {
+          ++owned_holders;
+        } else if (o->state == Mesi::Shared) {
+          ++sharers;
+        }
+        if (is_dirty_state(o->state)) authoritative = o->data;
+      }
+      if (exclusive_holders > 1 ||
+          (exclusive_holders == 1 && (sharers > 0 || owned_holders > 0)) ||
+          owned_holders > 1) {
+        char buf[112];
+        std::snprintf(buf, sizeof(buf),
+                      "SWMR violated at line %u: %zu E/M, %zu O, %zu S",
+                      l.base, exclusive_holders, owned_holders, sharers);
+        return std::string(buf);
+      }
+      // Non-dirty copies must agree with the authoritative data (the
+      // dirty owner's line under MOESI, memory otherwise).
+      if ((l.state == Mesi::Shared || l.state == Mesi::Exclusive) &&
+          l.data != authoritative) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "clean line stale at line %u on cpu %zu", l.base, i);
+        return std::string(buf);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Machine::canonical_state() const {
+  std::string s;
+  s.reserve(256);
+  auto put32 = [&s](std::uint32_t v) {
+    s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put64 = [&s](std::uint64_t v) {
+    s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  for (const auto& c : cpus_) {
+    put32(static_cast<std::uint32_t>(c.pc));
+    for (Word r : c.regs) put64(static_cast<std::uint64_t>(r));
+    s.push_back(static_cast<char>((c.halted ? 1 : 0) | (c.in_cs ? 2 : 0) |
+                                  (c.le_bit ? 4 : 0)));
+    put32(c.le_addr);
+    put32(static_cast<std::uint32_t>(c.sb.size()));
+    for (const StoreEntry& e : c.sb.entries()) {
+      put32(e.addr);
+      put64(static_cast<std::uint64_t>(e.value));
+      s.push_back(e.guarded ? 1 : 0);
+    }
+    // Cache lines sorted by address, with LRU encoded as eviction *rank*
+    // (the fine-grained stamp values differ between equivalent histories).
+    std::vector<CacheLine> lines = c.cache.lines();
+    std::sort(lines.begin(), lines.end(),
+              [](const CacheLine& x, const CacheLine& y) {
+                return x.base < y.base;
+              });
+    std::vector<std::uint64_t> stamps;
+    stamps.reserve(lines.size());
+    for (const auto& l : lines) stamps.push_back(l.lru);
+    std::sort(stamps.begin(), stamps.end());
+    put32(static_cast<std::uint32_t>(lines.size()));
+    for (const auto& l : lines) {
+      put32(l.base);
+      s.push_back(static_cast<char>(l.state));
+      for (Word w : l.data) put64(static_cast<std::uint64_t>(w));
+      const auto rank = static_cast<std::uint32_t>(
+          std::lower_bound(stamps.begin(), stamps.end(), l.lru) -
+          stamps.begin());
+      put32(rank);
+    }
+  }
+  put32(static_cast<std::uint32_t>(mem_.size()));
+  for (const auto& [a, v] : mem_) {
+    put32(a);
+    put64(static_cast<std::uint64_t>(v));
+  }
+  return s;
+}
+
+}  // namespace lbmf::sim

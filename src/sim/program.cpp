@@ -1,0 +1,142 @@
+#include "lbmf/sim/program.hpp"
+
+#include <cstdio>
+
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::sim {
+
+const char* to_string(Op op) noexcept {
+  switch (op) {
+    case Op::kLoad: return "LOAD";
+    case Op::kStore: return "ST";
+    case Op::kStoreReg: return "STR";
+    case Op::kLoadExclusive: return "LE";
+    case Op::kMfence: return "MFENCE";
+    case Op::kSetLink: return "SETLINK";
+    case Op::kBranchLinkSet: return "BLINK";
+    case Op::kMovImm: return "MOV";
+    case Op::kAddImm: return "ADD";
+    case Op::kBranchEq: return "BEQ";
+    case Op::kBranchNe: return "BNE";
+    case Op::kJump: return "JMP";
+    case Op::kCsEnter: return "CS_ENTER";
+    case Op::kCsExit: return "CS_EXIT";
+    case Op::kDelay: return "DELAY";
+    case Op::kHalt: return "HALT";
+  }
+  return "?";
+}
+
+std::string to_string(const Instr& i) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s r%u a=%d imm=%lld tgt=%d",
+                to_string(i.op), unsigned{i.reg},
+                i.addr == kInvalidAddr ? -1 : static_cast<int>(i.addr),
+                static_cast<long long>(i.imm), i.target);
+  return buf;
+}
+
+ProgramBuilder& ProgramBuilder::emit(Instr i) {
+  prog_.code.push_back(i);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::load(std::uint8_t reg, Addr a) {
+  return emit({.op = Op::kLoad, .reg = reg, .addr = a});
+}
+
+ProgramBuilder& ProgramBuilder::store(Addr a, Word v) {
+  return emit({.op = Op::kStore, .addr = a, .imm = v});
+}
+
+ProgramBuilder& ProgramBuilder::store_reg(Addr a, std::uint8_t reg) {
+  return emit({.op = Op::kStoreReg, .reg = reg, .addr = a});
+}
+
+ProgramBuilder& ProgramBuilder::load_exclusive(std::uint8_t reg, Addr a) {
+  return emit({.op = Op::kLoadExclusive, .reg = reg, .addr = a});
+}
+
+ProgramBuilder& ProgramBuilder::mfence() { return emit({.op = Op::kMfence}); }
+
+ProgramBuilder& ProgramBuilder::mov(std::uint8_t reg, Word v) {
+  return emit({.op = Op::kMovImm, .reg = reg, .imm = v});
+}
+
+ProgramBuilder& ProgramBuilder::add(std::uint8_t reg, Word v) {
+  return emit({.op = Op::kAddImm, .reg = reg, .imm = v});
+}
+
+ProgramBuilder& ProgramBuilder::cs_enter() { return emit({.op = Op::kCsEnter}); }
+ProgramBuilder& ProgramBuilder::cs_exit() { return emit({.op = Op::kCsExit}); }
+
+ProgramBuilder& ProgramBuilder::delay(Word cycles) {
+  return emit({.op = Op::kDelay, .imm = cycles});
+}
+
+ProgramBuilder& ProgramBuilder::halt() { return emit({.op = Op::kHalt}); }
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  labels_.emplace_back(name, static_cast<std::int32_t>(prog_.code.size()));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::branch_eq(std::uint8_t reg, Word v,
+                                          const std::string& label) {
+  fixups_.emplace_back(prog_.code.size(), label);
+  return emit({.op = Op::kBranchEq, .reg = reg, .imm = v});
+}
+
+ProgramBuilder& ProgramBuilder::branch_ne(std::uint8_t reg, Word v,
+                                          const std::string& label) {
+  fixups_.emplace_back(prog_.code.size(), label);
+  return emit({.op = Op::kBranchNe, .reg = reg, .imm = v});
+}
+
+ProgramBuilder& ProgramBuilder::jump(const std::string& label) {
+  fixups_.emplace_back(prog_.code.size(), label);
+  return emit({.op = Op::kJump});
+}
+
+ProgramBuilder& ProgramBuilder::lmfence(Addr a, Word v, std::uint8_t scratch) {
+  // Fig. 3(b): K1.1-2 SetLink, K1.3 LE, K1.4 ST, K1.5 branch-if-link,
+  // K1.6 MFENCE, K1.7 done.
+  emit({.op = Op::kSetLink, .addr = a});
+  emit({.op = Op::kLoadExclusive, .reg = scratch, .addr = a});
+  emit({.op = Op::kStore, .addr = a, .imm = v});
+  // Branch over the fence when the link survived to the store's commit.
+  const auto branch_pos = prog_.code.size();
+  emit({.op = Op::kBranchLinkSet,
+        .target = static_cast<std::int32_t>(branch_pos + 2)});
+  emit({.op = Op::kMfence});
+  return *this;
+}
+
+std::optional<std::string> ProgramBuilder::try_build(Program* out) {
+  for (const auto& [pos, name] : fixups_) {
+    std::int32_t target = -1;
+    for (const auto& [lname, lpos] : labels_) {
+      if (lname == name) {
+        target = lpos;
+        break;
+      }
+    }
+    if (target < 0) return "undefined label '" + name + "'";
+    prog_.code[pos].target = target;
+  }
+  if (prog_.code.empty() || prog_.code.back().op != Op::kHalt) {
+    return std::string("program must end with 'halt'");
+  }
+  *out = std::move(prog_);
+  return std::nullopt;
+}
+
+Program ProgramBuilder::build() {
+  Program out;
+  const auto err = try_build(&out);
+  LBMF_CHECK_MSG(!err.has_value(), err ? err->c_str() : "");
+  return out;
+}
+
+}  // namespace lbmf::sim

@@ -1,0 +1,62 @@
+#include "lbmf/sim/trace.hpp"
+
+#include <cstdio>
+
+namespace lbmf::sim {
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kExec: return "exec";
+    case EventKind::kDrain: return "drain";
+    case EventKind::kInterrupt: return "interrupt";
+    case EventKind::kBusRead: return "bus-read";
+    case EventKind::kBusReadX: return "bus-rfo";
+    case EventKind::kWriteback: return "writeback";
+    case EventKind::kLinkArm: return "link-arm";
+    case EventKind::kGuardRemote: return "guard-remote";
+    case EventKind::kGuardEvict: return "guard-evict";
+    case EventKind::kGuardSecond: return "guard-second";
+    case EventKind::kLinkComplete: return "link-complete";
+  }
+  return "?";
+}
+
+std::string to_string(const TraceEvent& e) {
+  char buf[96];
+  if (e.addr == kInvalidAddr) {
+    std::snprintf(buf, sizeof(buf), "#%04llu cpu%u %-13s",
+                  static_cast<unsigned long long>(e.seq), unsigned{e.cpu},
+                  to_string(e.kind));
+  } else {
+    std::snprintf(buf, sizeof(buf), "#%04llu cpu%u %-13s [%u]=%lld",
+                  static_cast<unsigned long long>(e.seq), unsigned{e.cpu},
+                  to_string(e.kind), e.addr,
+                  static_cast<long long>(e.value));
+  }
+  std::string out(buf);
+  if (!e.detail.empty()) {
+    out += "  ";
+    out += e.detail;
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::count(EventKind k) const noexcept {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == k) ++n;
+  }
+  return n;
+}
+
+std::string TraceRecorder::to_string() const {
+  std::string out;
+  out.reserve(events_.size() * 48);
+  for (const TraceEvent& e : events_) {
+    out += sim::to_string(e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lbmf::sim

@@ -1,0 +1,52 @@
+#include "lbmf/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lbmf {
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStat::cv() const noexcept {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p90 = percentile_sorted(samples, 0.90);
+  s.p99 = percentile_sorted(samples, 0.99);
+  RunningStat rs;
+  for (double x : samples) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  return s;
+}
+
+std::string Summary::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.4g sd=%.3g min=%.4g p50=%.4g p90=%.4g p99=%.4g "
+                "max=%.4g",
+                count, mean, stddev, min, p50, p90, p99, max);
+  return buf;
+}
+
+}  // namespace lbmf

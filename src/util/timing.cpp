@@ -1,0 +1,35 @@
+#include "lbmf/util/timing.hpp"
+
+#include <thread>
+
+namespace lbmf {
+namespace {
+
+double calibrate_tsc_hz() {
+  using clock = std::chrono::steady_clock;
+  // Two short calibration windows; take the second (warm) one.
+  double hz = 1e9;
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto t0 = clock::now();
+    const std::uint64_t c0 = rdtsc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const std::uint64_t c1 = rdtsc();
+    const auto t1 = clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs > 0) hz = static_cast<double>(c1 - c0) / secs;
+  }
+  return hz;
+}
+
+}  // namespace
+
+double tsc_hz() {
+  static const double hz = calibrate_tsc_hz();
+  return hz;
+}
+
+double tsc_to_ns(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / tsc_hz() * 1e9;
+}
+
+}  // namespace lbmf

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lbmf/dekker/biased_lock.hpp"
+
+namespace lbmf {
+namespace {
+
+template <typename P>
+class BiasedLockTest : public ::testing::Test {};
+
+using Policies = ::testing::Types<SymmetricFence, AsymmetricSignalFence,
+                                  AsymmetricMembarrierFence>;
+TYPED_TEST_SUITE(BiasedLockTest, Policies);
+
+TYPED_TEST(BiasedLockTest, FirstLockerBecomesBiasHolder) {
+  BiasedLock<TypeParam> lock;
+  EXPECT_FALSE(lock.is_biased());
+  lock.lock();
+  EXPECT_TRUE(lock.is_biased());
+  lock.unlock();
+  for (int i = 0; i < 1000; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  EXPECT_EQ(lock.fast_acquires(), 1001u);
+  EXPECT_EQ(lock.fast_releases(), 1001u);
+  EXPECT_EQ(lock.revocations(), 0u);
+  lock.release_bias();
+  EXPECT_FALSE(lock.is_biased());
+}
+
+TYPED_TEST(BiasedLockTest, SecondThreadRevokesAndBothStayExclusive) {
+  BiasedLock<TypeParam> lock;
+  volatile long counter = 0;
+  constexpr long kHolderIters = 20000;
+  constexpr long kOtherIters = 5000;
+  std::atomic<bool> holder_claimed{false};
+  std::atomic<bool> others_done{false};
+
+  std::thread holder([&] {
+    lock.lock();  // claim the bias
+    lock.unlock();
+    holder_claimed.store(true, std::memory_order_release);
+    for (long i = 0; i < kHolderIters; ++i) {
+      lock.lock();
+      counter = counter + 1;
+      lock.unlock();
+    }
+    while (!others_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    // One more pass so the holder observes the revocation (if any) and
+    // releases its serializer registration.
+    lock.lock();
+    counter = counter + 1;
+    lock.unlock();
+  });
+  while (!holder_claimed.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  std::thread other([&] {
+    for (long i = 0; i < kOtherIters; ++i) {
+      lock.lock();
+      counter = counter + 1;
+      lock.unlock();
+    }
+  });
+  other.join();
+  others_done.store(true, std::memory_order_release);
+  holder.join();
+
+  EXPECT_EQ(counter, kHolderIters + kOtherIters + 1);
+  EXPECT_EQ(lock.revocations(), 1u);
+  EXPECT_FALSE(lock.is_biased());
+}
+
+TYPED_TEST(BiasedLockTest, ManyRevokersSingleRevocation) {
+  BiasedLock<TypeParam> lock;
+  std::atomic<bool> claimed{false};
+  std::atomic<bool> done{false};
+  volatile long counter = 0;
+
+  std::thread holder([&] {
+    lock.lock();
+    claimed.store(true, std::memory_order_release);
+    counter = counter + 1;
+    lock.unlock();
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    lock.lock();  // observe revocation, drop registration
+    lock.unlock();
+  });
+  while (!claimed.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  constexpr int kThreads = 4;
+  constexpr long kEach = 1000;
+  std::vector<std::thread> revokers;
+  for (int t = 0; t < kThreads; ++t) {
+    revokers.emplace_back([&] {
+      for (long i = 0; i < kEach; ++i) {
+        lock.lock();
+        counter = counter + 1;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : revokers) t.join();
+  done.store(true, std::memory_order_release);
+  holder.join();
+
+  EXPECT_EQ(counter, 1 + kThreads * kEach);
+  EXPECT_EQ(lock.revocations(), 1u);  // exactly one revocation ever
+}
+
+TYPED_TEST(BiasedLockTest, HolderMidCriticalSectionBlocksRevoker) {
+  BiasedLock<TypeParam> lock;
+  std::atomic<bool> in_cs{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> revoker_acquired{false};
+
+  std::thread holder([&] {
+    lock.lock();
+    in_cs.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    lock.unlock();
+    while (!revoker_acquired.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    lock.lock();  // post-revocation acquire via the fallback mutex
+    lock.unlock();
+  });
+  while (!in_cs.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  std::thread revoker([&] {
+    lock.lock();  // must block until the holder leaves
+    revoker_acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+
+  // Give the revoker a moment: it must NOT acquire while the holder is in.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(revoker_acquired.load(std::memory_order_acquire));
+
+  release.store(true, std::memory_order_release);
+  revoker.join();
+  holder.join();
+  EXPECT_TRUE(revoker_acquired.load());
+}
+
+TEST(BiasedLockAsymmetry, FastPathHasNoSerializationCost) {
+  BiasedLock<AsymmetricSignalFence> lock;
+  lock.lock();
+  lock.unlock();
+  // Uncontended biased acquires: no revocations, all fast.
+  for (int i = 0; i < 100; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  EXPECT_EQ(lock.fast_acquires(), 101u);
+  EXPECT_EQ(lock.revocations(), 0u);
+  lock.release_bias();
+}
+
+}  // namespace
+}  // namespace lbmf

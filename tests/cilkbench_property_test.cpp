@@ -1,0 +1,232 @@
+// Parameterized property sweeps over the Fig. 4 benchmark kernels: sizes,
+// seeds and known mathematical invariants (reconstruction, maximum
+// principle, reference counts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lbmf/cilkbench/dense.hpp"
+#include "lbmf/cilkbench/fft.hpp"
+#include "lbmf/cilkbench/heat.hpp"
+#include "lbmf/cilkbench/recursive.hpp"
+#include "lbmf/cilkbench/sort.hpp"
+
+namespace lbmf::cilkbench {
+namespace {
+
+using P = SymmetricFence;
+
+ws::Scheduler<P>& shared_sched() {
+  static ws::Scheduler<P> sched(2);
+  return sched;
+}
+
+// --------------------------------------------------------------- dense sweeps
+
+class MatmulSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatmulSizes, MatchesNaive) {
+  const std::size_t n = GetParam();
+  Matrix a = Matrix::random(n, n, n);
+  Matrix b = Matrix::random(n, n, n + 1);
+  Matrix ref(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t j = 0; j < n; ++j) ref(i, j) += a(i, k) * b(k, j);
+    }
+  }
+  Matrix c(n, n);
+  shared_sched().run([&] {
+    detail::matmul_rec<P>(block_of(c), block_of(a), block_of(b), n, 1.0);
+  });
+  for (std::size_t i = 0; i < n * n; ++i) {
+    ASSERT_NEAR(c.data()[i], ref.data()[i], 1e-9) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatmulSizes,
+                         ::testing::Values(2, 4, 16, 32, 64, 128));
+
+class FactorizationSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FactorizationSizes, LuReconstructs) {
+  const std::size_t n = GetParam();
+  Matrix orig = Matrix::random_spd(n, n * 3 + 1);
+  Matrix a = orig;
+  shared_sched().run([&] { detail::lu_rec<P>(block_of(a), n); });
+  double max_err = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0;
+      const std::size_t lim = std::min(i, j + 1);
+      for (std::size_t k = 0; k < lim; ++k) s += a(i, k) * a(k, j);
+      if (i <= j) s += a(i, j);
+      max_err = std::max(max_err, std::abs(s - orig(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-8) << "n=" << n;
+}
+
+TEST_P(FactorizationSizes, CholeskyReconstructs) {
+  const std::size_t n = GetParam();
+  Matrix orig = Matrix::random_spd(n, n * 5 + 7);
+  Matrix a = orig;
+  shared_sched().run([&] { detail::cholesky_rec<P>(block_of(a), n); });
+  double max_err = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k <= j; ++k) s += a(i, k) * a(j, k);
+      max_err = std::max(max_err, std::abs(s - orig(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-8) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FactorizationSizes,
+                         ::testing::Values(4, 8, 16, 32, 64, 128));
+
+// ----------------------------------------------------------------- fft sweep
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesDftAndParseval) {
+  const std::size_t n = GetParam();
+  std::vector<Complex> in(n);
+  Xoshiro256 rng(n);
+  for (auto& x : in) x = Complex(rng.next_double() - 0.5, 0.0);
+  std::vector<Complex> out(n);
+  auto copy = in;
+  shared_sched().run(
+      [&] { detail::fft_rec<P>(copy.data(), n, 1, out.data()); });
+
+  const auto ref = dft_reference(in);
+  double max_err = 0, time_energy = 0, freq_energy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::abs(out[i] - ref[i]));
+    time_energy += std::norm(in[i]);
+    freq_energy += std::norm(out[i]);
+  }
+  EXPECT_LT(max_err, 1e-7) << "n=" << n;
+  // Parseval: sum |x|^2 == (1/n) sum |X|^2.
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-6 * time_energy + 1e-9)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FftSizes,
+                         ::testing::Values(2, 8, 64, 256, 1024));
+
+// ---------------------------------------------------------------- heat sweep
+
+TEST(HeatProperty, MaximumPrincipleHolds) {
+  // Jacobi iterates of the Laplace stencil stay within the boundary value
+  // range: with a 100-degree edge and 0-degree interior, every cell stays
+  // in [0, 100] forever.
+  constexpr std::size_t nx = 48, ny = 48;
+  Matrix cur(nx, ny);
+  Matrix next(nx, ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    cur(i, 0) = 100.0;
+    next(i, 0) = 100.0;
+  }
+  shared_sched().run([&] {
+    for (int t = 0; t < 64; ++t) {
+      for (std::size_t i = 1; i + 1 < nx; ++i) {
+        for (std::size_t j = 1; j + 1 < ny; ++j) {
+          next(i, j) = 0.25 * (cur(i - 1, j) + cur(i + 1, j) +
+                               cur(i, j - 1) + cur(i, j + 1));
+        }
+      }
+      std::swap(cur, next);
+    }
+  });
+  for (std::size_t i = 0; i < nx * ny; ++i) {
+    ASSERT_GE(cur.data()[i], 0.0);
+    ASSERT_LE(cur.data()[i], 100.0);
+  }
+  // Heat must have diffused: a cell adjacent to the hot edge is warm.
+  EXPECT_GT(cur(nx / 2, 1), 1.0);
+}
+
+// --------------------------------------------------------------- count sweeps
+
+class NqueensSizes
+    : public ::testing::TestWithParam<std::pair<int, std::uint64_t>> {};
+
+TEST_P(NqueensSizes, KnownCounts) {
+  const auto [n, expected] = GetParam();
+  std::uint64_t got = 0;
+  shared_sched().run([&] { got = nqueens<P>(n); });
+  EXPECT_EQ(got, expected) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NqueensSizes,
+    ::testing::Values(std::pair{1, 1ull}, std::pair{2, 0ull},
+                      std::pair{3, 0ull}, std::pair{4, 2ull},
+                      std::pair{5, 10ull}, std::pair{6, 4ull},
+                      std::pair{7, 40ull}, std::pair{8, 92ull},
+                      std::pair{9, 352ull}));
+
+class FibSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FibSizes, MatchesClosedForm) {
+  const int n = GetParam();
+  std::uint64_t iterative = 0, a = 0, b = 1;
+  for (int i = 0; i < n; ++i) {
+    iterative = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  iterative = a;
+  std::uint64_t got = 0;
+  shared_sched().run([&] { got = fib<P>(n); });
+  EXPECT_EQ(got, iterative) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FibSizes,
+                         ::testing::Values(0, 1, 2, 3, 10, 15, 20));
+
+class KnapsackSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KnapsackSeeds, MatchesDynamicProgramming) {
+  const std::uint64_t seed = GetParam();
+  const auto items = make_knapsack_items(14, seed);
+  int cap = 0;
+  for (const auto& it : items) cap += it.weight;
+  cap /= 2;
+  std::vector<int> best(static_cast<std::size_t>(cap) + 1, 0);
+  for (const auto& it : items) {
+    for (int c = cap; c >= it.weight; --c) {
+      best[static_cast<std::size_t>(c)] =
+          std::max(best[static_cast<std::size_t>(c)],
+                   best[static_cast<std::size_t>(c - it.weight)] + it.value);
+    }
+  }
+  std::uint64_t got = 0;
+  shared_sched().run([&] { got = knapsack<P>(14, seed); });
+  EXPECT_EQ(got, static_cast<std::uint64_t>(best.back())) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KnapsackSeeds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+class SortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSizes, ChecksumsStableAcrossWorkerCounts) {
+  const std::size_t n = GetParam();
+  std::uint64_t h1 = 0, h2 = 0;
+  shared_sched().run([&] { h1 = cilksort<P>(n); });
+  ws::Scheduler<P> four(4);
+  four.run([&] { h2 = cilksort<P>(n); });
+  EXPECT_EQ(h1, h2) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SortSizes,
+                         ::testing::Values(3, 100, 1024, 4097, 30'000));
+
+}  // namespace
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lbmf/cilkbench/dense.hpp"
+#include "lbmf/cilkbench/fft.hpp"
+#include "lbmf/cilkbench/heat.hpp"
+#include "lbmf/cilkbench/recursive.hpp"
+#include "lbmf/cilkbench/registry.hpp"
+#include "lbmf/cilkbench/sort.hpp"
+
+namespace lbmf::cilkbench {
+namespace {
+
+using Sym = SymmetricFence;
+using Asym = AsymmetricSignalFence;
+
+// ------------------------------------------------------- numeric references
+
+TEST(CilkbenchDense, MatmulMatchesNaiveProduct) {
+  constexpr std::size_t n = 64;
+  Matrix a = Matrix::random(n, n, 1);
+  Matrix b = Matrix::random(n, n, 2);
+  Matrix c(n, n);
+  Matrix ref(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t j = 0; j < n; ++j) ref(i, j) += a(i, k) * b(k, j);
+    }
+  }
+  ws::Scheduler<Sym> sched(2);
+  sched.run([&] {
+    detail::matmul_rec<Sym>(block_of(c), block_of(a), block_of(b), n, 1.0);
+  });
+  for (std::size_t i = 0; i < n * n; ++i) {
+    ASSERT_NEAR(c.data()[i], ref.data()[i], 1e-9);
+  }
+}
+
+TEST(CilkbenchDense, StrassenMatchesClassicMultiply) {
+  constexpr std::size_t n = 256;  // two Strassen levels above the base case
+  ws::Scheduler<Sym> sched(2);
+  std::uint64_t direct = 0, strassen_sum = 0;
+  sched.run([&] { direct = matmul<Sym>(n, 99); });
+  sched.run([&] { strassen_sum = strassen<Sym>(n, 99); });
+  // Strassen is not bitwise-identical to classic multiply (different
+  // association), so compare the actual matrices instead of checksums.
+  Matrix a = Matrix::random(n, n, 99);
+  Matrix b = Matrix::random(n, n, 100);
+  Matrix c1(n, n), c2(n, n);
+  sched.run([&] {
+    detail::matmul_rec<Sym>(block_of(c1), block_of(a), block_of(b), n, 1.0);
+  });
+  sched.run([&] {
+    detail::strassen_rec<Sym>(block_of(c2), block_of(a), block_of(b), n);
+  });
+  double max_err = 0;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    max_err = std::max(max_err, std::abs(c1.data()[i] - c2.data()[i]));
+  }
+  EXPECT_LT(max_err, 1e-8);
+  (void)direct;
+  (void)strassen_sum;
+}
+
+TEST(CilkbenchDense, LuReconstructsInput) {
+  constexpr std::size_t n = 64;
+  Matrix orig = Matrix::random_spd(n, 7);
+  Matrix a = orig;
+  ws::Scheduler<Sym> sched(2);
+  sched.run([&] { detail::lu_rec<Sym>(block_of(a), n); });
+  // Rebuild L*U and compare to the original.
+  double max_err = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0;
+      const std::size_t lim = std::min(i, j + 1);
+      for (std::size_t k = 0; k < lim; ++k) s += a(i, k) * a(k, j);  // L*U
+      if (i <= j) s += a(i, j);  // unit diagonal of L times U(i, j)
+      max_err = std::max(max_err, std::abs(s - orig(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(CilkbenchDense, CholeskyReconstructsInput) {
+  constexpr std::size_t n = 64;
+  Matrix orig = Matrix::random_spd(n, 11);
+  Matrix a = orig;
+  ws::Scheduler<Sym> sched(2);
+  sched.run([&] { detail::cholesky_rec<Sym>(block_of(a), n); });
+  double max_err = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = 0;
+      for (std::size_t k = 0; k <= j; ++k) s += a(i, k) * a(j, k);  // L L^T
+      max_err = std::max(max_err, std::abs(s - orig(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(CilkbenchDense, RectmulHandlesNonSquareShapes) {
+  ws::Scheduler<Sym> sched(2);
+  constexpr std::size_t m = 96, n = 32, k = 160;
+  Matrix a = Matrix::random(m, k, 3);
+  Matrix b = Matrix::random(k, n, 4);
+  Matrix c(m, n);
+  Matrix ref(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t t = 0; t < k; ++t) {
+      for (std::size_t j = 0; j < n; ++j) ref(i, j) += a(i, t) * b(t, j);
+    }
+  }
+  sched.run([&] {
+    detail::rectmul_rec<Sym>(block_of(c), block_of(a), block_of(b), m, n, k);
+  });
+  for (std::size_t i = 0; i < m * n; ++i) {
+    ASSERT_NEAR(c.data()[i], ref.data()[i], 1e-9);
+  }
+}
+
+TEST(CilkbenchFft, MatchesReferenceDft) {
+  constexpr std::size_t n = 512;
+  std::vector<Complex> in(n);
+  Xoshiro256 rng(5);
+  for (auto& x : in) x = Complex(rng.next_double() - 0.5, 0.0);
+  std::vector<Complex> out(n);
+  ws::Scheduler<Sym> sched(2);
+  auto copy = in;
+  sched.run([&] { detail::fft_rec<Sym>(copy.data(), n, 1, out.data()); });
+  const auto ref = dft_reference(in);
+  double max_err = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::abs(out[i] - ref[i]));
+  }
+  EXPECT_LT(max_err, 1e-7);
+}
+
+TEST(CilkbenchRecursive, NqueensKnownCounts) {
+  ws::Scheduler<Sym> sched(2);
+  std::uint64_t q6 = 0, q7 = 0, q8 = 0;
+  sched.run([&] { q6 = nqueens<Sym>(6); });
+  sched.run([&] { q7 = nqueens<Sym>(7); });
+  sched.run([&] { q8 = nqueens<Sym>(8); });
+  EXPECT_EQ(q6, 4u);
+  EXPECT_EQ(q7, 40u);
+  EXPECT_EQ(q8, 92u);
+}
+
+TEST(CilkbenchRecursive, NqueensSerialAndParallelCutoffsAgree) {
+  ws::Scheduler<Sym> sched(2);
+  std::uint64_t deep = 0, shallow = 0;
+  sched.run([&] { deep = nqueens<Sym>(8, 5); });
+  sched.run([&] { shallow = nqueens<Sym>(8, 0); });
+  EXPECT_EQ(deep, shallow);
+}
+
+namespace {
+int knapsack_dp_reference(const std::vector<KnapsackItem>& items, int cap) {
+  std::vector<int> best(static_cast<std::size_t>(cap) + 1, 0);
+  for (const auto& it : items) {
+    for (int c = cap; c >= it.weight; --c) {
+      best[static_cast<std::size_t>(c)] =
+          std::max(best[static_cast<std::size_t>(c)],
+                   best[static_cast<std::size_t>(c - it.weight)] + it.value);
+    }
+  }
+  return best[static_cast<std::size_t>(cap)];
+}
+}  // namespace
+
+TEST(CilkbenchRecursive, KnapsackMatchesDynamicProgramming) {
+  const auto items = make_knapsack_items(16, 0xbeef);
+  int cap = 0;
+  for (const auto& it : items) cap += it.weight;
+  cap /= 2;
+  const int expected = knapsack_dp_reference(items, cap);
+  ws::Scheduler<Sym> sched(2);
+  std::uint64_t got = 0;
+  sched.run([&] { got = knapsack<Sym>(16); });
+  EXPECT_EQ(got, static_cast<std::uint64_t>(expected));
+}
+
+TEST(CilkbenchSort, SortsRandomKeysAtAwkwardSizes) {
+  ws::Scheduler<Sym> sched(2);
+  for (std::size_t n : {1u, 2u, 1023u, 1024u, 1025u, 50'000u}) {
+    std::uint64_t h = 0;
+    sched.run([&] { h = cilksort<Sym>(n); });
+    EXPECT_NE(h, 0u);  // cilksort aborts internally if unsorted
+  }
+}
+
+TEST(CilkbenchHeat, ConservesBoundaryAndConverges) {
+  ws::Scheduler<Sym> sched(2);
+  std::uint64_t h1 = 0, h2 = 0;
+  sched.run([&] { h1 = heat<Sym>(32, 32, 4); });
+  sched.run([&] { h2 = heat<Sym>(32, 32, 4); });
+  EXPECT_EQ(h1, h2);  // deterministic
+  std::uint64_t h3 = 0;
+  sched.run([&] { h3 = heat<Sym>(32, 32, 8); });
+  EXPECT_NE(h1, h3);  // more steps changes the field
+}
+
+// --------------------------------------- policy-independence of checksums
+
+TEST(CilkbenchRegistry, HasAllTwelvePaperBenchmarks) {
+  const auto v = all_benchmarks<Sym>(Scale::kTest);
+  ASSERT_EQ(v.size(), 12u);
+  const char* expected[] = {"cholesky", "cilksort", "fft",     "fib",
+                            "fibx",     "heat",     "knapsack", "lu",
+                            "matmul",   "nqueens",  "rectmul", "strassen"};
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(v[i].name, expected[i]);
+    EXPECT_FALSE(v[i].paper_input.empty());
+  }
+}
+
+TEST(CilkbenchRegistry, ChecksumsAgreeAcrossPoliciesAndWorkerCounts) {
+  // The headline validity requirement for Fig. 5: the asymmetric runtime
+  // must compute the same answers as the symmetric one, serially and in
+  // parallel.
+  const auto sym_list = all_benchmarks<Sym>(Scale::kTest);
+  const auto asym_list = all_benchmarks<Asym>(Scale::kTest);
+  ws::Scheduler<Sym> s1(1);
+  ws::Scheduler<Sym> s4(4);
+  ws::Scheduler<Asym> a4(4);
+  for (std::size_t i = 0; i < sym_list.size(); ++i) {
+    const std::uint64_t serial = run_on(s1, sym_list[i]);
+    const std::uint64_t par = run_on(s4, sym_list[i]);
+    const std::uint64_t asym = run_on(a4, asym_list[i]);
+    EXPECT_EQ(serial, par) << sym_list[i].name;
+    EXPECT_EQ(serial, asym) << sym_list[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace lbmf::cilkbench

@@ -1,0 +1,122 @@
+// Death tests: every LBMF_CHECK contract in the public surface must abort
+// loudly (never corrupt silently) when violated.
+#include <gtest/gtest.h>
+
+#include "lbmf/core/lmfence.hpp"
+#include "lbmf/dekker/dekker.hpp"
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/sim/program.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/ws/scheduler.hpp"
+
+namespace lbmf {
+namespace {
+
+TEST(ContractDeath, CheckMacroAborts) {
+  EXPECT_DEATH(LBMF_CHECK(1 == 2), "LBMF_CHECK failed");
+  EXPECT_DEATH(LBMF_CHECK_MSG(false, "custom detail"), "custom detail");
+}
+
+using IntGuardedLocation = GuardedLocation<int, SymmetricFence>;
+
+TEST(ContractDeath, GuardedLocationDoubleBind) {
+  EXPECT_DEATH(
+      {
+        IntGuardedLocation loc;
+        loc.bind_primary();
+        loc.bind_primary();
+      },
+      "already has a primary");
+}
+
+TEST(ContractDeath, DekkerDoubleBind) {
+  EXPECT_DEATH(
+      {
+        AsymmetricDekker<SymmetricFence> d;
+        d.bind_primary();
+        d.bind_primary();
+      },
+      "already bound");
+}
+
+TEST(ContractDeath, DekkerDestructionWhileBound) {
+  EXPECT_DEATH(
+      {
+        AsymmetricDekker<SymmetricFence> d;
+        d.bind_primary();
+        // destructor runs with the binding still live
+      },
+      "unbind_primary not called");
+}
+
+TEST(ContractDeath, SpawnOutsideScheduler) {
+  EXPECT_DEATH(
+      {
+        ws::TaskGroupBase g;
+        auto t = ws::ClosureTask(g, [] {});
+        typename ws::Scheduler<SymmetricFence>::TaskGroup tg;
+        tg.spawn(t);  // no worker thread context
+      },
+      "spawn outside a scheduler task");
+}
+
+TEST(ContractDeath, SimProgramWithoutHalt) {
+  EXPECT_DEATH(
+      {
+        sim::ProgramBuilder b("nohalt");
+        b.mov(0, 1);
+        (void)b.build();
+      },
+      "halt");
+}
+
+TEST(ContractDeath, SimUndefinedLabel) {
+  EXPECT_DEATH(
+      {
+        sim::ProgramBuilder b("badlabel");
+        b.jump("nowhere").halt();
+        (void)b.build();
+      },
+      "undefined label");
+}
+
+TEST(ContractDeath, SimNestedCriticalSection) {
+  EXPECT_DEATH(
+      {
+        sim::SimConfig cfg;
+        cfg.num_cpus = 1;
+        sim::Machine m(cfg);
+        sim::ProgramBuilder b("nested");
+        b.cs_enter().cs_enter().cs_exit().cs_exit().halt();
+        m.load_program(0, b.build());
+        m.run_round_robin();
+      },
+      "nested critical section");
+}
+
+TEST(ContractDeath, SimStepWhenDisabled) {
+  EXPECT_DEATH(
+      {
+        sim::SimConfig cfg;
+        cfg.num_cpus = 1;
+        sim::Machine m(cfg);
+        sim::ProgramBuilder b("p");
+        b.halt();
+        m.load_program(0, b.build());
+        m.step(0, sim::Action::Drain);  // empty store buffer
+      },
+      "action_enabled");
+}
+
+TEST(ContractDeath, SimInvalidConfig) {
+  EXPECT_DEATH(
+      {
+        sim::SimConfig cfg;
+        cfg.num_cpus = 0;
+        sim::Machine m(cfg);
+      },
+      "LBMF_CHECK failed");
+}
+
+}  // namespace
+}  // namespace lbmf

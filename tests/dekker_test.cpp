@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lbmf/dekker/asymmetric_mutex.hpp"
+#include "lbmf/dekker/dekker.hpp"
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf {
+namespace {
+
+// ------------------------------------------------------- typed over policies
+
+template <typename P>
+class DekkerTest : public ::testing::Test {};
+
+// UnsafeNoFence is deliberately excluded: mutual exclusion is not guaranteed
+// without fences (that absence is demonstrated exhaustively in sim tests).
+using SafePolicies = ::testing::Types<SymmetricFence, AsymmetricSignalFence,
+                                      AsymmetricMembarrierFence>;
+TYPED_TEST_SUITE(DekkerTest, SafePolicies);
+
+TYPED_TEST(DekkerTest, UncontendedPrimaryLockUnlock) {
+  AsymmetricDekker<TypeParam> d;
+  d.bind_primary();
+  for (int i = 0; i < 1000; ++i) {
+    d.lock_primary();
+    d.unlock_primary();
+  }
+  EXPECT_EQ(d.stats().primary_acquires, 1000u);
+  EXPECT_EQ(d.stats().secondary_acquires, 0u);
+  d.unbind_primary();
+}
+
+TYPED_TEST(DekkerTest, UncontendedTryLockAlwaysSucceeds) {
+  AsymmetricDekker<TypeParam> d;
+  d.bind_primary();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(d.try_lock_primary());
+    d.unlock_primary();
+  }
+  d.unbind_primary();
+}
+
+TYPED_TEST(DekkerTest, MutualExclusionUnderContention) {
+  AsymmetricDekker<TypeParam> d;
+  std::atomic<bool> bound{false};
+  std::atomic<bool> secondary_done{false};
+  // Shared state protected by the protocol; read+write without atomics so a
+  // mutual-exclusion failure corrupts the count.
+  volatile long counter = 0;
+  constexpr long kPerSide = 20000;
+
+  std::thread primary([&] {
+    d.bind_primary();
+    bound.store(true, std::memory_order_release);
+    for (long i = 0; i < kPerSide; ++i) {
+      d.lock_primary();
+      counter = counter + 1;
+      d.unlock_primary();
+    }
+    // Lifetime contract: unbind on the primary thread, only after every
+    // secondary has stopped issuing serialize() calls.
+    while (!secondary_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    d.unbind_primary();
+  });
+  while (!bound.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  for (long i = 0; i < kPerSide; ++i) {
+    d.lock_secondary();
+    counter = counter + 1;
+    d.unlock_secondary();
+  }
+  secondary_done.store(true, std::memory_order_release);
+  primary.join();
+  EXPECT_EQ(counter, 2 * kPerSide);
+  EXPECT_EQ(d.stats().primary_acquires, static_cast<std::uint64_t>(kPerSide));
+  EXPECT_EQ(d.stats().secondary_acquires,
+            static_cast<std::uint64_t>(kPerSide));
+}
+
+TYPED_TEST(DekkerTest, OverlapDetectorSeesNoConcurrentOwners) {
+  AsymmetricDekker<TypeParam> d;
+  std::atomic<bool> bound{false};
+  std::atomic<int> owners{0};
+  std::atomic<int> max_owners{0};
+  constexpr int kIters = 10000;
+
+  auto enter = [&] {
+    const int now = owners.fetch_add(1, std::memory_order_acq_rel) + 1;
+    int prev = max_owners.load(std::memory_order_relaxed);
+    while (prev < now && !max_owners.compare_exchange_weak(
+                             prev, now, std::memory_order_relaxed)) {
+    }
+  };
+  auto leave = [&] { owners.fetch_sub(1, std::memory_order_acq_rel); };
+
+  std::atomic<bool> secondary_done{false};
+  std::thread primary([&] {
+    d.bind_primary();
+    bound.store(true, std::memory_order_release);
+    for (int i = 0; i < kIters; ++i) {
+      d.lock_primary();
+      enter();
+      leave();
+      d.unlock_primary();
+    }
+    while (!secondary_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    d.unbind_primary();
+  });
+  while (!bound.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  for (int i = 0; i < kIters; ++i) {
+    d.lock_secondary();
+    enter();
+    leave();
+    d.unlock_secondary();
+  }
+  secondary_done.store(true, std::memory_order_release);
+  primary.join();
+  EXPECT_EQ(max_owners.load(), 1);
+}
+
+TYPED_TEST(DekkerTest, AsymmetryShowsUpInStats) {
+  AsymmetricDekker<TypeParam> d;
+  d.bind_primary();
+  for (int i = 0; i < 10; ++i) {
+    d.lock_primary();
+    d.unlock_primary();
+  }
+  const auto s = d.stats();
+  EXPECT_EQ(s.primary_fences, 10u);
+  if (TypeParam::kAsymmetric) {
+    EXPECT_EQ(s.serializations, 0u);  // nobody contended, nobody paid
+  }
+  d.unbind_primary();
+}
+
+// ------------------------------------------------------- AsymmetricMutex
+
+TYPED_TEST(DekkerTest, MutexManySecondariesSumIsExact) {
+  AsymmetricMutex<TypeParam> m;
+  std::atomic<bool> bound{false};
+  volatile long counter = 0;
+  constexpr long kPrimaryIters = 20000;
+  constexpr int kSecondaries = 3;
+  constexpr long kSecondaryIters = 2000;
+
+  std::atomic<bool> secondaries_done{false};
+  std::thread primary([&] {
+    m.bind_primary();
+    bound.store(true, std::memory_order_release);
+    for (long i = 0; i < kPrimaryIters; ++i) {
+      m.lock_primary();
+      counter = counter + 1;
+      m.unlock_primary();
+    }
+    while (!secondaries_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    m.unbind_primary();
+  });
+  while (!bound.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  std::vector<std::thread> secondaries;
+  for (int t = 0; t < kSecondaries; ++t) {
+    secondaries.emplace_back([&] {
+      for (long i = 0; i < kSecondaryIters; ++i) {
+        m.lock_secondary();
+        counter = counter + 1;
+        m.unlock_secondary();
+      }
+    });
+  }
+  for (auto& th : secondaries) th.join();
+  secondaries_done.store(true, std::memory_order_release);
+  primary.join();
+  EXPECT_EQ(counter, kPrimaryIters + kSecondaries * kSecondaryIters);
+}
+
+TYPED_TEST(DekkerTest, MutexTryLockSecondaryBacksOffWhilePrimaryHolds) {
+  AsymmetricMutex<TypeParam> m;
+  std::atomic<bool> bound{false};
+  std::atomic<bool> holding{false};
+  std::atomic<bool> release{false};
+
+  std::atomic<bool> done{false};
+  std::thread primary([&] {
+    m.bind_primary();
+    bound.store(true, std::memory_order_release);
+    m.lock_primary();
+    holding.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+    m.unlock_primary();
+    while (!done.load(std::memory_order_acquire)) std::this_thread::yield();
+    m.unbind_primary();
+  });
+  while (!holding.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  EXPECT_FALSE(m.try_lock_secondary());
+  release.store(true, std::memory_order_release);
+
+  SpinWait waiter;
+  bool acquired = false;
+  for (int i = 0; i < 1000000 && !acquired; ++i) {
+    acquired = m.try_lock_secondary();
+    if (!acquired) waiter.wait();
+  }
+  EXPECT_TRUE(acquired);
+  if (acquired) m.unlock_secondary();
+  done.store(true, std::memory_order_release);
+  primary.join();
+}
+
+TYPED_TEST(DekkerTest, GuardsReleaseOnScopeExit) {
+  AsymmetricMutex<TypeParam> m;
+  m.bind_primary();
+  {
+    PrimaryLockGuard g(m);
+  }
+  {
+    SecondaryLockGuard g(m);
+  }
+  // If either guard failed to unlock, this second pass would deadlock.
+  {
+    PrimaryLockGuard g(m);
+  }
+  m.unbind_primary();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace lbmf

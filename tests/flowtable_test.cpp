@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "lbmf/flowtable/flow_table.hpp"
+#include "lbmf/flowtable/pipeline.hpp"
+
+namespace lbmf::flowtable {
+namespace {
+
+template <typename P>
+class FlowTableTest : public ::testing::Test {};
+
+using Policies = ::testing::Types<SymmetricFence, AsymmetricSignalFence,
+                                  AsymmetricMembarrierFence>;
+TYPED_TEST_SUITE(FlowTableTest, Policies);
+
+TYPED_TEST(FlowTableTest, RecordsAndAccumulatesPerFlow) {
+  FlowTable<TypeParam> t(1u << 6);
+  t.bind_owner();
+  t.record_packet(7, 100);
+  t.record_packet(7, 50);
+  t.record_packet(9, 10);
+  auto s7 = t.owner_peek(7);
+  ASSERT_TRUE(s7.has_value());
+  EXPECT_EQ(s7->packets, 2u);
+  EXPECT_EQ(s7->bytes, 150u);
+  auto s9 = t.owner_peek(9);
+  ASSERT_TRUE(s9.has_value());
+  EXPECT_EQ(s9->packets, 1u);
+  EXPECT_FALSE(t.owner_peek(8).has_value());
+  EXPECT_EQ(t.flow_count(), 2u);
+  t.unbind_owner();
+}
+
+TYPED_TEST(FlowTableTest, HashCollisionsProbeLinearly) {
+  // Tiny table forces collisions; every key must stay distinct.
+  FlowTable<TypeParam> t(1u << 3);
+  t.bind_owner();
+  for (FlowKey k = 1; k <= 6; ++k) t.record_packet(k, 1);
+  EXPECT_EQ(t.flow_count(), 6u);
+  for (FlowKey k = 1; k <= 6; ++k) {
+    auto s = t.owner_peek(k);
+    ASSERT_TRUE(s.has_value()) << k;
+    EXPECT_EQ(s->packets, 1u) << k;
+  }
+  t.unbind_owner();
+}
+
+TYPED_TEST(FlowTableTest, RemoteRuleUpdateIsSeenByOwner) {
+  FlowTable<TypeParam> t;
+  std::atomic<bool> bound{false};
+  std::atomic<bool> updated{false};
+  std::atomic<std::uint32_t> observed_rule{0};
+  std::atomic<bool> updater_done{false};
+
+  std::thread owner([&] {
+    t.bind_owner();
+    bound.store(true, std::memory_order_release);
+    // Process packets for the flow until the remotely-installed rule shows
+    // up in the owner's fast path.
+    while (observed_rule.load(std::memory_order_relaxed) != 5) {
+      const std::uint32_t rule = t.record_packet(42, 64);
+      if (rule != 0) observed_rule.store(rule, std::memory_order_relaxed);
+    }
+    while (!updater_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    t.unbind_owner();
+  });
+  while (!bound.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  t.update_rule(42, 5);
+  updated.store(true, std::memory_order_release);
+  updater_done.store(true, std::memory_order_release);
+  owner.join();
+  EXPECT_EQ(observed_rule.load(), 5u);
+  EXPECT_GE(t.sync_stats().secondary_acquires, 1u);
+}
+
+TYPED_TEST(FlowTableTest, RemoteReaderSeesConsistentTotals) {
+  FlowTable<TypeParam> t;
+  std::atomic<bool> bound{false};
+  std::atomic<bool> reader_done{false};
+  constexpr std::uint64_t kPackets = 5000;
+
+  std::thread owner([&] {
+    t.bind_owner();
+    bound.store(true, std::memory_order_release);
+    PacketGenerator gen(1, 64);
+    for (std::uint64_t i = 0; i < kPackets; ++i) {
+      const auto p = gen.next();
+      t.record_packet(p.key, p.bytes);
+    }
+    while (!reader_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    t.unbind_owner();
+  });
+  while (!bound.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  // Concurrent totals are momentary snapshots and must never exceed the
+  // final count; the final snapshot must be exact.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t total = t.remote_total_packets();
+    EXPECT_GE(total, last);
+    EXPECT_LE(total, kPackets);
+    last = total;
+  }
+  // Spin until the owner finished producing.
+  while (t.remote_total_packets() < kPackets) std::this_thread::yield();
+  EXPECT_EQ(t.remote_total_packets(), kPackets);
+  reader_done.store(true, std::memory_order_release);
+  owner.join();
+}
+
+TEST(PacketGenerator, DeterministicAndBounded) {
+  PacketGenerator a(7, 100), b(7, 100);
+  std::set<FlowKey> keys;
+  for (int i = 0; i < 1000; ++i) {
+    const auto pa = a.next();
+    const auto pb = b.next();
+    EXPECT_EQ(pa.key, pb.key);
+    EXPECT_EQ(pa.bytes, pb.bytes);
+    EXPECT_GE(pa.key, 1u);
+    EXPECT_LE(pa.key, 100u);
+    EXPECT_GE(pa.bytes, 64u);
+    EXPECT_LT(pa.bytes, 1500u);
+    keys.insert(pa.key);
+  }
+  EXPECT_GT(keys.size(), 10u);  // draws from a real population
+}
+
+TEST(PacketGenerator, HotSetDominates) {
+  PacketGenerator gen(3, 1000, /*hot_fraction=*/0.1, /*hot_probability=*/0.9);
+  int hot = 0;
+  constexpr int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (gen.next().key <= 100) ++hot;  // the hot 10% of the population
+  }
+  EXPECT_GT(hot, kDraws / 2);  // well over half the traffic
+}
+
+TEST(Pipeline, EndToEndRunProcessesPacketsAndUpdates) {
+  const PipelineResult r = run_pipeline<AsymmetricSignalFence>(
+      /*duration_s=*/0.1, /*updaters=*/1, /*update_interval_us=*/500);
+  EXPECT_GT(r.packets_processed, 1000u);
+  EXPECT_GT(r.remote_updates, 0u);
+  EXPECT_GT(r.packets_per_second(), 0.0);
+  // Every remote update went through the secondary (serializing) path.
+  EXPECT_EQ(r.sync.secondary_acquires, r.remote_updates);
+  // The owner paid one primary announce per packet.
+  EXPECT_GE(r.sync.primary_acquires, r.packets_processed);
+}
+
+TEST(Pipeline, NoUpdatersMeansNoSerializations) {
+  const PipelineResult r = run_pipeline<AsymmetricSignalFence>(
+      /*duration_s=*/0.05, /*updaters=*/0, /*update_interval_us=*/0);
+  EXPECT_GT(r.packets_processed, 1000u);
+  EXPECT_EQ(r.remote_updates, 0u);
+  EXPECT_EQ(r.sync.serializations, 0u);
+}
+
+}  // namespace
+}  // namespace lbmf::flowtable

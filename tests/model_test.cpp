@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "lbmf/model/cost_model.hpp"
+
+namespace lbmf::model {
+namespace {
+
+// ---------------------------------------------------------- per-event costs
+
+TEST(CostModel, VictimFenceCostOrdering) {
+  CostTable c;
+  // mfence > LE/ST victim overhead > compiler fence: the central premise.
+  EXPECT_GT(victim_fence_cycles(FenceImpl::kMfence, c),
+            victim_fence_cycles(FenceImpl::kLest, c));
+  EXPECT_GE(victim_fence_cycles(FenceImpl::kLest, c),
+            victim_fence_cycles(FenceImpl::kSignal, c));
+  EXPECT_EQ(victim_fence_cycles(FenceImpl::kSignal, c), 0.0);
+}
+
+TEST(CostModel, RemoteSerializationCostOrdering) {
+  CostTable c;
+  // Paper Sec. 5: signal ~10k cycles, LE/ST ~150 cycles.
+  EXPECT_NEAR(remote_serialize_cycles(FenceImpl::kSignal, c), 10'000, 1);
+  EXPECT_NEAR(remote_serialize_cycles(FenceImpl::kLest, c), 150, 1);
+  EXPECT_GT(remote_serialize_cycles(FenceImpl::kSignal, c) /
+                remote_serialize_cycles(FenceImpl::kLest, c),
+            20.0);
+}
+
+// --------------------------------------------------------------- Fig 5 model
+
+WsCounts fib_like() {
+  // fib-shaped: enormous spawn count, tiny work per spawn, few steals.
+  WsCounts w;
+  w.spawns = 1'000'000;
+  w.steal_attempts = 200;
+  w.steals_success = 190;
+  w.work_cycles = 1.0e8;  // ~100 cycles of real work per spawn
+  return w;
+}
+
+WsCounts heat_like() {
+  // heat-shaped: few fences avoided per steal attempt (paper: why heat
+  // loses under the software prototype at 16 cores).
+  WsCounts w;
+  w.spawns = 40'000;
+  w.steal_attempts = 12'000;
+  w.steals_success = 11'000;
+  w.work_cycles = 4.0e8;
+  return w;
+}
+
+TEST(CostModelFig5, SerialAsymmetricAlwaysWins) {
+  CostTable c;
+  // With one worker there are no steals; removing the fence can only help.
+  for (auto counts : {fib_like(), heat_like()}) {
+    counts.steal_attempts = 0;
+    counts.steals_success = 0;
+    const double rel = ws_relative_time(counts, 1, FenceImpl::kSignal, c);
+    EXPECT_LT(rel, 1.0);
+  }
+}
+
+TEST(CostModelFig5, FibGainsHalfItsSpawnOverheadSerially) {
+  // Paper: "the spawn overhead is cut by half if one could avoid the
+  // fence". With work ≈ fence-cost per spawn, relative time ≈ 0.5.
+  CostTable c;
+  WsCounts w = fib_like();
+  w.steal_attempts = 0;
+  w.work_cycles = static_cast<double>(w.spawns) * c.mfence_cycles;
+  const double rel = ws_relative_time(w, 1, FenceImpl::kSignal, c);
+  EXPECT_NEAR(rel, 0.5, 0.02);
+}
+
+TEST(CostModelFig5, HeatLosesUnderSignalsButWinsUnderLest) {
+  // The paper's headline parallel result: heat (and cholesky/lu via poor
+  // steal efficiency) lose with the software prototype at 16 cores, and
+  // the LE/ST hardware would recover them.
+  CostTable c;
+  const WsCounts w = heat_like();
+  const double signal_rel = ws_relative_time(w, 16, FenceImpl::kSignal, c);
+  const double lest_rel = ws_relative_time(w, 16, FenceImpl::kLest, c);
+  EXPECT_GT(signal_rel, 1.0);
+  EXPECT_LT(lest_rel, 1.0);
+}
+
+TEST(CostModelFig5, FibStillWinsInParallelUnderSignals) {
+  CostTable c;
+  const double rel = ws_relative_time(fib_like(), 16, FenceImpl::kSignal, c);
+  EXPECT_LT(rel, 1.0);
+}
+
+TEST(CostModelFig5, MorePerWorkerStealsErodeTheWin) {
+  CostTable c;
+  WsCounts w = fib_like();
+  const double few = ws_relative_time(w, 16, FenceImpl::kSignal, c);
+  w.steal_attempts = 100'000;
+  const double many = ws_relative_time(w, 16, FenceImpl::kSignal, c);
+  EXPECT_GT(many, few);
+}
+
+// --------------------------------------------------------------- Fig 6 model
+
+TEST(CostModelFig6, HighRatioFavorsArwLowRatioFavorsSrw) {
+  CostTable c;
+  RwParams p;
+  p.threads = 8;
+  p.read_write_ratio = 300;  // paper's least-asymmetric setting
+  const double low = rw_relative_throughput(p, FenceImpl::kSignal, c);
+  p.read_write_ratio = 100'000;  // most asymmetric
+  const double high = rw_relative_throughput(p, FenceImpl::kSignal, c);
+  EXPECT_LT(low, 1.0);   // Fig 6(a): ARW loses at 300:1, 8 threads
+  EXPECT_GT(high, 1.0);  // and wins at 100000:1
+  EXPECT_GT(high, low);
+}
+
+TEST(CostModelFig6, ArwScalesWorseWithThreadsAtFixedRatio) {
+  // Fig 6(a): at a fixed moderate ratio, more threads means more signals
+  // per write and a lower normalized throughput.
+  CostTable c;
+  RwParams p;
+  p.read_write_ratio = 1000;
+  p.threads = 2;
+  const double t2 = rw_relative_throughput(p, FenceImpl::kSignal, c);
+  p.threads = 16;
+  const double t16 = rw_relative_throughput(p, FenceImpl::kSignal, c);
+  EXPECT_GT(t2, t16);
+}
+
+TEST(CostModelFig6, WaitingHeuristicDominatesPlainArw) {
+  // Fig 6(b): ARW+ beats ARW across the sweep.
+  CostTable c;
+  for (double ratio : {300.0, 1000.0, 10'000.0, 100'000.0}) {
+    for (std::size_t threads : {2u, 4u, 8u, 16u}) {
+      RwParams p;
+      p.read_write_ratio = ratio;
+      p.threads = threads;
+      const double arw = rw_relative_throughput(p, FenceImpl::kSignal, c);
+      const double arwp = rw_relative_throughput(p, FenceImpl::kSignalAck, c);
+      EXPECT_GE(arwp, arw) << ratio << ":" << threads;
+    }
+  }
+}
+
+TEST(CostModelFig6, ArwPlusBeatsSrwAboveThreeHundredToOne) {
+  // Fig 6(b): ARW+ is >= 1 everywhere except roughly the 300:1 row.
+  CostTable c;
+  for (double ratio : {1000.0, 10'000.0, 100'000.0}) {
+    for (std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+      RwParams p;
+      p.read_write_ratio = ratio;
+      p.threads = threads;
+      EXPECT_GT(rw_relative_throughput(p, FenceImpl::kSignalAck, c), 1.0)
+          << ratio << ":" << threads;
+    }
+  }
+}
+
+TEST(CostModelFig6, LestWinsAlmostEverywhere) {
+  // The paper's expectation for the hardware mechanism: with a 150-cycle
+  // round trip the ARW lock should "perform and scale well".
+  CostTable c;
+  for (double ratio : {1000.0, 10'000.0, 100'000.0}) {
+    for (std::size_t threads : {2u, 8u, 16u}) {
+      RwParams p;
+      p.read_write_ratio = ratio;
+      p.threads = threads;
+      EXPECT_GT(rw_relative_throughput(p, FenceImpl::kLest, c), 1.0)
+          << ratio << ":" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbmf::model

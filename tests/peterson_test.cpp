@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "lbmf/dekker/peterson.hpp"
+
+namespace lbmf {
+namespace {
+
+template <typename P>
+class PetersonTest : public ::testing::Test {};
+
+using SafePolicies = ::testing::Types<SymmetricFence, AsymmetricSignalFence,
+                                      AsymmetricMembarrierFence>;
+TYPED_TEST_SUITE(PetersonTest, SafePolicies);
+
+TYPED_TEST(PetersonTest, UncontendedBothRoles) {
+  AsymmetricPeterson<TypeParam> p;
+  p.bind_primary();
+  for (int i = 0; i < 1000; ++i) {
+    p.lock_primary();
+    p.unlock_primary();
+  }
+  for (int i = 0; i < 100; ++i) {
+    p.lock_secondary();
+    p.unlock_secondary();
+  }
+  p.unbind_primary();
+  SUCCEED();
+}
+
+TYPED_TEST(PetersonTest, MutualExclusionUnderContention) {
+  AsymmetricPeterson<TypeParam> p;
+  std::atomic<bool> bound{false};
+  std::atomic<bool> secondary_done{false};
+  volatile long counter = 0;
+  constexpr long kPerSide = 20000;
+
+  std::thread primary([&] {
+    p.bind_primary();
+    bound.store(true, std::memory_order_release);
+    for (long i = 0; i < kPerSide; ++i) {
+      p.lock_primary();
+      counter = counter + 1;
+      p.unlock_primary();
+    }
+    while (!secondary_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    p.unbind_primary();
+  });
+  while (!bound.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  for (long i = 0; i < kPerSide; ++i) {
+    p.lock_secondary();
+    counter = counter + 1;
+    p.unlock_secondary();
+  }
+  secondary_done.store(true, std::memory_order_release);
+  primary.join();
+  EXPECT_EQ(counter, 2 * kPerSide);
+}
+
+TYPED_TEST(PetersonTest, OverlapDetectorNeverSeesTwoOwners) {
+  AsymmetricPeterson<TypeParam> p;
+  std::atomic<bool> bound{false};
+  std::atomic<bool> secondary_done{false};
+  std::atomic<int> owners{0};
+  std::atomic<bool> overlap{false};
+  constexpr int kIters = 10000;
+
+  auto visit = [&] {
+    if (owners.fetch_add(1, std::memory_order_acq_rel) != 0) {
+      overlap.store(true, std::memory_order_relaxed);
+    }
+    owners.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  std::thread primary([&] {
+    p.bind_primary();
+    bound.store(true, std::memory_order_release);
+    for (int i = 0; i < kIters; ++i) {
+      p.lock_primary();
+      visit();
+      p.unlock_primary();
+    }
+    while (!secondary_done.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    p.unbind_primary();
+  });
+  while (!bound.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  for (int i = 0; i < kIters; ++i) {
+    p.lock_secondary();
+    visit();
+    p.unlock_secondary();
+  }
+  secondary_done.store(true, std::memory_order_release);
+  primary.join();
+  EXPECT_FALSE(overlap.load());
+}
+
+}  // namespace
+}  // namespace lbmf

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lbmf/core/serializer.hpp"
+
+namespace lbmf {
+namespace {
+
+TEST(Serializer, RegisterAndUnregisterRoundTrip) {
+  auto& reg = SerializerRegistry::instance();
+  auto h = reg.register_self();
+  ASSERT_TRUE(h.valid());
+  reg.unregister_self(h);
+  EXPECT_FALSE(h.valid());
+}
+
+TEST(Serializer, UnregisterInvalidHandleIsNoop) {
+  auto& reg = SerializerRegistry::instance();
+  SerializerRegistry::Handle h;  // default, invalid
+  reg.unregister_self(h);        // must not crash
+  EXPECT_FALSE(h.valid());
+}
+
+TEST(Serializer, SerializeInvalidHandleReturnsFalse) {
+  auto& reg = SerializerRegistry::instance();
+  SerializerRegistry::Handle h;
+  EXPECT_FALSE(reg.serialize(h));
+}
+
+TEST(Serializer, SelfSerializeDegradesToLocalFence) {
+  auto& reg = SerializerRegistry::instance();
+  auto h = reg.register_self();
+  ASSERT_TRUE(h.valid());
+  EXPECT_TRUE(reg.serialize(h));  // same thread: local fence, returns fast
+  reg.unregister_self(h);
+}
+
+TEST(Serializer, SecondaryForcesPrimaryToAcknowledge) {
+  auto& reg = SerializerRegistry::instance();
+  std::atomic<bool> registered{false};
+  std::atomic<bool> stop{false};
+  SerializerRegistry::Handle handle;
+
+  std::thread primary([&] {
+    handle = reg.register_self();
+    registered.store(true, std::memory_order_release);
+    // Busy loop standing in for the primary's fast-path work.
+    while (!stop.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    reg.unregister_self(handle);
+  });
+
+  while (!registered.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  const auto before = SerializerRegistry::signals_received(handle);
+  EXPECT_TRUE(reg.serialize(handle));
+  EXPECT_TRUE(reg.serialize(handle));
+  const auto after = SerializerRegistry::signals_received(handle);
+  EXPECT_GE(after - before, 1u);  // signals may coalesce but not vanish
+
+  stop.store(true, std::memory_order_release);
+  primary.join();
+}
+
+TEST(Serializer, PublishedStoreIsVisibleAfterSerialize) {
+  // The core guarantee: a value stored by the primary (without any hardware
+  // fence) must be visible to the secondary after serialize() returns.
+  auto& reg = SerializerRegistry::instance();
+  std::atomic<bool> registered{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> data{0};
+  std::atomic<int> published{0};
+  SerializerRegistry::Handle handle;
+
+  std::thread primary([&] {
+    handle = reg.register_self();
+    registered.store(true, std::memory_order_release);
+    int v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++v;
+      data.store(v, std::memory_order_relaxed);
+      published.store(v, std::memory_order_relaxed);
+    }
+    reg.unregister_self(handle);
+  });
+
+  while (!registered.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(reg.serialize(handle));
+    // After the handshake, everything the primary stored before the ack is
+    // visible: data must be at least as fresh as published was then.
+    const int p = published.load(std::memory_order_relaxed);
+    const int d = data.load(std::memory_order_relaxed);
+    EXPECT_GE(d, p - 1);  // data is stored before published each round
+  }
+
+  stop.store(true, std::memory_order_release);
+  primary.join();
+}
+
+TEST(Serializer, ManySecondariesSerializeOnePrimary) {
+  auto& reg = SerializerRegistry::instance();
+  std::atomic<bool> registered{false};
+  std::atomic<bool> stop{false};
+  SerializerRegistry::Handle handle;
+
+  std::thread primary([&] {
+    handle = reg.register_self();
+    registered.store(true, std::memory_order_release);
+    while (!stop.load(std::memory_order_acquire)) std::this_thread::yield();
+    reg.unregister_self(handle);
+  });
+  while (!registered.load(std::memory_order_acquire)) std::this_thread::yield();
+
+  constexpr int kSecondaries = 4;
+  constexpr int kRounds = 50;
+  std::atomic<int> successes{0};
+  std::vector<std::thread> secondaries;
+  secondaries.reserve(kSecondaries);
+  for (int t = 0; t < kSecondaries; ++t) {
+    secondaries.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        if (reg.serialize(handle)) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : secondaries) th.join();
+  EXPECT_EQ(successes.load(), kSecondaries * kRounds);
+
+  stop.store(true, std::memory_order_release);
+  primary.join();
+}
+
+TEST(Serializer, SlotIsReusableAfterUnregister) {
+  auto& reg = SerializerRegistry::instance();
+  for (int round = 0; round < 8; ++round) {
+    std::thread t([&] {
+      auto h = reg.register_self();
+      ASSERT_TRUE(h.valid());
+      reg.unregister_self(h);
+    });
+    t.join();
+  }
+  // Registry must not have leaked all its slots to dead threads.
+  auto h = reg.register_self();
+  EXPECT_TRUE(h.valid());
+  reg.unregister_self(h);
+}
+
+TEST(Serializer, SerializeAfterUnregisterReturnsFalse) {
+  auto& reg = SerializerRegistry::instance();
+  SerializerRegistry::Handle stale;
+  std::thread t([&] {
+    auto h = reg.register_self();
+    stale = h;  // leak a copy of the handle
+    reg.unregister_self(h);
+  });
+  t.join();
+  EXPECT_FALSE(reg.serialize(stale));
+}
+
+}  // namespace
+}  // namespace lbmf

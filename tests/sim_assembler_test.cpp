@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "lbmf/sim/assembler.hpp"
+#include "lbmf/sim/explorer.hpp"
+
+namespace lbmf::sim {
+namespace {
+
+// ------------------------------------------------------------ happy paths
+
+TEST(Assembler, SingleCpuArithmetic) {
+  const auto r = assemble(R"(
+    cpu 0:
+      mov r0, 5
+      add r0, 3
+      halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.programs.size(), 1u);
+  SimConfig cfg;
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  m.load_program(0, r.programs[0]);
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).regs[0], 8);
+}
+
+TEST(Assembler, SymbolicLocationsShareAddressesAcrossCpus) {
+  const auto r = assemble(R"(
+    cpu 0:
+      store [flag], 1
+      mfence
+      halt
+    cpu 1:
+      load r0, [flag]
+      halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.programs.size(), 2u);
+  EXPECT_EQ(r.symbols.size(), 1u);
+  EXPECT_EQ(r.symbols.at("flag"), 0u);
+}
+
+TEST(Assembler, CommentsWhitespaceAndNumericAddresses) {
+  const auto r = assemble(
+      "cpu 0:\n"
+      "  # a comment line\n"
+      "  store [3], 9   // trailing comment\n"
+      "\n"
+      "  load r1 , [ 3 ]\n"
+      "  halt\n");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  Machine m = assemble_machine(
+      "cpu 0:\n  store [3], 9\n  load r1, [3]\n  halt\n");
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(1 - 1).regs[1], 9);
+}
+
+TEST(Assembler, LabelsAndLoops) {
+  Machine m = assemble_machine(R"(
+    cpu 0:
+      mov r0, 4
+      mov r1, 0
+    top:
+      add r1, 10
+      add r0, -1
+      bne r0, 0, top
+      halt
+  )");
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).regs[1], 40);
+}
+
+TEST(Assembler, StoreFromRegister) {
+  Machine m = assemble_machine(R"(
+    cpu 0:
+      mov r2, 77
+      store [x], r2
+      mfence
+      load r0, [x]
+      halt
+  )");
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).regs[0], 77);
+}
+
+TEST(Assembler, TextualAsymmetricDekkerIsExhaustivelySafe) {
+  // The paper's Fig. 3(a), written as a litmus text and model-checked.
+  const char* source = R"(
+    # Asymmetric Dekker: primary uses l-mfence, secondary uses mfence.
+    cpu 0:
+      lmfence [L1], 1
+      load r0, [L2]
+      bne r0, 0, skip
+      cs_enter
+      cs_exit
+    skip:
+      store [L1], 0
+      halt
+    cpu 1:
+      store [L2], 1
+      mfence
+      load r0, [L1]
+      bne r0, 0, skip
+      cs_enter
+      cs_exit
+    skip:
+      store [L2], 0
+      halt
+  )";
+  SimConfig cfg;
+  cfg.sb_capacity = 4;
+  cfg.cache_capacity = 8;
+  const ExploreResult r = explore_all(assemble_machine(source, cfg));
+  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+  EXPECT_GT(r.states_explored, 100u);
+}
+
+TEST(Assembler, TextualFenceFreeDekkerViolates) {
+  const char* source = R"(
+    cpu 0:
+      store [L1], 1
+      load r0, [L2]
+      bne r0, 0, skip
+      cs_enter
+      cs_exit
+    skip:
+      halt
+    cpu 1:
+      store [L2], 1
+      load r0, [L1]
+      bne r0, 0, skip
+      cs_enter
+      cs_exit
+    skip:
+      halt
+  )";
+  Explorer::Options opts;
+  Explorer ex(assemble_machine(source), opts);
+  const ExploreResult r = ex.run();
+  EXPECT_TRUE(r.violation.has_value());
+}
+
+TEST(Assembler, InitDirectiveSetsSharedMemory) {
+  Machine m = assemble_machine(R"(
+    init [flag], 7
+    init [9], 42
+    cpu 0:
+      load r0, [flag]
+      load r1, [9]
+      halt
+  )");
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).regs[0], 7);
+  EXPECT_EQ(m.cpu(0).regs[1], 42);
+}
+
+TEST(Assembler, ShippedPetersonLitmusShapeWorksInline) {
+  // Mirrors examples/litmus/peterson_lmfence.lit: exhaustively safe.
+  const char* source = R"(
+    cpu 0:
+      store [flag0], 1
+      lmfence [turn], 1
+      load r0, [flag1]
+      beq r0, 0, enter
+      load r1, [turn]
+      beq r1, 1, skip
+    enter:
+      cs_enter
+      cs_exit
+    skip:
+      store [flag0], 0
+      halt
+    cpu 1:
+      store [flag1], 1
+      lmfence [turn], 2
+      load r0, [flag0]
+      beq r0, 0, enter
+      load r1, [turn]
+      beq r1, 2, skip
+    enter:
+      cs_enter
+      cs_exit
+    skip:
+      store [flag1], 0
+      halt
+  )";
+  const ExploreResult r = explore_all(assemble_machine(source));
+  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+}
+
+// ------------------------------------------------------------- error paths
+
+TEST(AssemblerErrors, UnknownInstruction) {
+  const auto r = assemble("cpu 0:\n  frobnicate r0\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+  EXPECT_NE(r.error->message.find("unknown instruction"), std::string::npos);
+}
+
+TEST(AssemblerErrors, InstructionOutsideCpuSection) {
+  const auto r = assemble("mov r0, 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("outside"), std::string::npos);
+}
+
+TEST(AssemblerErrors, RegisterOutOfRange) {
+  const auto r = assemble("cpu 0:\n  mov r9, 1\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("register"), std::string::npos);
+}
+
+TEST(AssemblerErrors, MissingHalt) {
+  const auto r = assemble("cpu 0:\n  mov r0, 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("halt"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedLabel) {
+  const auto r = assemble("cpu 0:\n  jmp nowhere\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("undefined label"), std::string::npos);
+}
+
+TEST(AssemblerErrors, CpuSectionsOutOfOrder) {
+  const auto r = assemble("cpu 1:\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("in order"), std::string::npos);
+}
+
+TEST(AssemblerErrors, TrailingGarbage) {
+  const auto r = assemble("cpu 0:\n  mfence extra\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("trailing"), std::string::npos);
+}
+
+TEST(AssemblerErrors, EmptySource) {
+  const auto r = assemble("  \n # only comments\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("no 'cpu"), std::string::npos);
+}
+
+TEST(AssemblerErrors, InitAfterCpuSectionRejected) {
+  const auto r = assemble("cpu 0:\n  halt\ninit [x], 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("precede"), std::string::npos);
+}
+
+TEST(AssemblerErrors, MalformedLocation) {
+  const auto r = assemble("cpu 0:\n  load r0, flag\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("'['"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbmf::sim

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "lbmf/sim/cache.hpp"
+
+namespace lbmf::sim {
+namespace {
+
+TEST(SimCache, MissThenHit) {
+  Cache c(4);
+  EXPECT_EQ(c.peek(10), nullptr);
+  EXPECT_FALSE(c.insert(10, Mesi::Shared, {99}).has_value());
+  ASSERT_NE(c.peek(10), nullptr);
+  EXPECT_EQ(c.peek(10)->at(0), 99);
+  EXPECT_EQ(c.peek(10)->state, Mesi::Shared);
+}
+
+TEST(SimCache, InsertOverwritesExistingLine) {
+  Cache c(4);
+  c.insert(10, Mesi::Shared, {1});
+  c.insert(10, Mesi::Modified, {2});
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.peek(10)->at(0), 2);
+  EXPECT_EQ(c.peek(10)->state, Mesi::Modified);
+}
+
+TEST(SimCache, LruEvictionPicksColdestLine) {
+  Cache c(2);
+  c.insert(1, Mesi::Shared, {11});
+  c.insert(2, Mesi::Shared, {22});
+  c.touch(1);  // 2 is now coldest
+  auto evicted = c.insert(3, Mesi::Shared, {33});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->base, 2u);
+  EXPECT_NE(c.peek(1), nullptr);
+  EXPECT_NE(c.peek(3), nullptr);
+}
+
+TEST(SimCache, EraseReturnsLine) {
+  Cache c(4);
+  c.insert(5, Mesi::Exclusive, {50});
+  auto removed = c.erase(5);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->at(0), 50);
+  EXPECT_EQ(c.peek(5), nullptr);
+  EXPECT_FALSE(c.erase(5).has_value());
+}
+
+TEST(SimCache, SetStateOnResidentAndAbsentLines) {
+  Cache c(4);
+  c.insert(7, Mesi::Exclusive, {70});
+  c.set_state(7, Mesi::Shared);
+  EXPECT_EQ(c.peek(7)->state, Mesi::Shared);
+  c.set_state(8, Mesi::Modified);  // absent: silent no-op
+  EXPECT_EQ(c.peek(8), nullptr);
+}
+
+TEST(SimStoreBuffer, FifoOrderOfCompletion) {
+  StoreBuffer sb(4);
+  sb.push({1, 10, false});
+  sb.push({2, 20, false});
+  sb.push({1, 30, false});
+  EXPECT_EQ(sb.pop_oldest().value, 10);
+  EXPECT_EQ(sb.pop_oldest().value, 20);
+  EXPECT_EQ(sb.pop_oldest().value, 30);
+  EXPECT_TRUE(sb.empty());
+}
+
+TEST(SimStoreBuffer, ForwardingReturnsYoungestMatch) {
+  StoreBuffer sb(4);
+  sb.push({1, 10, false});
+  sb.push({2, 20, false});
+  sb.push({1, 30, false});
+  EXPECT_EQ(sb.forwarded_value(1), 30);
+  EXPECT_EQ(sb.forwarded_value(2), 20);
+  EXPECT_FALSE(sb.forwarded_value(3).has_value());
+}
+
+TEST(SimStoreBuffer, CapacityIsReported) {
+  StoreBuffer sb(2);
+  EXPECT_FALSE(sb.full());
+  sb.push({1, 1, false});
+  sb.push({2, 2, false});
+  EXPECT_TRUE(sb.full());
+  sb.pop_oldest();
+  EXPECT_FALSE(sb.full());
+}
+
+TEST(SimStoreBuffer, GuardedFlagTravelsWithEntry) {
+  StoreBuffer sb(2);
+  sb.push({9, 1, true});
+  const StoreEntry e = sb.pop_oldest();
+  EXPECT_TRUE(e.guarded);
+}
+
+}  // namespace
+}  // namespace lbmf::sim

@@ -1,0 +1,71 @@
+// Calibration pins: the simulator's default cost table must keep
+// reproducing the paper's three published constants. These tests fail if
+// anyone retunes SimConfig in a way that silently un-calibrates every
+// downstream simulated result (EXPERIMENTS.md, Threats to validity #4).
+#include <gtest/gtest.h>
+
+#include "lbmf/sim/litmus.hpp"
+#include "lbmf/sim/machine.hpp"
+
+namespace lbmf::sim {
+namespace {
+
+TEST(SimCosts, LeStRoundTripIsInThePaper150CycleClass) {
+  Machine hw = make_roundtrip_machine(/*use_interrupt=*/false);
+  for (int i = 0; i < 4; ++i) hw.step(0, Action::Execute);
+  hw.step(1, Action::Execute);
+  const auto cycles = hw.cpu(1).counters.cycles;
+  EXPECT_GE(cycles, 120u);
+  EXPECT_LE(cycles, 200u);  // paper: ~150 (L1 miss / L2 hit + SB flush)
+}
+
+TEST(SimCosts, SignalRoundTripIsInThePaper10kCycleClass) {
+  Machine sw = make_roundtrip_machine(/*use_interrupt=*/true);
+  sw.step(0, Action::Execute);
+  sw.deliver_interrupt(0);
+  sw.step(1, Action::Execute);
+  const auto cycles = sw.cpu(0).counters.cycles + sw.cpu(1).counters.cycles;
+  EXPECT_GE(cycles, 9'000u);
+  EXPECT_LE(cycles, 12'000u);  // paper: ~10,000
+}
+
+TEST(SimCosts, SoloDekkerMfencePenaltyIsInThePaper4To7xBand) {
+  Machine none = make_solo_dekker_machine(FenceKind::kNone, 1000);
+  none.run_round_robin();
+  Machine fenced = make_solo_dekker_machine(FenceKind::kMfence, 1000);
+  fenced.run_round_robin();
+  const double ratio =
+      static_cast<double>(fenced.cpu(0).counters.cycles) /
+      static_cast<double>(none.cpu(0).counters.cycles);
+  EXPECT_GE(ratio, 4.0);  // Sec. 1: "runs 4-7 times slower"
+  EXPECT_LE(ratio, 7.0);
+}
+
+TEST(SimCosts, SoloLmfenceOverheadIsNegligible) {
+  Machine none = make_solo_dekker_machine(FenceKind::kNone, 1000);
+  none.run_round_robin();
+  Machine lmf = make_solo_dekker_machine(FenceKind::kLmfence, 1000);
+  lmf.run_round_robin();
+  const double ratio = static_cast<double>(lmf.cpu(0).counters.cycles) /
+                       static_cast<double>(none.cpu(0).counters.cycles);
+  // Sec. 1: "only negligible overhead ... compared to executing the same
+  // code without fences at all". Allow up to 25% for the SetLink/LE/branch
+  // micro-ops; crucially it must be nowhere near the mfence band.
+  EXPECT_LT(ratio, 1.25);
+  // And no program-based fence may have executed.
+  EXPECT_EQ(lmf.cpu(0).counters.mfences, 0u);
+}
+
+TEST(SimCosts, CostTableKnobsActuallySteerTheModel) {
+  // Doubling the bus cost must raise the LE/ST round trip accordingly —
+  // guards against cost plumbing silently rotting.
+  SimConfig cfg;
+  cfg.cost_bus_transfer *= 2;
+  Machine hw = make_roundtrip_machine(/*use_interrupt=*/false, cfg);
+  for (int i = 0; i < 4; ++i) hw.step(0, Action::Execute);
+  hw.step(1, Action::Execute);
+  EXPECT_GT(hw.cpu(1).counters.cycles, 250u);
+}
+
+}  // namespace
+}  // namespace lbmf::sim

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "lbmf/sim/litmus.hpp"
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/sim/program.hpp"
+#include "lbmf/util/rng.hpp"
+
+namespace lbmf::sim {
+namespace {
+
+SimConfig small_cfg() {
+  SimConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.sb_capacity = 4;
+  cfg.cache_capacity = 8;
+  return cfg;
+}
+
+// ----------------------------------------------------------- basic execution
+
+TEST(SimMachine, RegisterOpsAndHalt) {
+  SimConfig cfg = small_cfg();
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  ProgramBuilder b("regs");
+  b.mov(0, 5).add(0, 3).mov(1, 100).halt();
+  m.load_program(0, b.build());
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).regs[0], 8);
+  EXPECT_EQ(m.cpu(0).regs[1], 100);
+  EXPECT_TRUE(m.finished());
+}
+
+TEST(SimMachine, StoreGoesToBufferThenMemory) {
+  SimConfig cfg = small_cfg();
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  ProgramBuilder b("st");
+  b.store(3, 77).halt();
+  m.load_program(0, b.build());
+  m.step(0, Action::Execute);  // store commits into SB
+  EXPECT_EQ(m.cpu(0).sb.size(), 1u);
+  EXPECT_EQ(m.memory(3), 0);  // not yet globally visible
+  m.step(0, Action::Drain);
+  EXPECT_TRUE(m.cpu(0).sb.empty());
+  // Completed into the cache in M (dirty); memory updates on writeback.
+  EXPECT_EQ(m.line_state(0, 3), Mesi::Modified);
+}
+
+TEST(SimMachine, StoreBufferForwardingSeesOwnStore) {
+  SimConfig cfg = small_cfg();
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  ProgramBuilder b("fwd");
+  b.store(3, 55).load(0, 3).halt();
+  m.load_program(0, b.build());
+  m.step(0, Action::Execute);  // store (stays in SB)
+  m.step(0, Action::Execute);  // load — must forward from SB
+  EXPECT_EQ(m.cpu(0).regs[0], 55);
+}
+
+TEST(SimMachine, LoadMissFillsExclusiveWhenUnshared) {
+  Machine m(small_cfg());
+  ProgramBuilder b("ld");
+  b.load(0, 9).halt();
+  m.load_program(0, b.build());
+  ProgramBuilder idle("idle");
+  idle.halt();
+  m.load_program(1, idle.build());
+  m.set_memory(9, 123);
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).regs[0], 123);
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Exclusive);
+}
+
+TEST(SimMachine, SecondReaderDowngradesToShared) {
+  Machine m(small_cfg());
+  ProgramBuilder b0("r0");
+  b0.load(0, 9).halt();
+  ProgramBuilder b1("r1");
+  b1.load(0, 9).halt();
+  m.load_program(0, b0.build());
+  m.load_program(1, b1.build());
+  m.set_memory(9, 5);
+  m.step(0, Action::Execute);  // cpu0 reads -> E
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Exclusive);
+  m.step(1, Action::Execute);  // cpu1 reads -> both S
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Shared);
+  EXPECT_EQ(m.line_state(1, 9), Mesi::Shared);
+  EXPECT_EQ(m.cpu(1).regs[0], 5);
+}
+
+TEST(SimMachine, WriterInvalidatesReaderAndReaderSeesNewValue) {
+  Machine m(small_cfg());
+  ProgramBuilder w("w");
+  w.store(4, 1).mfence().halt();
+  ProgramBuilder r("r");
+  r.load(0, 4).load(1, 4).halt();
+  m.load_program(0, w.build());
+  m.load_program(1, r.build());
+  m.step(1, Action::Execute);  // reader pulls line (value 0) into E
+  EXPECT_EQ(m.cpu(1).regs[0], 0);
+  m.step(0, Action::Execute);  // writer commits store
+  m.step(0, Action::Execute);  // mfence completes it -> invalidates reader
+  EXPECT_EQ(m.line_state(1, 4), Mesi::Invalid);
+  EXPECT_EQ(m.line_state(0, 4), Mesi::Modified);
+  m.step(1, Action::Execute);  // reader re-fetches (2nd load): sees 1, both S
+  EXPECT_EQ(m.cpu(1).regs[1], 1);
+  EXPECT_EQ(m.line_state(0, 4), Mesi::Shared);
+  EXPECT_EQ(m.line_state(1, 4), Mesi::Shared);
+  EXPECT_EQ(m.memory(4), 1);  // writeback happened on downgrade
+}
+
+TEST(SimMachine, MfenceDrainsWholeBuffer) {
+  SimConfig cfg = small_cfg();
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  ProgramBuilder b("fence");
+  b.store(1, 1).store(2, 2).store(3, 3).mfence().halt();
+  m.load_program(0, b.build());
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).counters.mfences, 1u);
+  EXPECT_EQ(m.cpu(0).counters.sb_drains, 3u);
+  EXPECT_EQ(m.line_state(0, 1), Mesi::Modified);
+  EXPECT_EQ(m.line_state(0, 2), Mesi::Modified);
+  EXPECT_EQ(m.line_state(0, 3), Mesi::Modified);
+}
+
+TEST(SimMachine, FullStoreBufferStallsAndSelfDrains) {
+  SimConfig cfg = small_cfg();
+  cfg.num_cpus = 1;
+  cfg.sb_capacity = 2;
+  Machine m(cfg);
+  ProgramBuilder b("full");
+  b.store(1, 1).store(2, 2).store(3, 3).halt();  // 3rd store must stall
+  m.load_program(0, b.build());
+  m.step(0, Action::Execute);
+  m.step(0, Action::Execute);
+  EXPECT_TRUE(m.cpu(0).sb.full());
+  m.step(0, Action::Execute);  // forced drain of oldest, then push
+  EXPECT_EQ(m.cpu(0).sb.size(), 2u);
+  EXPECT_EQ(m.line_state(0, 1), Mesi::Modified);
+}
+
+TEST(SimMachine, BranchesAndLoops) {
+  SimConfig cfg = small_cfg();
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  ProgramBuilder b("loop");
+  b.mov(0, 5).mov(1, 0);
+  b.label("top");
+  b.add(1, 2).add(0, -1).branch_ne(0, 0, "top").halt();
+  m.load_program(0, b.build());
+  m.run_round_robin();
+  EXPECT_EQ(m.cpu(0).regs[1], 10);
+}
+
+TEST(SimMachine, InterruptFlushesStoreBufferAndCharges) {
+  SimConfig cfg = small_cfg();
+  cfg.num_cpus = 1;
+  Machine m(cfg);
+  ProgramBuilder b("intr");
+  b.store(1, 9).halt();
+  m.load_program(0, b.build());
+  m.step(0, Action::Execute);
+  const auto before = m.cpu(0).counters.cycles;
+  m.deliver_interrupt(0);
+  EXPECT_TRUE(m.cpu(0).sb.empty());
+  EXPECT_GE(m.cpu(0).counters.cycles - before, cfg.cost_interrupt);
+}
+
+// -------------------------------------------------------------- TSO litmus
+
+TEST(SimMachine, MessagePassingNeverReordersOnTso) {
+  // Run many random schedules; r0==1 && r1==0 must never appear.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    Machine m = make_message_passing_litmus(small_cfg());
+    m.run_random(seed);
+    const Word flag = m.cpu(1).regs[reg::kObs0];
+    const Word data = m.cpu(1).regs[reg::kObs1];
+    ASSERT_FALSE(flag == 1 && data != 42)
+        << "MP violation at seed " << seed << ": flag=" << flag
+        << " data=" << data;
+  }
+}
+
+TEST(SimMachine, CoherenceInvariantsHoldAcrossRandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    Machine m = make_dekker_machine(FenceKind::kLmfence, FenceKind::kMfence,
+                                    small_cfg());
+    // Step manually so we can check invariants mid-flight.
+    Xoshiro256 rng(seed);
+    while (!m.finished()) {
+      Choice options[8];
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < 2; ++i) {
+        if (m.action_enabled(i, Action::Execute)) {
+          options[n++] = {static_cast<std::uint8_t>(i), Action::Execute};
+        }
+        if (m.action_enabled(i, Action::Drain)) {
+          options[n++] = {static_cast<std::uint8_t>(i), Action::Drain};
+        }
+      }
+      ASSERT_GT(n, 0u);
+      const Choice c = options[rng.next_below(n)];
+      m.step(c.cpu, c.action);
+      const auto violation = m.check_coherence();
+      ASSERT_FALSE(violation.has_value()) << *violation << " seed=" << seed;
+      ASSERT_LE(m.cpus_in_cs(), 1u) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(SimMachine, CanonicalStateDistinguishesProgress) {
+  Machine a = make_message_passing_litmus(small_cfg());
+  Machine b = make_message_passing_litmus(small_cfg());
+  EXPECT_EQ(a.canonical_state(), b.canonical_state());
+  a.step(0, Action::Execute);
+  EXPECT_NE(a.canonical_state(), b.canonical_state());
+  b.step(0, Action::Execute);
+  EXPECT_EQ(a.canonical_state(), b.canonical_state());
+}
+
+TEST(SimMachine, CyclesAreExcludedFromCanonicalState) {
+  // Two different schedules reaching the same architectural state must
+  // produce equal canonical encodings even though cycle counts differ.
+  Machine a = make_message_passing_litmus(small_cfg());
+  Machine b = make_message_passing_litmus(small_cfg());
+  // a: writer store, drain. b: writer store, reader-independent path, drain.
+  a.step(0, Action::Execute);
+  a.step(0, Action::Drain);
+  b.step(0, Action::Execute);
+  b.deliver_interrupt(0);  // drains via a costlier route
+  EXPECT_EQ(a.canonical_state(), b.canonical_state());
+  EXPECT_NE(a.cpu(0).counters.cycles, b.cpu(0).counters.cycles);
+}
+
+}  // namespace
+}  // namespace lbmf::sim

@@ -1,0 +1,184 @@
+// Protocol-variant tests: the paper claims the LE/ST mechanism "can be
+// adapted to other variants such as MSI and MOESI" (Sec. 2). Here the whole
+// litmus battery runs under each protocol, plus variant-specific state
+// checks (no E under MSI; Owned appears on MOESI downgrades with memory
+// left stale until eviction).
+#include <gtest/gtest.h>
+
+#include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/litmus.hpp"
+
+namespace lbmf::sim {
+namespace {
+
+SimConfig cfg_for(Protocol p) {
+  SimConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.sb_capacity = 4;
+  cfg.cache_capacity = 8;
+  cfg.protocol = p;
+  return cfg;
+}
+
+class ProtocolSuite : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolSuite, AsymmetricDekkerSafeExhaustively) {
+  const ExploreResult r = explore_all(make_dekker_machine(
+      FenceKind::kLmfence, FenceKind::kMfence, cfg_for(GetParam())));
+  EXPECT_TRUE(r.ok()) << to_string(GetParam()) << ": "
+                      << (r.violation ? *r.violation : "limit");
+}
+
+TEST_P(ProtocolSuite, MirroredLmfenceSafeExhaustively) {
+  const ExploreResult r = explore_all(make_dekker_machine(
+      FenceKind::kLmfence, FenceKind::kLmfence, cfg_for(GetParam())));
+  EXPECT_TRUE(r.ok()) << to_string(GetParam());
+}
+
+TEST_P(ProtocolSuite, FenceFreeDekkerStillViolates) {
+  Explorer::Options opts;
+  Explorer ex(make_dekker_machine(FenceKind::kNone, FenceKind::kNone,
+                                  cfg_for(GetParam())),
+              opts);
+  const ExploreResult r = ex.run();
+  EXPECT_TRUE(r.violation.has_value()) << to_string(GetParam());
+}
+
+TEST_P(ProtocolSuite, StoreBufferLitmusMatchesTso) {
+  Explorer::Options opts;
+  opts.observe = observe_obs0;
+  Explorer ex(make_store_buffer_litmus(FenceKind::kLmfence,
+                                       FenceKind::kLmfence,
+                                       cfg_for(GetParam())),
+              opts);
+  const ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok()) << to_string(GetParam());
+  EXPECT_EQ(r.outcomes.count("r0=0,r0=0"), 0u) << to_string(GetParam());
+}
+
+TEST_P(ProtocolSuite, RemoteGuardedReadSeesFreshValue) {
+  SimConfig cfg = cfg_for(GetParam());
+  Machine m(cfg);
+  ProgramBuilder p("primary");
+  p.lmfence(addr::kFlag0, 1).halt();
+  ProgramBuilder q("reader");
+  q.load(reg::kObs0, addr::kFlag0).halt();
+  m.load_program(0, p.build());
+  m.load_program(1, q.build());
+  for (int i = 0; i < 4; ++i) m.step(0, Action::Execute);
+  m.step(1, Action::Execute);
+  EXPECT_EQ(m.cpu(1).regs[reg::kObs0], 1) << to_string(GetParam());
+  EXPECT_FALSE(m.check_coherence().has_value()) << to_string(GetParam());
+}
+
+TEST_P(ProtocolSuite, FuzzRandomSchedulesKeepInvariants) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Machine m = make_dekker_machine(FenceKind::kLmfence, FenceKind::kMfence,
+                                    cfg_for(GetParam()));
+    m.run_random(seed);
+    EXPECT_FALSE(m.check_coherence().has_value())
+        << to_string(GetParam()) << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolSuite,
+                         ::testing::Values(Protocol::kMsi, Protocol::kMesi,
+                                           Protocol::kMoesi),
+                         [](const ::testing::TestParamInfo<Protocol>& info) {
+                           return to_string(info.param);
+                         });
+
+// ------------------------------------------------- variant-specific states
+
+TEST(ProtocolMsi, SoleReaderFillsSharedNotExclusive) {
+  Machine m(cfg_for(Protocol::kMsi));
+  ProgramBuilder b("r");
+  b.load(0, 9).halt();
+  ProgramBuilder idle("i");
+  idle.halt();
+  m.load_program(0, b.build());
+  m.load_program(1, idle.build());
+  m.step(0, Action::Execute);
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Shared);  // MSI has no E
+}
+
+TEST(ProtocolMsi, LoadExclusiveFillsModifiedDirectly) {
+  Machine m(cfg_for(Protocol::kMsi));
+  ProgramBuilder b("le");
+  b.load_exclusive(0, 9).halt();
+  ProgramBuilder idle("i");
+  idle.halt();
+  m.load_program(0, b.build());
+  m.load_program(1, idle.build());
+  m.step(0, Action::Execute);
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Modified);
+  EXPECT_FALSE(m.check_coherence().has_value());
+}
+
+TEST(ProtocolMoesi, DowngradedDirtyLineBecomesOwnedAndMemoryStaysStale) {
+  Machine m(cfg_for(Protocol::kMoesi));
+  ProgramBuilder w("w");
+  w.store(9, 42).mfence().halt();
+  ProgramBuilder r("r");
+  r.load(reg::kObs0, 9).halt();
+  m.load_program(0, w.build());
+  m.load_program(1, r.build());
+  m.step(0, Action::Execute);  // store commits
+  m.step(0, Action::Execute);  // mfence completes it -> M
+  ASSERT_EQ(m.line_state(0, 9), Mesi::Modified);
+  m.step(1, Action::Execute);  // remote read: M -> O, no writeback
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Owned);
+  EXPECT_EQ(m.line_state(1, 9), Mesi::Shared);
+  EXPECT_EQ(m.cpu(1).regs[reg::kObs0], 42);  // data came from the owner
+  EXPECT_EQ(m.memory(9), 0);                 // memory intentionally stale
+  EXPECT_FALSE(m.check_coherence().has_value());
+}
+
+TEST(ProtocolMoesi, EvictingOwnedLineWritesBack) {
+  SimConfig cfg = cfg_for(Protocol::kMoesi);
+  cfg.cache_capacity = 2;
+  Machine m(cfg);
+  ProgramBuilder w("w");
+  w.store(9, 42).mfence();   // 9 -> M
+  w.load(2, 50).load(3, 60); // force eviction pressure later
+  w.halt();
+  ProgramBuilder r("r");
+  r.load(reg::kObs0, 9).halt();
+  m.load_program(0, w.build());
+  m.load_program(1, r.build());
+  m.step(0, Action::Execute);
+  m.step(0, Action::Execute);  // 9 in M
+  m.step(1, Action::Execute);  // downgrade: 9 -> O on cpu0
+  ASSERT_EQ(m.line_state(0, 9), Mesi::Owned);
+  m.step(0, Action::Execute);  // load 50 (cache: {9:O, 50})
+  m.step(0, Action::Execute);  // load 60 evicts LRU = 9 (Owned)
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Invalid);
+  EXPECT_EQ(m.memory(9), 42);  // writeback happened on eviction
+  EXPECT_FALSE(m.check_coherence().has_value());
+}
+
+TEST(ProtocolMoesi, WriterReclaimsOwnedLineViaUpgrade) {
+  Machine m(cfg_for(Protocol::kMoesi));
+  ProgramBuilder w("w");
+  w.store(9, 42).mfence();  // M
+  w.store(9, 43).mfence();  // after downgrade to O this needs an upgrade
+  w.halt();
+  ProgramBuilder r("r");
+  r.load(reg::kObs0, 9).load(reg::kObs1, 9).halt();
+  m.load_program(0, w.build());
+  m.load_program(1, r.build());
+  m.step(0, Action::Execute);
+  m.step(0, Action::Execute);  // 9 -> M (42)
+  m.step(1, Action::Execute);  // reader: cpu0 9 -> O, reader S (42)
+  ASSERT_EQ(m.line_state(0, 9), Mesi::Owned);
+  m.step(0, Action::Execute);  // store 43 commits
+  m.step(0, Action::Execute);  // mfence: upgrade O -> M, invalidate reader
+  EXPECT_EQ(m.line_state(0, 9), Mesi::Modified);
+  EXPECT_EQ(m.line_state(1, 9), Mesi::Invalid);
+  m.step(1, Action::Execute);  // reader re-fetches: sees 43 from owner
+  EXPECT_EQ(m.cpu(1).regs[reg::kObs1], 43);
+  EXPECT_FALSE(m.check_coherence().has_value());
+}
+
+}  // namespace
+}  // namespace lbmf::sim

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/litmus.hpp"
+#include "lbmf/sim/trace.hpp"
+
+namespace lbmf::sim {
+namespace {
+
+SimConfig cfg2() {
+  SimConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.sb_capacity = 4;
+  cfg.cache_capacity = 8;
+  return cfg;
+}
+
+TEST(SimTrace, RecordsOneExecEventPerInstruction) {
+  Machine m(cfg2());
+  ProgramBuilder b("p");
+  b.mov(0, 1).store(3, 7).mfence().halt();
+  m.load_program(0, b.build());
+  ProgramBuilder idle("i");
+  idle.halt();
+  m.load_program(1, idle.build());
+  TraceRecorder rec;
+  m.set_trace(&rec);
+  m.run_round_robin();
+  EXPECT_EQ(rec.count(EventKind::kExec),
+            m.cpu(0).counters.instructions + m.cpu(1).counters.instructions);
+  EXPECT_EQ(rec.count(EventKind::kDrain), 1u);  // the mfence drained 1 store
+}
+
+TEST(SimTrace, GuardEventsShowUpInOrder) {
+  Machine m(cfg2());
+  ProgramBuilder p("primary");
+  p.lmfence(0, 1).halt();
+  ProgramBuilder q("reader");
+  q.load(0, 0).halt();
+  m.load_program(0, p.build());
+  m.load_program(1, q.build());
+  TraceRecorder rec;
+  m.set_trace(&rec);
+  for (int i = 0; i < 4; ++i) m.step(0, Action::Execute);  // arm + park
+  m.step(1, Action::Execute);                              // remote read
+
+  EXPECT_EQ(rec.count(EventKind::kLinkArm), 1u);
+  EXPECT_EQ(rec.count(EventKind::kGuardRemote), 1u);
+  EXPECT_EQ(rec.count(EventKind::kDrain), 1u);  // the guard flush
+
+  // Ordering: arm before the guard fires, guard before the drain.
+  std::uint64_t arm_seq = 0, guard_seq = 0, drain_seq = 0;
+  for (const TraceEvent& e : rec.events()) {
+    if (e.kind == EventKind::kLinkArm) arm_seq = e.seq;
+    if (e.kind == EventKind::kGuardRemote) guard_seq = e.seq;
+    if (e.kind == EventKind::kDrain) drain_seq = e.seq;
+  }
+  EXPECT_LT(arm_seq, guard_seq);
+  EXPECT_LT(guard_seq, drain_seq);
+}
+
+TEST(SimTrace, DetachedRecorderStopsRecording) {
+  Machine m(cfg2());
+  ProgramBuilder b("p");
+  b.mov(0, 1).mov(1, 2).halt();
+  m.load_program(0, b.build());
+  ProgramBuilder idle("i");
+  idle.halt();
+  m.load_program(1, idle.build());
+  TraceRecorder rec;
+  m.set_trace(&rec);
+  m.step(0, Action::Execute);
+  m.set_trace(nullptr);
+  m.step(0, Action::Execute);
+  EXPECT_EQ(rec.count(EventKind::kExec), 1u);
+}
+
+TEST(SimTrace, FormattingIsStable) {
+  TraceRecorder rec;
+  rec.record(1, EventKind::kGuardRemote, 7, 0);
+  rec.record(0, EventKind::kExec, kInvalidAddr, 0, "MOV r0");
+  const auto& evs = rec.events();
+  EXPECT_NE(to_string(evs[0]).find("cpu1"), std::string::npos);
+  EXPECT_NE(to_string(evs[0]).find("guard-remote"), std::string::npos);
+  EXPECT_NE(to_string(evs[1]).find("MOV r0"), std::string::npos);
+  EXPECT_NE(rec.to_string().find('\n'), std::string::npos);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(SimTrace, AnnotatedViolationScheduleTellsTheStory) {
+  // Get a violating schedule from the fence-free Dekker and annotate it:
+  // the narrative must end with 2 CPUs in the critical section and must
+  // not contain any guard events (no l-mfence was armed).
+  Explorer::Options opts;
+  Explorer ex(make_dekker_machine(FenceKind::kNone, FenceKind::kNone, cfg2()),
+              opts);
+  const ExploreResult r = ex.run();
+  ASSERT_TRUE(r.violation.has_value());
+
+  const std::string story = annotate_schedule(
+      make_dekker_machine(FenceKind::kNone, FenceKind::kNone, cfg2()),
+      r.violation_trace);
+  EXPECT_NE(story.find("final: 2 CPU(s) in critical section"),
+            std::string::npos)
+      << story;
+  EXPECT_EQ(story.find("guard-remote"), std::string::npos);
+  EXPECT_NE(story.find("CS_ENTER"), std::string::npos);
+}
+
+TEST(SimTrace, AnnotatedSafeScheduleShowsGuardFiring) {
+  // Round-robin the asymmetric Dekker and annotate the schedule: the story
+  // must include the link arming; if a remote access hit the guarded line,
+  // a guard-remote event follows.
+  Machine probe = make_dekker_machine(FenceKind::kLmfence, FenceKind::kMfence,
+                                      cfg2());
+  std::vector<Choice> schedule;
+  while (!probe.finished()) {
+    bool stepped = false;
+    for (std::size_t c = 0; c < 2 && !stepped; ++c) {
+      if (probe.action_enabled(c, Action::Execute)) {
+        schedule.push_back({static_cast<std::uint8_t>(c), Action::Execute});
+        probe.step(c, Action::Execute);
+        stepped = true;
+      } else if (probe.action_enabled(c, Action::Drain)) {
+        schedule.push_back({static_cast<std::uint8_t>(c), Action::Drain});
+        probe.step(c, Action::Drain);
+        stepped = true;
+      }
+    }
+    ASSERT_TRUE(stepped);
+  }
+  const std::string story = annotate_schedule(
+      make_dekker_machine(FenceKind::kLmfence, FenceKind::kMfence, cfg2()),
+      schedule);
+  EXPECT_NE(story.find("link-arm"), std::string::npos) << story;
+  EXPECT_NE(story.find("final:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbmf::sim

@@ -1,0 +1,13 @@
+// The umbrella header must pull in the entire public surface cleanly.
+#include "lbmf/lbmf.hpp"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EverythingIsVisible) {
+  lbmf::GuardedLocation<int> loc(1);
+  EXPECT_EQ(loc.weak_read(), 1);
+  lbmf::sim::SimConfig cfg;
+  EXPECT_EQ(cfg.protocol, lbmf::sim::Protocol::kMesi);
+  lbmf::model::CostTable costs;
+  EXPECT_GT(costs.signal_roundtrip_cycles, costs.lest_roundtrip_cycles);
+}

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lbmf/util/affinity.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/rng.hpp"
+#include "lbmf/util/spin.hpp"
+#include "lbmf/util/stats.hpp"
+#include "lbmf/util/timing.hpp"
+
+namespace lbmf {
+namespace {
+
+// ---------------------------------------------------------------- cacheline
+
+TEST(CacheLine, AlignedWrapperIsLineSizedAndAligned) {
+  EXPECT_EQ(sizeof(CacheAligned<int>), kCacheLineSize);
+  EXPECT_EQ(alignof(CacheAligned<int>), kCacheLineSize);
+  CacheAligned<int> a(7);
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&a) % kCacheLineSize, 0u);
+}
+
+TEST(CacheLine, ArrayElementsDoNotShareLines) {
+  CacheAligned<char> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto lo = reinterpret_cast<std::uintptr_t>(&arr[i]);
+    const auto hi = reinterpret_cast<std::uintptr_t>(&arr[i + 1]);
+    EXPECT_GE(hi - lo, kCacheLineSize);
+  }
+}
+
+TEST(CacheLine, LargePayloadRoundsUpToMultipleLines) {
+  struct Big {
+    char data[100];
+  };
+  EXPECT_EQ(sizeof(CacheAligned<Big>) % kCacheLineSize, 0u);
+  EXPECT_GE(sizeof(CacheAligned<Big>), sizeof(Big));
+}
+
+TEST(CacheLine, ArrowOperatorReachesMembers) {
+  struct S {
+    int x = 3;
+  };
+  CacheAligned<S> s;
+  EXPECT_EQ(s->x, 3);
+  s->x = 9;
+  EXPECT_EQ((*s).x, 9);
+}
+
+// --------------------------------------------------------------------- spin
+
+TEST(SpinWait, CountsPauseRoundsThenYields) {
+  SpinWait w(/*spin_limit=*/4);
+  for (int i = 0; i < 4; ++i) w.wait();
+  EXPECT_EQ(w.rounds(), 4u);
+  w.wait();  // yield path; rounds saturates at the limit
+  EXPECT_EQ(w.rounds(), 4u);
+  w.reset();
+  EXPECT_EQ(w.rounds(), 0u);
+}
+
+TEST(SpinWait, ZeroLimitYieldsImmediatelyWithoutCrashing) {
+  SpinWait w(0);
+  for (int i = 0; i < 8; ++i) w.wait();
+  EXPECT_EQ(w.rounds(), 0u);
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, SplitMixIsDeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  SplitMix64 a2(42);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, XoshiroSequencesDifferAcrossSeeds) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleIsInHalfOpenUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremesAreDegenerate) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatMatchesClosedForm) {
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, RunningStatSingleSampleHasZeroVariance) {
+  RunningStat rs;
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.max(), 3.5);
+}
+
+TEST(Stats, PercentileInterpolatesBetweenPoints) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Stats, PercentileDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({7.0}, 0.9), 7.0);
+  // Out-of-range q is clamped.
+  std::vector<double> v{1, 2};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, -3.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 5.0), 2.0);
+}
+
+TEST(Stats, SummarizeOrdersFields) {
+  auto s = summarize({5, 1, 4, 2, 3});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+// ------------------------------------------------------------------- timing
+
+TEST(Timing, TscIsMonotonicEnough) {
+  const auto a = rdtsc();
+  const auto b = rdtscp();
+  const auto c = rdtsc();
+  EXPECT_LE(a, c);
+  (void)b;
+}
+
+TEST(Timing, CalibratedFrequencyIsPlausible) {
+  const double hz = tsc_hz();
+  // Any real machine is between 100 MHz and 10 GHz.
+  EXPECT_GT(hz, 1e8);
+  EXPECT_LT(hz, 1e10);
+  EXPECT_NEAR(tsc_to_ns(static_cast<std::uint64_t>(hz)), 1e9, 1e9 * 0.01);
+}
+
+TEST(Timing, StopwatchMeasuresSleep) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(sw.millis(), 9.0);
+  sw.reset();
+  EXPECT_LT(sw.millis(), 9.0);
+}
+
+// ----------------------------------------------------------------- affinity
+
+TEST(Affinity, OnlineCpusIsPositive) { EXPECT_GE(online_cpus(), 1u); }
+
+TEST(Affinity, PinWrapsModuloCpuCount) {
+  // Pinning to an index beyond the CPU count must still succeed (wraps).
+  EXPECT_TRUE(pin_to_cpu(0));
+  EXPECT_TRUE(pin_to_cpu(online_cpus() + 3));
+}
+
+}  // namespace
+}  // namespace lbmf
