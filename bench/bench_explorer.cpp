@@ -1,0 +1,263 @@
+// E14 — explorer engine throughput: the rebuilt explorer (fingerprint
+// dedup, iterative DFS with move-at-branch-point, partial-order reduction,
+// optional lbmf::ws parallel fan-out, plus the Machine snapshot/serialize
+// optimizations that came with it) against the seed engine it replaced, at
+// equal max_states. The baseline is the *complete* seed stack — the
+// seed-commit Machine (std::map memory, heap-vector cache lines, allocating
+// canonical_state()/check_coherence()) compiled verbatim from
+// seed_baseline.{hpp,cpp}, driven by the seed's recursive DFS over a
+// std::set of full canonical keys with one Machine copy per transition.
+//
+// Workload: two independent instances of the bundled asymmetric-Dekker
+// protocol (l-mfence vs mfence) on one 4-CPU machine. A single pair's
+// interleaving graph is only ~560 states — far too small for the visited
+// set's asymptotics to matter — so the bench composes two pairs on disjoint
+// flag addresses, giving the ~product graph (~310k states) where per-state
+// costs dominate, exactly as they would on any non-toy model.
+// Mutual-exclusion checking is off in BOTH engines (the two pairs
+// legitimately occupy their critical sections concurrently); coherence
+// checking stays on in both.
+//
+//   bench_explorer            # full measurement (120k-state budget)
+//   bench_explorer --quick    # CI smoke mode (60k-state budget)
+//
+// Emits BENCH_explorer.json (states/sec of the default engine plus the
+// speedup and memory ratios vs the seed baseline) in the working directory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/litmus.hpp"
+#include "seed_baseline.hpp"
+
+using namespace lbmf::sim;
+namespace seedsim = lbmf::seedsim;
+
+namespace seed {
+
+struct Result {
+  std::uint64_t states = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t terminals = 0;
+  std::uint64_t visited_bytes = 0;  // keys + per-node tree overhead
+  bool violation = false;
+  bool hit_limit = false;
+};
+
+// The seed driver, verbatim in structure: recursion per transition, a
+// std::set of full canonical-state strings for dedup, a value-semantic
+// Machine snapshot copied for every explored edge, and coherence checked on
+// every transition (not once per state), as the seed did.
+class Explorer {
+ public:
+  Explorer(std::uint64_t max_states, bool check_mutex)
+      : max_states_(max_states), check_mutex_(check_mutex) {}
+
+  Result run(const seedsim::Machine& m) {
+    result_ = Result{};
+    visited_.clear();
+    done_ = false;
+    dfs(m);
+    for (const std::string& key : visited_) {
+      // string payload + red-black node overhead (3 pointers + color,
+      // rounded) + the string header itself.
+      result_.visited_bytes +=
+          key.size() + 4 * sizeof(void*) + sizeof(std::string);
+    }
+    return result_;
+  }
+
+ private:
+  void dfs(const seedsim::Machine& m) {
+    if (done_) return;
+    if (result_.states >= max_states_) {
+      result_.hit_limit = true;
+      done_ = true;
+      return;
+    }
+    if (!visited_.insert(m.canonical_state()).second) return;
+    ++result_.states;
+
+    bool any_transition = false;
+    for (std::size_t cpu = 0; cpu < m.num_cpus(); ++cpu) {
+      for (Action a : {Action::Execute, Action::Drain}) {
+        if (!m.action_enabled(cpu, a)) continue;
+        any_transition = true;
+        seedsim::Machine next = m;  // snapshot per transition
+        next.step(cpu, a);
+        ++result_.transitions;
+        std::optional<std::string> violation = next.check_coherence();
+        if (!violation && check_mutex_ && next.cpus_in_cs() > 1) {
+          violation = "mutex";
+        }
+        if (violation) {
+          result_.violation = true;
+          done_ = true;
+          return;
+        }
+        dfs(next);
+        if (done_) return;
+      }
+    }
+    if (!any_transition) ++result_.terminals;
+  }
+
+  std::uint64_t max_states_;
+  bool check_mutex_;
+  std::set<std::string> visited_;
+  Result result_;
+  bool done_ = false;
+};
+
+}  // namespace seed
+
+namespace {
+
+// Disjoint flag pair for the second Dekker instance.
+constexpr Addr kPairBFlag0 = 4;
+constexpr Addr kPairBFlag1 = 5;
+
+struct Row {
+  const char* label;
+  std::uint64_t states = 0;
+  std::uint64_t visited_bytes = 0;
+  double states_per_sec = 0;
+};
+
+SimConfig workload_config() {
+  SimConfig cfg;
+  cfg.num_cpus = 4;
+  cfg.sb_capacity = 4;
+  cfg.cache_capacity = 8;
+  return cfg;
+}
+
+// The four dekker_side programs of the two independent pairs, loaded into
+// either engine's Machine (the program/ISA layer is shared between the
+// seed snapshot and the live simulator).
+template <typename MachineT>
+MachineT workload() {
+  MachineT m(workload_config());
+  m.load_program(0,
+                 dekker_side(addr::kFlag0, addr::kFlag1, FenceKind::kLmfence));
+  m.load_program(1, dekker_side(addr::kFlag1, addr::kFlag0, FenceKind::kMfence));
+  m.load_program(2, dekker_side(kPairBFlag0, kPairBFlag1, FenceKind::kLmfence));
+  m.load_program(3, dekker_side(kPairBFlag1, kPairBFlag0, FenceKind::kMfence));
+  return m;
+}
+
+// Repeat `run` until `min_seconds` of wall clock is spent and report the
+// best per-repetition rate (noise on a shared box only ever slows a rep
+// down, so the max is the least-perturbed estimate of the engine's speed).
+template <typename Run>
+Row measure(const char* label, double min_seconds, Run run) {
+  Row row;
+  row.label = label;
+  double best = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    const auto r0 = std::chrono::steady_clock::now();
+    run(&row);
+    const auto r1 = std::chrono::steady_clock::now();
+    const double rep = std::chrono::duration<double>(r1 - r0).count();
+    best = std::max(best, static_cast<double>(row.states) / rep);
+    elapsed = std::chrono::duration<double>(r1 - t0).count();
+  } while (elapsed < min_seconds);
+  row.states_per_sec = best;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  // Equal state budget for every engine; the full product graph (~310k
+  // states) exceeds both budgets, so each row explores exactly this many
+  // distinct states and states/sec compares like against like.
+  const std::uint64_t max_states = quick ? 60'000 : 120'000;
+  const double min_seconds = quick ? 0.5 : 1.0;
+  const seedsim::Machine seed_m = workload<seedsim::Machine>();
+  const Machine new_m = workload<Machine>();
+
+  std::vector<Row> rows;
+  rows.push_back(measure("seed (recursive, std::set, copy/edge)", min_seconds,
+                         [&](Row* r) {
+                           seed::Explorer ex(max_states, /*check_mutex=*/false);
+                           const seed::Result sr = ex.run(seed_m);
+                           r->states = sr.states;
+                           r->visited_bytes = sr.visited_bytes;
+                         }));
+  const auto new_engine = [&](bool por, std::size_t threads) {
+    return [&, por, threads](Row* r) {
+      Explorer::Options opts;
+      opts.max_states = max_states;
+      opts.por = por;
+      opts.threads = threads;
+      opts.check_mutual_exclusion = false;  // two pairs share the machine
+      const ExploreResult er = explore_all(new_m, opts);
+      r->states = er.states_explored;
+      r->visited_bytes = er.visited_bytes;
+    };
+  };
+  rows.push_back(
+      measure("fingerprint dedup", min_seconds, new_engine(false, 1)));
+  rows.push_back(
+      measure("fingerprint + POR", min_seconds, new_engine(true, 1)));
+  rows.push_back(measure("fingerprint + POR, 4 threads", min_seconds,
+                         new_engine(true, 4)));
+
+  std::printf(
+      "two independent asymmetric-Dekker pairs (l-mfence/mfence), 4 CPUs,\n"
+      "max_states=%llu for every engine, %s measurement\n\n",
+      static_cast<unsigned long long>(max_states), quick ? "quick" : "full");
+  std::printf("%-34s %8s %12s %14s\n", "engine", "states", "visited-B",
+              "states/sec");
+  for (const Row& r : rows) {
+    std::printf("%-34s %8llu %12llu %14.0f\n", r.label,
+                static_cast<unsigned long long>(r.states),
+                static_cast<unsigned long long>(r.visited_bytes),
+                r.states_per_sec);
+  }
+
+  const Row& base = rows[0];
+  const Row& fp = rows[1];   // same full graph as the seed: apples-to-apples
+  const Row& def = rows[2];  // the default engine configuration
+  const double speedup = fp.states_per_sec / base.states_per_sec;
+  const double mem_ratio = static_cast<double>(base.visited_bytes) /
+                           static_cast<double>(fp.visited_bytes);
+  std::printf("\nvs seed engine (equal %llu-state budget):\n",
+              static_cast<unsigned long long>(fp.states));
+  std::printf("  states/sec speedup : %.1fx   (target >= 5x)\n", speedup);
+  std::printf("  visited-set memory : %.1fx smaller   (target >= 4x)\n",
+              mem_ratio);
+  std::printf("  POR                : same budget spent on the reduced graph "
+              "(%llu states)\n",
+              static_cast<unsigned long long>(def.states));
+
+  if (std::FILE* f = std::fopen("BENCH_explorer.json", "w")) {
+    std::fprintf(f,
+                 "{\"bench\":\"explorer\",\"workload\":\"asymmetric_dekker_x2\","
+                 "\"max_states\":%llu,\"states_per_sec\":%.0f,"
+                 "\"speedup_vs_seed\":%.2f,\"memory_ratio_vs_seed\":%.2f,"
+                 "\"quick\":%s}\n",
+                 static_cast<unsigned long long>(max_states),
+                 def.states_per_sec, speedup, mem_ratio,
+                 quick ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_explorer.json\n");
+  }
+  const bool pass = speedup >= 5.0 && mem_ratio >= 4.0;
+  std::printf("%s\n", pass ? "PASS" : "FAIL: below target ratios");
+  return pass ? 0 : 1;
+}

@@ -1,4 +1,7 @@
-#include "lbmf/sim/machine.hpp"
+// Frozen seed-commit implementation (cache.cpp + machine.cpp as of the
+// seed) for the bench_explorer baseline. See seed_baseline.hpp.
+
+#include "seed_baseline.hpp"
 
 #include <algorithm>
 #include <cstdio>
@@ -8,27 +11,82 @@
 #include "lbmf/util/check.hpp"
 #include "lbmf/util/rng.hpp"
 
-namespace lbmf::sim {
+namespace lbmf::seedsim {
 
-const char* to_string(Mesi s) noexcept {
-  switch (s) {
-    case Mesi::Invalid: return "I";
-    case Mesi::Shared: return "S";
-    case Mesi::Exclusive: return "E";
-    case Mesi::Modified: return "M";
-    case Mesi::Owned: return "O";
+using sim::EventKind;
+
+
+const CacheLine* Cache::peek(Addr base) const noexcept {
+  for (const auto& l : lines_) {
+    if (l.base == base) return &l;
   }
-  return "?";
+  return nullptr;
 }
 
-const char* to_string(Protocol p) noexcept {
-  switch (p) {
-    case Protocol::kMsi: return "MSI";
-    case Protocol::kMesi: return "MESI";
-    case Protocol::kMoesi: return "MOESI";
+CacheLine* Cache::touch(Addr base) noexcept {
+  for (auto& l : lines_) {
+    if (l.base == base) {
+      l.lru = ++clock_;
+      return &l;
+    }
   }
-  return "?";
+  return nullptr;
 }
+
+std::optional<CacheLine> Cache::insert(Addr base, Mesi state,
+                                       std::vector<Word> data) {
+  LBMF_CHECK(state != Mesi::Invalid);
+  if (CacheLine* existing = touch(base)) {
+    existing->state = state;
+    existing->data = std::move(data);
+    return std::nullopt;
+  }
+  std::optional<CacheLine> evicted;
+  if (lines_.size() >= capacity_) {
+    auto victim = std::min_element(
+        lines_.begin(), lines_.end(),
+        [](const CacheLine& x, const CacheLine& y) { return x.lru < y.lru; });
+    evicted = std::move(*victim);
+    lines_.erase(victim);
+  }
+  lines_.push_back(CacheLine{base, state, std::move(data), ++clock_});
+  return evicted;
+}
+
+void Cache::set_state(Addr base, Mesi state) noexcept {
+  for (auto& l : lines_) {
+    if (l.base == base) {
+      l.state = state;
+      return;
+    }
+  }
+}
+
+std::optional<CacheLine> Cache::erase(Addr base) noexcept {
+  for (auto it = lines_.begin(); it != lines_.end(); ++it) {
+    if (it->base == base) {
+      CacheLine removed = std::move(*it);
+      lines_.erase(it);
+      return removed;
+    }
+  }
+  return std::nullopt;
+}
+
+StoreEntry StoreBuffer::pop_oldest() {
+  LBMF_CHECK(!entries_.empty());
+  StoreEntry e = entries_.front();
+  entries_.erase(entries_.begin());
+  return e;
+}
+
+std::optional<Word> StoreBuffer::forwarded_value(Addr a) const noexcept {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->addr == a) return it->value;
+  }
+  return std::nullopt;
+}
+
 
 namespace {
 
@@ -45,21 +103,6 @@ bool is_dirty_state(Mesi s) noexcept {
 
 }  // namespace
 
-const char* to_string(Action a) noexcept {
-  switch (a) {
-    case Action::Execute: return "exec";
-    case Action::Drain: return "drain";
-    case Action::Interrupt: return "intr";
-  }
-  return "?";
-}
-
-std::string to_string(const Choice& c) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "cpu%u:%s", unsigned{c.cpu},
-                to_string(c.action));
-  return buf;
-}
 
 Machine::Machine(SimConfig cfg) : cfg_(cfg) {
   LBMF_CHECK(cfg_.num_cpus >= 1 && cfg_.num_cpus <= 64);
@@ -72,28 +115,13 @@ Machine::Machine(SimConfig cfg) : cfg_(cfg) {
 
 void Machine::load_program(std::size_t cpu, Program p) {
   LBMF_CHECK(cpu < cpus_.size());
-  // Registers this program can ever write. Registers outside the mask stay
-  // zero forever, so the canonical encoding skips them (the encoding is
-  // only ever compared between machines running the same programs).
-  std::uint8_t mask = 0;
-  for (const Instr& i : p.code) {
-    switch (i.op) {
-      case Op::kLoad:
-      case Op::kLoadExclusive:
-      case Op::kMovImm:
-      case Op::kAddImm:
-        LBMF_CHECK(i.reg < 8);
-        mask |= static_cast<std::uint8_t>(1u << i.reg);
-        break;
-      default:
-        break;
-    }
-  }
-  cpus_[cpu].regs_written_mask = mask;
   cpus_[cpu].program = std::make_shared<const Program>(std::move(p));
 }
 
-Word Machine::memory(Addr a) const { return mem_.get(a); }
+Word Machine::memory(Addr a) const {
+  auto it = mem_.find(a);
+  return it == mem_.end() ? 0 : it->second;
+}
 
 Addr Machine::line_base(Addr a) const noexcept {
   return a - (a % static_cast<Addr>(cfg_.line_words));
@@ -103,8 +131,8 @@ std::size_t Machine::line_off(Addr a) const noexcept {
   return a % cfg_.line_words;
 }
 
-LineData Machine::memory_line(Addr base) const {
-  LineData out(cfg_.line_words);
+std::vector<Word> Machine::memory_line(Addr base) const {
+  std::vector<Word> out(cfg_.line_words);
   for (std::size_t i = 0; i < cfg_.line_words; ++i) {
     out[i] = memory(base + static_cast<Addr>(i));
   }
@@ -113,7 +141,7 @@ LineData Machine::memory_line(Addr base) const {
 
 void Machine::writeback_line(const CacheLine& l) {
   for (std::size_t i = 0; i < l.data.size(); ++i) {
-    mem_.set(l.base + static_cast<Addr>(i), l.data[i]);
+    mem_[l.base + static_cast<Addr>(i)] = l.data[i];
   }
 }
 
@@ -433,7 +461,7 @@ std::uint64_t Machine::bus_read(CpuState& c, Addr a, Word& out) {
   std::uint64_t latency = cfg_.cost_bus_transfer;
 
   bool someone_else_holds = false;
-  LineData authoritative = memory_line(base);
+  std::vector<Word> authoritative = memory_line(base);
   for (auto& other : cpus_) {
     if (&other == &c) continue;
     const CacheLine* l = other.cache.peek(base);
@@ -507,7 +535,7 @@ std::uint64_t Machine::bus_read_exclusive(CpuState& c, Addr a, Word& out) {
     other.cache.erase(base);  // invalidate every remote copy
   }
 
-  LineData data = memory_line(base);
+  std::vector<Word> data = memory_line(base);
   out = data[line_off(a)];
   // MSI has no Exclusive state: an exclusive fill lands directly in M.
   const Mesi fill = cfg_.protocol == Protocol::kMsi ? Mesi::Modified
@@ -610,7 +638,7 @@ std::optional<std::string> Machine::check_coherence() const {
       std::size_t exclusive_holders = 0;  // E or M
       std::size_t owned_holders = 0;      // O (MOESI)
       std::size_t sharers = 0;
-      LineData authoritative = memory_line(l.base);
+      std::vector<Word> authoritative = memory_line(l.base);
       for (std::size_t j = 0; j < cpus_.size(); ++j) {
         const CacheLine* o = cpus_[j].cache.peek(l.base);
         if (o == nullptr) continue;
@@ -649,70 +677,6 @@ std::optional<std::string> Machine::check_coherence() const {
 std::string Machine::canonical_state() const {
   std::string s;
   s.reserve(256);
-  append_canonical(s);
-  return s;
-}
-
-Fingerprint Machine::fingerprint(std::string& scratch) const {
-  scratch.clear();
-  append_canonical(scratch);
-  return lbmf::hash128(scratch.data(), scratch.size());
-}
-
-bool Machine::action_is_local(std::size_t cpu, Action a) const {
-  LBMF_CHECK(action_enabled(cpu, a));
-  const CpuState& c = cpus_[cpu];
-  switch (a) {
-    case Action::Drain:
-      // Completing a store acquires exclusivity, writes the cache and may
-      // fire remote guards; even an E/M-local completion races with remote
-      // reads of the line's old value.
-      return false;
-    case Action::Interrupt:
-      return false;  // flushes the store buffer (bus traffic)
-    case Action::Execute:
-      break;
-  }
-  const Instr& i = c.program->code[c.pc];
-  switch (i.op) {
-    case Op::kMovImm:
-    case Op::kAddImm:
-    case Op::kBranchEq:
-    case Op::kBranchNe:
-    case Op::kJump:
-    case Op::kDelay:
-    case Op::kHalt:
-      return true;  // pc/registers only
-    case Op::kStore:
-    case Op::kStoreReg:
-      // A plain SB push touches only this CPU's buffer — but only while no
-      // link is armed: with le_bit set a remote access can flush the buffer
-      // (guard fire), so buffer contents interact with remote actions, and
-      // the pushed entry's `guarded` flag itself depends on the link.
-      return !c.le_bit && !c.sb.full();
-    case Op::kMfence:
-      return c.sb.empty();  // nothing to drain: cost accounting only
-    case Op::kSetLink:
-    case Op::kBranchLinkSet:
-      // le_bit is cleared by remote downgrades/invalidations, so anything
-      // touching it is globally visible — unless the LE/ST hardware is
-      // ablated, in which case the bit is permanently clear and both ops
-      // degenerate to register ops.
-      return !cfg_.le_st_enabled;
-    case Op::kCsEnter:
-    case Op::kCsExit:
-      // Architecturally local, but visible to the mutual-exclusion
-      // property: reordering them against other CPUs' actions changes
-      // which cpus_in_cs() configurations the explorer can observe.
-      return false;
-    case Op::kLoad:
-    case Op::kLoadExclusive:
-      return false;  // cache/LRU/bus interaction
-  }
-  return false;
-}
-
-void Machine::append_canonical(std::string& s) const {
   auto put32 = [&s](std::uint32_t v) {
     s.append(reinterpret_cast<const char*>(&v), sizeof(v));
   };
@@ -721,12 +685,7 @@ void Machine::append_canonical(std::string& s) const {
   };
   for (const auto& c : cpus_) {
     put32(static_cast<std::uint32_t>(c.pc));
-    // Only the registers the loaded program can write (regs_written_mask):
-    // the rest are zero in every reachable state and would just dilute the
-    // encoding this runs once per explored transition.
-    for (std::uint8_t m = c.regs_written_mask, i = 0; m != 0; m >>= 1, ++i) {
-      if (m & 1u) put64(static_cast<std::uint64_t>(c.regs[i]));
-    }
+    for (Word r : c.regs) put64(static_cast<std::uint64_t>(r));
     s.push_back(static_cast<char>((c.halted ? 1 : 0) | (c.in_cs ? 2 : 0) |
                                   (c.le_bit ? 4 : 0)));
     put32(c.le_addr);
@@ -736,24 +695,25 @@ void Machine::append_canonical(std::string& s) const {
       put64(static_cast<std::uint64_t>(e.value));
       s.push_back(e.guarded ? 1 : 0);
     }
-    // Cache lines in base order (a Cache invariant — no sorting here), with
-    // LRU encoded as eviction *rank* (the fine-grained stamp values differ
-    // between equivalent histories). Ranks come from counting smaller
-    // stamps: quadratic in residency, but branch-free and allocation-free,
-    // which beats sorting a scratch array for every serialized state.
-    const std::vector<CacheLine>& lines = c.cache.lines();
-    const std::size_t n = lines.size();
-    put32(static_cast<std::uint32_t>(n));
-    for (std::size_t i = 0; i < n; ++i) {
-      const CacheLine& l = lines[i];
+    // Cache lines sorted by address, with LRU encoded as eviction *rank*
+    // (the fine-grained stamp values differ between equivalent histories).
+    std::vector<CacheLine> lines = c.cache.lines();
+    std::sort(lines.begin(), lines.end(),
+              [](const CacheLine& x, const CacheLine& y) {
+                return x.base < y.base;
+              });
+    std::vector<std::uint64_t> stamps;
+    stamps.reserve(lines.size());
+    for (const auto& l : lines) stamps.push_back(l.lru);
+    std::sort(stamps.begin(), stamps.end());
+    put32(static_cast<std::uint32_t>(lines.size()));
+    for (const auto& l : lines) {
       put32(l.base);
       s.push_back(static_cast<char>(l.state));
-      s.append(reinterpret_cast<const char*>(l.data.data()),
-               l.data.size() * sizeof(Word));
-      std::uint32_t rank = 0;
-      for (std::size_t j = 0; j < n; ++j) {
-        rank += lines[j].lru < l.lru ? 1u : 0u;
-      }
+      for (Word w : l.data) put64(static_cast<std::uint64_t>(w));
+      const auto rank = static_cast<std::uint32_t>(
+          std::lower_bound(stamps.begin(), stamps.end(), l.lru) -
+          stamps.begin());
       put32(rank);
     }
   }
@@ -762,6 +722,8 @@ void Machine::append_canonical(std::string& s) const {
     put32(a);
     put64(static_cast<std::uint64_t>(v));
   }
+  return s;
 }
 
-}  // namespace lbmf::sim
+
+}  // namespace lbmf::seedsim

@@ -1,67 +1,132 @@
 #pragma once
 
-#include <algorithm>
+// Frozen snapshot of the *seed-commit* simulator core (cache.hpp,
+// machine.hpp as of the seed), kept verbatim under lbmf::seedsim as the
+// baseline for bench_explorer (E14). The live lbmf::sim Machine has since
+// been optimized for exploration throughput — inline cache-line storage,
+// flat memory, allocation-free canonical serialization — so benchmarking
+// the rebuilt explorer against the live Machine would credit the baseline
+// with improvements it never had. Do not modernize this file; its whole
+// point is to stay what the seed was.
+
 #include <array>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "lbmf/sim/cache.hpp"
 #include "lbmf/sim/program.hpp"
 #include "lbmf/sim/types.hpp"
-#include "lbmf/util/hash.hpp"
 
 namespace lbmf::sim {
-
 class TraceRecorder;
+}
 
-/// Compact identity of an architectural state: a 128-bit hash of the
-/// canonical encoding. Used by the explorer's default dedup set (16 bytes
-/// per state instead of the full ~256-byte serialization).
-using Fingerprint = lbmf::Hash128;
+namespace lbmf::seedsim {
 
-/// Shared memory as a sorted flat array of (address, word) pairs. Litmus
-/// footprints are a handful of locations, and the explorer snapshots whole
-/// machines millions of times — one contiguous allocation copies with a
-/// memcpy where a std::map paid an allocation per entry. Unset addresses
-/// read as zero. Iteration order is ascending (canonical encodings depend
-/// on it).
-class FlatMemory {
+using sim::Action;
+using sim::Addr;
+using sim::Choice;
+using sim::Instr;
+using sim::kInvalidAddr;
+using sim::Mesi;
+using sim::Op;
+using sim::Program;
+using sim::Protocol;
+using sim::SimConfig;
+using sim::TraceRecorder;
+using sim::Word;
+
+
+/// One resident line in a private cache. Lines hold `SimConfig::line_words`
+/// consecutive words starting at `base` (base is always line-aligned); the
+/// default of one word per line keeps litmus tests exact, while wider lines
+/// model false sharing — including remote accesses to a *neighbouring*
+/// word of an l-mfence-guarded location firing the guard.
+struct CacheLine {
+  Addr base = kInvalidAddr;
+  Mesi state = Mesi::Invalid;
+  std::vector<Word> data;
+  std::uint64_t lru = 0;  // last-touch stamp; smallest is evicted first
+
+  Word& at(std::size_t offset) noexcept { return data[offset]; }
+  Word at(std::size_t offset) const noexcept { return data[offset]; }
+};
+
+/// A fully associative, LRU private cache keyed by line base address.
+/// Value-semantic (copyable) so the interleaving explorer can snapshot
+/// whole machines. Linear scans are fine: litmus programs touch a handful
+/// of lines.
+class Cache {
  public:
-  Word get(Addr a) const noexcept {
-    const auto it = find(a);
-    return (it != v_.end() && it->first == a) ? it->second : 0;
-  }
-  void set(Addr a, Word w) {
-    const auto it = find(a);
-    if (it != v_.end() && it->first == a) {
-      it->second = w;
-    } else {
-      v_.insert(it, {a, w});
-    }
-  }
-  std::size_t size() const noexcept { return v_.size(); }
-  auto begin() const noexcept { return v_.begin(); }
-  auto end() const noexcept { return v_.end(); }
+  explicit Cache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Lookup without touching LRU state (for invariant checks / peeking).
+  const CacheLine* peek(Addr base) const noexcept;
+
+  /// Lookup and refresh the line's LRU stamp.
+  CacheLine* touch(Addr base) noexcept;
+
+  /// Insert (or overwrite) a line. If the cache is full, evicts the LRU
+  /// line first and returns it so the owner can run eviction side effects
+  /// (writeback; guard-link breaking per Sec. 3 of the paper).
+  std::optional<CacheLine> insert(Addr base, Mesi state,
+                                  std::vector<Word> data);
+
+  /// Change the state of a resident line; no-op if absent.
+  void set_state(Addr base, Mesi state) noexcept;
+
+  /// Remove a line (invalidate); returns the removed line if present.
+  std::optional<CacheLine> erase(Addr base) noexcept;
+
+  std::size_t size() const noexcept { return lines_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  const std::vector<CacheLine>& lines() const noexcept { return lines_; }
 
  private:
-  std::vector<std::pair<Addr, Word>>::iterator find(Addr a) noexcept {
-    return std::lower_bound(
-        v_.begin(), v_.end(), a,
-        [](const std::pair<Addr, Word>& kv, Addr x) { return kv.first < x; });
-  }
-  std::vector<std::pair<Addr, Word>>::const_iterator find(Addr a)
-      const noexcept {
-    return std::lower_bound(
-        v_.begin(), v_.end(), a,
-        [](const std::pair<Addr, Word>& kv, Addr x) { return kv.first < x; });
-  }
-
-  std::vector<std::pair<Addr, Word>> v_;
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::vector<CacheLine> lines_;
 };
+
+/// One committed-but-incomplete store (Sec. 2: committed = in the buffer,
+/// completed = written to the cache). Store granularity is one word.
+struct StoreEntry {
+  Addr addr = kInvalidAddr;
+  Word value = 0;
+  /// True if this is the store associated with an armed l-mfence link; its
+  /// completion clears the link (Sec. 3).
+  bool guarded = false;
+};
+
+/// FIFO store buffer with store-to-load forwarding.
+class StoreBuffer {
+ public:
+  explicit StoreBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  bool full() const noexcept { return entries_.size() >= capacity_; }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  void push(StoreEntry e) { entries_.push_back(e); }
+
+  /// Oldest entry (the next to complete). Precondition: !empty().
+  StoreEntry pop_oldest();
+
+  /// Youngest entry matching `a`, if any — store-buffer forwarding gives a
+  /// load the most recent committed value (Sec. 2).
+  std::optional<Word> forwarded_value(Addr a) const noexcept;
+
+  const std::vector<StoreEntry>& entries() const noexcept { return entries_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<StoreEntry> entries_;  // front = oldest
+};
+
+
 
 /// Per-CPU event counters (not part of the canonical state; pure telemetry).
 struct CpuCounters {
@@ -99,12 +164,6 @@ struct CpuState {
   bool halted = false;
   bool flushing = false;  // re-entrancy latch for guard-triggered flushes
 
-  /// Bit i set iff the loaded program contains an instruction that writes
-  /// regs[i] (derived constant, set by load_program). Registers outside the
-  /// mask are zero in every reachable state, so canonical encodings skip
-  /// them.
-  std::uint8_t regs_written_mask = 0;
-
   CpuCounters counters;
 };
 
@@ -121,7 +180,7 @@ class Machine {
   /// Attach a program to a CPU (before the first step).
   void load_program(std::size_t cpu, Program p);
 
-  void set_memory(Addr a, Word v) { mem_.set(a, v); }
+  void set_memory(Addr a, Word v) { mem_[a] = v; }
   Word memory(Addr a) const;
 
   /// Whether `step(cpu, a)` is currently legal.
@@ -153,26 +212,6 @@ class Machine {
   /// explorer memoization. Two machines with equal canonical state have
   /// identical future behaviour.
   std::string canonical_state() const;
-
-  /// Append the canonical encoding to `out` (without clearing it). The
-  /// allocation-free workhorse behind canonical_state()/fingerprint(): the
-  /// explorer reuses one scratch buffer across millions of states instead
-  /// of materializing a fresh std::string per state.
-  void append_canonical(std::string& out) const;
-
-  /// 128-bit hash of the canonical encoding, serialized into `scratch`
-  /// (cleared first, capacity reused across calls).
-  Fingerprint fingerprint(std::string& scratch) const;
-
-  /// Whether `step(cpu, a)` is *local*: it reads and writes only the
-  /// private, coherence-invisible state of `cpu` (pc, registers, its own
-  /// store-buffer contents) and cannot interact with any other CPU in
-  /// either direction — no bus transaction, no cache or LRU mutation, no
-  /// LE-link arm/break, no critical-section flag change. Local actions on
-  /// distinct CPUs commute and can neither enable nor disable each other,
-  /// which is the independence relation the explorer's partial-order
-  /// reduction is built on. Precondition: action_enabled(cpu, a).
-  bool action_is_local(std::size_t cpu, Action a) const;
 
   std::size_t num_cpus() const noexcept { return cpus_.size(); }
   const CpuState& cpu(std::size_t i) const { return cpus_[i]; }
@@ -215,7 +254,7 @@ class Machine {
   // Line geometry (SimConfig::line_words) and whole-line memory access.
   Addr line_base(Addr a) const noexcept;
   std::size_t line_off(Addr a) const noexcept;
-  LineData memory_line(Addr base) const;
+  std::vector<Word> memory_line(Addr base) const;
   void writeback_line(const CacheLine& l);
 
   void trace(const CpuState& c, int kind_int, Addr a = kInvalidAddr,
@@ -223,8 +262,9 @@ class Machine {
 
   SimConfig cfg_;
   std::vector<CpuState> cpus_;
-  FlatMemory mem_;
+  std::map<Addr, Word> mem_;
   TraceRecorder* trace_ = nullptr;
 };
 
-}  // namespace lbmf::sim
+
+}  // namespace lbmf::seedsim

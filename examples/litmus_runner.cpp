@@ -8,12 +8,18 @@
 //   litmus_runner                           # built-in asymmetric-Dekker demo
 //   litmus_runner test.lit                  # run a litmus file
 //   litmus_runner test.lit --protocol=moesi # pick MSI / MESI / MOESI
+//   litmus_runner test.lit --max-states=1000000   # state budget
+//   litmus_runner test.lit --no-por         # disable partial-order reduction
+//   litmus_runner test.lit --threads=8      # parallel exploration
+//   litmus_runner test.lit --stats          # dedup hit rate, states/sec, ...
 //   echo "..." | litmus_runner -            # read the test from stdin
 //
 // Litmus syntax: see include/lbmf/sim/assembler.hpp; sample tests live in
 // examples/litmus/.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -49,14 +55,50 @@ skip:
   halt
 )";
 
-Protocol parse_protocol(int argc, char** argv) {
+struct CliOptions {
+  Protocol protocol = Protocol::kMesi;
+  std::uint64_t max_states = 2'000'000;
+  bool por = true;
+  std::size_t threads = 1;
+  bool stats = false;
+};
+
+[[noreturn]] void bad_flag(const std::string& flag) {
+  std::fprintf(stderr, "unrecognized or malformed flag: %s\n", flag.c_str());
+  std::exit(2);
+}
+
+CliOptions parse_flags(int argc, char** argv) {
+  CliOptions cli;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--protocol=msi") return Protocol::kMsi;
-    if (a == "--protocol=mesi") return Protocol::kMesi;
-    if (a == "--protocol=moesi") return Protocol::kMoesi;
+    if (a.rfind("--", 0) != 0) continue;  // the litmus file argument
+    if (a == "--protocol=msi") {
+      cli.protocol = Protocol::kMsi;
+    } else if (a == "--protocol=mesi") {
+      cli.protocol = Protocol::kMesi;
+    } else if (a == "--protocol=moesi") {
+      cli.protocol = Protocol::kMoesi;
+    } else if (a.rfind("--max-states=", 0) == 0) {
+      char* end = nullptr;
+      cli.max_states = std::strtoull(a.c_str() + 13, &end, 10);
+      if (end == nullptr || *end != '\0' || cli.max_states == 0) bad_flag(a);
+    } else if (a == "--no-por") {
+      cli.por = false;
+    } else if (a.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      cli.threads = std::strtoul(a.c_str() + 10, &end, 10);
+      if (end == nullptr || *end != '\0' || cli.threads == 0 ||
+          cli.threads > 256) {
+        bad_flag(a);
+      }
+    } else if (a == "--stats") {
+      cli.stats = true;
+    } else {
+      bad_flag(a);
+    }
   }
-  return Protocol::kMesi;
+  return cli;
 }
 
 std::string read_source(int argc, char** argv) {
@@ -86,6 +128,7 @@ std::string read_source(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const CliOptions cli = parse_flags(argc, argv);
   const std::string source = read_source(argc, argv);
   const AssembleResult assembled = assemble(source);
   if (!assembled.ok()) {
@@ -105,8 +148,9 @@ int main(int argc, char** argv) {
   cfg.num_cpus = assembled.programs.size();
   cfg.sb_capacity = 4;
   cfg.cache_capacity = 8;
-  cfg.protocol = parse_protocol(argc, argv);
-  std::printf("coherence protocol: %s\n", to_string(cfg.protocol));
+  cfg.protocol = cli.protocol;
+  std::printf("coherence protocol: %s, por: %s, threads: %zu\n",
+              to_string(cfg.protocol), cli.por ? "on" : "off", cli.threads);
   Machine machine(cfg);
   for (const auto& [a, v] : assembled.initial_memory) machine.set_memory(a, v);
   for (std::size_t i = 0; i < assembled.programs.size(); ++i) {
@@ -114,15 +158,37 @@ int main(int argc, char** argv) {
   }
 
   Explorer::Options opts;
+  opts.max_states = cli.max_states;
+  opts.por = cli.por;
+  opts.threads = cli.threads;
   Explorer ex(machine, opts);
+  const auto t0 = std::chrono::steady_clock::now();
   const ExploreResult r = ex.run();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
 
   std::printf("explored %llu states, %llu transitions, %llu terminal\n",
               static_cast<unsigned long long>(r.states_explored),
               static_cast<unsigned long long>(r.transitions),
               static_cast<unsigned long long>(r.terminal_states));
+  if (cli.stats) {
+    const double hit_rate =
+        r.transitions == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.dedup_hits) /
+                  static_cast<double>(r.transitions);
+    std::printf("stats: %.0f states/sec, dedup hit rate %.1f%% "
+                "(%llu of %llu), visited set %.1f KiB\n",
+                seconds > 0 ? static_cast<double>(r.states_explored) / seconds
+                            : 0.0,
+                hit_rate, static_cast<unsigned long long>(r.dedup_hits),
+                static_cast<unsigned long long>(r.transitions),
+                static_cast<double>(r.visited_bytes) / 1024.0);
+  }
   if (r.hit_limit) {
-    std::printf("STATE LIMIT HIT — result inconclusive\n");
+    std::printf("STATE LIMIT HIT — result inconclusive "
+                "(raise with --max-states=N)\n");
     return 3;
   }
   if (!r.violation) {

@@ -1,12 +1,57 @@
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <vector>
 
 #include "lbmf/sim/types.hpp"
 
 namespace lbmf::sim {
+
+/// Small-buffer word storage for one cache line. The explorer snapshots
+/// whole machines millions of times, and with the default line_words = 1 a
+/// heap-allocated vector per line dominated the copy cost — so lines up to
+/// kInlineWords wide (every bundled config, including the false-sharing
+/// experiments) live entirely inline; wider lines spill to the heap.
+class LineData {
+ public:
+  static constexpr std::size_t kInlineWords = 8;
+
+  LineData() = default;
+  explicit LineData(std::size_t n) : size_(n) {
+    if (n > kInlineWords) heap_.resize(n);
+  }
+  LineData(std::initializer_list<Word> ws) : LineData(ws.size()) {
+    std::copy(ws.begin(), ws.end(), data());
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  Word* data() noexcept {
+    return size_ <= kInlineWords ? inline_.data() : heap_.data();
+  }
+  const Word* data() const noexcept {
+    return size_ <= kInlineWords ? inline_.data() : heap_.data();
+  }
+  Word& operator[](std::size_t i) noexcept { return data()[i]; }
+  Word operator[](std::size_t i) const noexcept { return data()[i]; }
+  Word* begin() noexcept { return data(); }
+  Word* end() noexcept { return data() + size_; }
+  const Word* begin() const noexcept { return data(); }
+  const Word* end() const noexcept { return data() + size_; }
+
+  friend bool operator==(const LineData& a, const LineData& b) noexcept {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<Word, kInlineWords> inline_{};
+  std::vector<Word> heap_;  // only engaged when size_ > kInlineWords
+};
 
 /// One resident line in a private cache. Lines hold `SimConfig::line_words`
 /// consecutive words starting at `base` (base is always line-aligned); the
@@ -16,7 +61,7 @@ namespace lbmf::sim {
 struct CacheLine {
   Addr base = kInvalidAddr;
   Mesi state = Mesi::Invalid;
-  std::vector<Word> data;
+  LineData data;
   std::uint64_t lru = 0;  // last-touch stamp; smallest is evicted first
 
   Word& at(std::size_t offset) noexcept { return data[offset]; }
@@ -40,8 +85,7 @@ class Cache {
   /// Insert (or overwrite) a line. If the cache is full, evicts the LRU
   /// line first and returns it so the owner can run eviction side effects
   /// (writeback; guard-link breaking per Sec. 3 of the paper).
-  std::optional<CacheLine> insert(Addr base, Mesi state,
-                                  std::vector<Word> data);
+  std::optional<CacheLine> insert(Addr base, Mesi state, LineData data);
 
   /// Change the state of a resident line; no-op if absent.
   void set_state(Addr base, Mesi state) noexcept;
@@ -51,6 +95,8 @@ class Cache {
 
   std::size_t size() const noexcept { return lines_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
+  /// Resident lines, always sorted by base address (insert maintains the
+  /// order) — canonical state encodings depend on this invariant.
   const std::vector<CacheLine>& lines() const noexcept { return lines_; }
 
  private:

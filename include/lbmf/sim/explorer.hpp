@@ -16,6 +16,12 @@ struct ExploreResult {
   std::uint64_t states_explored = 0;
   std::uint64_t transitions = 0;
   std::uint64_t terminal_states = 0;
+  /// Transitions that landed on an already-visited state (memoization hits).
+  std::uint64_t dedup_hits = 0;
+  /// Approximate footprint of the visited-state structure at the end of the
+  /// run (fingerprint slots, or canonical keys + node overhead in
+  /// exact_dedup mode).
+  std::uint64_t visited_bytes = 0;
   bool hit_limit = false;
 
   /// First invariant violation found, with the schedule reaching it.
@@ -34,11 +40,27 @@ struct ExploreResult {
 /// machine-checked statements (over bounded litmus programs): mutual
 /// exclusion holds under l-mfence in every reachable interleaving, and the
 /// checker exhibits a concrete violating schedule once fences are removed.
+///
+/// Engine (see docs/ARCHITECTURE.md "Explorer internals"):
+///  * visited states are 128-bit fingerprints of Machine::canonical_state()
+///    in an open-addressing flat set (16 bytes/state); `exact_dedup` keeps
+///    the full canonical keys instead so collision behaviour is auditable;
+///  * the DFS is iterative (explicit frame stack, no recursion limit) and
+///    moves — rather than copies — the parent snapshot into its last child;
+///  * partial-order reduction prunes commuting interleavings of *local*
+///    actions (Machine::action_is_local) via singleton ample sets with an
+///    in-stack cycle proviso; terminal states, outcomes, and the built-in
+///    coherence / mutual-exclusion verdicts are preserved exactly;
+///  * `threads > 1` fans a breadth-first frontier out over the repo's own
+///    lbmf::ws work-stealing scheduler with a sharded concurrent visited
+///    set — the asymmetric-fence runtime accelerating its own verifier.
 class Explorer {
  public:
   struct Options {
-    /// Safety property checked after every transition; return a description
-    /// to flag a violation.
+    /// Safety property, evaluated once per newly discovered state (states
+    /// are predicates, so re-checking on every incoming transition would be
+    /// redundant); return a description to flag a violation. Violating
+    /// states count toward states_explored but are never expanded.
     std::function<std::optional<std::string>(const Machine&)> check;
     /// Projection of terminal states collected into ExploreResult::outcomes
     /// (e.g. final register values for litmus tests). Optional.
@@ -51,6 +73,22 @@ class Explorer {
     std::uint64_t max_states = 2'000'000;
     /// Stop at the first violation (true) or keep enumerating (false).
     bool stop_at_violation = true;
+    /// Partial-order reduction. Sound for the built-in properties, terminal
+    /// states and outcomes; a custom `check` over *intermediate* states
+    /// only sees the reduced graph — set por = false to check every state
+    /// of the full graph.
+    bool por = true;
+    /// Store full canonical state keys instead of 128-bit fingerprints.
+    /// Slower and ~15x more memory, but dedup is exact by construction —
+    /// the audit mode tests use it to show fingerprinting loses nothing.
+    bool exact_dedup = false;
+    /// Number of lbmf::ws workers to fan the exploration out over; 0 or 1
+    /// explores sequentially. Parallel runs visit the same states and
+    /// produce the same outcomes/verdicts, but states_explored can differ
+    /// slightly under POR (the cycle proviso is evaluated conservatively
+    /// across workers) and the violating schedule found first is
+    /// nondeterministic.
+    std::size_t threads = 1;
   };
 
   Explorer(Machine initial, Options opts);
@@ -58,19 +96,16 @@ class Explorer {
   ExploreResult run();
 
  private:
-  void dfs(const Machine& m);
-
   Machine initial_;
   Options opts_;
-  ExploreResult result_;
-  std::set<std::string> visited_;
-  std::vector<Choice> trace_;
-  bool done_ = false;
 };
 
-/// Convenience: explore `machine` and require that no violation exists.
-/// Returns the result for further outcome assertions.
+/// Convenience: explore `machine` with default options and the given state
+/// budget. Returns the result for further outcome assertions.
 ExploreResult explore_all(Machine machine, std::uint64_t max_states = 2'000'000);
+
+/// Convenience overload that honours every option (observe/check/por/...).
+ExploreResult explore_all(Machine machine, Explorer::Options opts);
 
 /// Replay a schedule (e.g. an explorer violation trace) on a fresh copy of
 /// `initial` with event tracing attached, and return the annotated

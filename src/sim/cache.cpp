@@ -23,8 +23,7 @@ CacheLine* Cache::touch(Addr base) noexcept {
   return nullptr;
 }
 
-std::optional<CacheLine> Cache::insert(Addr base, Mesi state,
-                                       std::vector<Word> data) {
+std::optional<CacheLine> Cache::insert(Addr base, Mesi state, LineData data) {
   LBMF_CHECK(state != Mesi::Invalid);
   if (CacheLine* existing = touch(base)) {
     existing->state = state;
@@ -39,7 +38,12 @@ std::optional<CacheLine> Cache::insert(Addr base, Mesi state,
     evicted = std::move(*victim);
     lines_.erase(victim);
   }
-  lines_.push_back(CacheLine{base, state, std::move(data), ++clock_});
+  // Insert in base order: lines_ stays sorted, so canonical encodings can
+  // walk it directly instead of sorting a copy per serialized state.
+  const auto pos = std::lower_bound(
+      lines_.begin(), lines_.end(), base,
+      [](const CacheLine& l, Addr b) { return l.base < b; });
+  lines_.insert(pos, CacheLine{base, state, std::move(data), ++clock_});
   return evicted;
 }
 

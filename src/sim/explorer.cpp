@@ -1,76 +1,497 @@
 #include "lbmf/sim/explorer.hpp"
 
+#include <array>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "lbmf/sim/trace.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/ws/algorithms.hpp"
 
 namespace lbmf::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Visited-state storage
+// ---------------------------------------------------------------------------
+
+/// Open-addressing flat set of 128-bit fingerprints: 16 bytes per slot,
+/// linear probing, grown at 70% load. {0,0} is the empty-slot marker (a
+/// real fingerprint hashing to exactly zero is remapped to {1,0}).
+class FingerprintSet {
+ public:
+  FingerprintSet() { slots_.assign(kInitialCapacity, Fingerprint{}); }
+
+  bool insert(Fingerprint fp) {
+    if (fp.lo == 0 && fp.hi == 0) fp.lo = 1;
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(fp.hi) & mask;
+    while (true) {
+      Fingerprint& slot = slots_[i];
+      if (slot.lo == 0 && slot.hi == 0) {
+        slot = fp;
+        ++size_;
+        return true;
+      }
+      if (slot == fp) return false;
+      i = (i + 1) & mask;
+    }
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t bytes() const noexcept {
+    return slots_.size() * sizeof(Fingerprint);
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 1024;  // power of two
+
+  void grow() {
+    std::vector<Fingerprint> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Fingerprint{});
+    size_ = 0;
+    for (const Fingerprint& fp : old) {
+      if (fp.lo != 0 || fp.hi != 0) insert(fp);
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<Fingerprint> slots_;
+};
+
+/// The dedup set behind the explorer: sharded so parallel workers contend
+/// on 1/64th of the key space, with an exact mode that keys on the full
+/// canonical bytes (collision-free by construction) for audit runs.
+class VisitedSet {
+ public:
+  VisitedSet(bool exact, bool concurrent)
+      : exact_(exact), concurrent_(concurrent),
+        shards_(concurrent ? kShards : 1) {}
+
+  /// Returns true if the state was not seen before. `canonical` must hold
+  /// the serialized state `fp` was computed from (used in exact mode).
+  bool insert(const Fingerprint& fp, const std::string& canonical) {
+    Shard& s = shards_[shard_of(fp)];
+    if (!concurrent_) return insert_into(s, fp, canonical);
+    std::lock_guard<std::mutex> g(s.mu);
+    return insert_into(s, fp, canonical);
+  }
+
+  std::uint64_t bytes() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      if (exact_) {
+        // Approximate unordered_set<string> footprint: key bytes + string
+        // header + node and bucket overhead.
+        for (const std::string& k : s.exact) {
+          total += k.capacity() + sizeof(std::string) + 24;
+        }
+        total += s.exact.bucket_count() * sizeof(void*);
+      } else {
+        total += s.fps.bytes();
+      }
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  struct Shard {
+    std::mutex mu;
+    FingerprintSet fps;
+    std::unordered_set<std::string> exact;
+  };
+
+  std::size_t shard_of(const Fingerprint& fp) const noexcept {
+    return concurrent_ ? static_cast<std::size_t>(fp.hi >> 58) : 0;
+  }
+
+  bool insert_into(Shard& s, const Fingerprint& fp,
+                   const std::string& canonical) {
+    if (exact_) return s.exact.insert(canonical).second;
+    return s.fps.insert(fp);
+  }
+
+  bool exact_;
+  bool concurrent_;
+  std::vector<Shard> shards_;
+};
+
+// ---------------------------------------------------------------------------
+// Exploration engine
+// ---------------------------------------------------------------------------
+
+/// Machine caps num_cpus at 64, so at most 64 x {Execute, Drain} choices.
+constexpr std::size_t kMaxChoices = 128;
+
+struct ChoiceList {
+  std::array<Choice, kMaxChoices> v{};  // only the first n entries are set
+  std::uint8_t n = 0;
+  /// True when POR selected a strict subset of the enabled actions; such a
+  /// frame may be re-expanded to the full set by the cycle proviso, so its
+  /// snapshot must not be moved out.
+  bool reduced = false;
+
+  void add(std::uint8_t cpu, Action a) {
+    v[n++] = Choice{cpu, a};
+  }
+};
+
+void enabled_choices(const Machine& m, ChoiceList& out) {
+  out.n = 0;
+  out.reduced = false;
+  for (std::size_t cpu = 0; cpu < m.num_cpus(); ++cpu) {
+    for (Action a : {Action::Execute, Action::Drain}) {
+      if (m.action_enabled(cpu, a)) out.add(static_cast<std::uint8_t>(cpu), a);
+    }
+  }
+}
+
+/// Enabled choices, POR-reduced when sound: if some CPU's only enabled
+/// action is a *local* Execute (Machine::action_is_local), that action is
+/// independent of — commutes with, and neither enables nor disables — every
+/// action of every other CPU, so {it} is a valid singleton ample set: every
+/// interleaving from here is equivalent to one that schedules it first.
+/// The in-stack cycle proviso (handled by the caller on a dedup hit) keeps
+/// the reduction from starving the other CPUs around cycles.
+void choose_actions(const Machine& m, bool por, ChoiceList& out) {
+  out.n = 0;
+  out.reduced = false;
+  int ample = -1;  // first CPU whose only enabled action is a local Execute
+  for (std::size_t cpu = 0; cpu < m.num_cpus(); ++cpu) {
+    const bool exec = m.action_enabled(cpu, Action::Execute);
+    const bool drain = m.action_enabled(cpu, Action::Drain);
+    if (exec) out.add(static_cast<std::uint8_t>(cpu), Action::Execute);
+    if (drain) out.add(static_cast<std::uint8_t>(cpu), Action::Drain);
+    if (por && ample < 0 && exec && !drain &&
+        m.action_is_local(cpu, Action::Execute)) {
+      ample = static_cast<int>(cpu);
+    }
+  }
+  if (por && ample >= 0 && out.n > 1) {
+    out.n = 0;
+    out.add(static_cast<std::uint8_t>(ample), Action::Execute);
+    out.reduced = true;
+  }
+}
+
+/// State shared by every worker of one run() (trivially so when sequential).
+struct Shared {
+  explicit Shared(const Explorer::Options& o)
+      : opts(o), visited(o.exact_dedup, o.threads > 1) {}
+
+  const Explorer::Options& opts;
+  VisitedSet visited;
+  std::atomic<std::uint64_t> states{0};
+  std::atomic<bool> done{false};
+  std::atomic<bool> hit_limit{false};
+
+  std::mutex result_mu;
+  ExploreResult merged;  // violation/outcomes/counters land here
+
+  /// Count one fresh state against max_states. Returns false (and stops the
+  /// run) if the budget is exhausted.
+  bool count_state() {
+    std::uint64_t cur = states.load(std::memory_order_relaxed);
+    do {
+      if (cur >= opts.max_states) {
+        hit_limit.store(true, std::memory_order_relaxed);
+        done.store(true, std::memory_order_relaxed);
+        return false;
+      }
+    } while (!states.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_relaxed));
+    return true;
+  }
+
+  std::optional<std::string> check_state(const Machine& m) const {
+    std::optional<std::string> violation;
+    if (opts.check_coherence) violation = m.check_coherence();
+    if (!violation && opts.check_mutual_exclusion && m.cpus_in_cs() > 1) {
+      violation = "mutual exclusion violated: " +
+                  std::to_string(m.cpus_in_cs()) +
+                  " CPUs in the critical section";
+    }
+    if (!violation && opts.check) violation = opts.check(m);
+    return violation;
+  }
+
+  void report_violation(std::string what, const std::vector<Choice>& trace) {
+    std::lock_guard<std::mutex> g(result_mu);
+    if (!merged.violation) {
+      merged.violation = std::move(what);
+      merged.violation_trace = trace;
+    }
+    if (opts.stop_at_violation) done.store(true, std::memory_order_relaxed);
+  }
+};
+
+/// One sequential DFS over a subtree, with an explicit frame stack.
+class Worker {
+ public:
+  Worker(Shared& sh, bool parallel) : sh_(sh), parallel_(parallel) {}
+
+  /// Explore from `start`, which the caller has already deduped, counted,
+  /// and safety-checked. `prefix` is the schedule from the true root to
+  /// `start` (empty when `start` is the root).
+  void explore(Machine&& start, Fingerprint start_fp,
+               std::vector<Choice> prefix) {
+    trace_ = std::move(prefix);
+    ChoiceList cl;
+    choose_actions(start, sh_.opts.por, cl);
+    if (cl.n == 0) {
+      note_terminal(start);
+      merge();
+      return;
+    }
+    if (sh_.opts.por) on_path_.insert(start_fp.lo);
+    stack_.push_back(Frame{std::move(start), start_fp.lo, cl, 0});
+    loop();
+    merge();
+  }
+
+ private:
+  struct Frame {
+    std::optional<Machine> m;  // empty once moved into the last child
+    std::uint64_t path_key;
+    ChoiceList choices;
+    std::uint8_t next;
+  };
+
+  void loop() {
+    while (!stack_.empty()) {
+      if (sh_.done.load(std::memory_order_relaxed)) return;
+      Frame& f = stack_.back();
+      if (f.next >= f.choices.n) {
+        pop_frame();
+        continue;
+      }
+      const Choice c = f.choices.v[f.next++];
+      // Step into the worker's reusable scratch snapshot first: most edges
+      // land on an already-visited state and are discarded immediately, and
+      // assigning into the scratch machine's warm vectors skips the
+      // malloc/free round trip a fresh Machine copy would pay per edge.
+      if (scratch_m_) {
+        *scratch_m_ = *f.m;
+      } else {
+        scratch_m_.emplace(*f.m);
+      }
+      Machine& child = *scratch_m_;
+      child.step(c.cpu, c.action);
+      ++local_.transitions;
+
+      const Fingerprint fp = child.fingerprint(scratch_);
+      if (!sh_.visited.insert(fp, scratch_)) {
+        ++local_.dedup_hits;
+        // Cycle proviso: a reduced frame whose ample successor closes a
+        // cycle must be fully expanded, or the skipped CPUs could be
+        // starved around the loop forever ("ignoring problem"). The
+        // sequential test is `successor on the current DFS path`; parallel
+        // workers cannot see each other's paths, so they conservatively
+        // treat every revisit as a potential cycle.
+        if (f.choices.reduced &&
+            (parallel_ || on_path_.count(fp.lo) != 0)) {
+          expand_fully(f, c);
+        }
+        continue;
+      }
+
+      if (!sh_.count_state()) return;
+      // Safety properties are state predicates: evaluate each distinct
+      // state once, on discovery, rather than once per incoming transition.
+      if (auto violation = sh_.check_state(child)) {
+        trace_.push_back(c);
+        sh_.report_violation(std::move(*violation), trace_);
+        trace_.pop_back();
+        if (sh_.opts.stop_at_violation) return;
+        continue;  // never explore beyond a violating state
+      }
+
+      ChoiceList cl;
+      choose_actions(child, sh_.opts.por, cl);
+      if (cl.n == 0) {
+        note_terminal(child);
+        continue;
+      }
+      trace_.push_back(c);
+      if (sh_.opts.por) on_path_.insert(fp.lo);
+      // Materialize the new frame's snapshot. The parent moves into its
+      // last child — re-running the deterministic step in place costs one
+      // step instead of one copy; earlier children copy the scratch state.
+      // Reduced frames keep their snapshot in case the cycle proviso
+      // re-expands them.
+      const bool last = f.next == f.choices.n && !f.choices.reduced;
+      if (last) {
+        f.m->step(c.cpu, c.action);
+        Machine snap = std::move(*f.m);
+        f.m.reset();  // before push_back: it may reallocate the stack
+        stack_.push_back(Frame{std::move(snap), fp.lo, cl, 0});
+      } else {
+        stack_.push_back(Frame{Machine(child), fp.lo, cl, 0});
+      }
+    }
+  }
+
+  void pop_frame() {
+    if (sh_.opts.por) on_path_.erase(stack_.back().path_key);
+    stack_.pop_back();
+    if (!stack_.empty()) trace_.pop_back();
+  }
+
+  /// Replace a reduced frame's remaining agenda with every enabled action
+  /// except the ample one just taken.
+  void expand_fully(Frame& f, const Choice& taken) {
+    ChoiceList all;
+    enabled_choices(*f.m, all);
+    ChoiceList rest;
+    for (std::uint8_t i = 0; i < all.n; ++i) {
+      if (!(all.v[i] == taken)) rest.add(all.v[i].cpu, all.v[i].action);
+    }
+    f.choices = rest;
+    f.next = 0;
+  }
+
+  void note_terminal(const Machine& m) {
+    ++local_.terminal_states;
+    if (sh_.opts.observe) local_.outcomes.insert(sh_.opts.observe(m));
+  }
+
+  void merge() {
+    std::lock_guard<std::mutex> g(sh_.result_mu);
+    sh_.merged.transitions += local_.transitions;
+    sh_.merged.terminal_states += local_.terminal_states;
+    sh_.merged.dedup_hits += local_.dedup_hits;
+    for (const std::string& o : local_.outcomes) sh_.merged.outcomes.insert(o);
+    local_ = ExploreResult{};
+  }
+
+  Shared& sh_;
+  bool parallel_;
+  ExploreResult local_;
+  std::string scratch_;
+  std::optional<Machine> scratch_m_;  // reusable per-edge successor snapshot
+  std::vector<Frame> stack_;
+  std::vector<Choice> trace_;
+  std::unordered_set<std::uint64_t> on_path_;
+};
+
+/// A frontier entry for the parallel mode: a deduped, counted, checked,
+/// non-terminal state plus the schedule that reaches it.
+struct FrontierItem {
+  Machine m;
+  Fingerprint fp;
+  std::vector<Choice> prefix;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
 
 Explorer::Explorer(Machine initial, Options opts)
     : initial_(std::move(initial)), opts_(std::move(opts)) {}
 
 ExploreResult Explorer::run() {
-  result_ = ExploreResult{};
-  visited_.clear();
-  trace_.clear();
-  done_ = false;
-  dfs(initial_);
-  return result_;
-}
+  Shared sh(opts_);
+  std::string scratch;
 
-void Explorer::dfs(const Machine& m) {
-  if (done_) return;
-  if (result_.states_explored >= opts_.max_states) {
-    result_.hit_limit = true;
-    done_ = true;
-    return;
+  // Root accounting (the root is never safety-checked, matching the
+  // original explorer: properties are evaluated after transitions).
+  Machine root = initial_;
+  const Fingerprint root_fp = root.fingerprint(scratch);
+  sh.visited.insert(root_fp, scratch);
+  if (!sh.count_state()) {
+    ExploreResult result;
+    result.hit_limit = true;
+    result.visited_bytes = sh.visited.bytes();
+    return result;
   }
-  if (!visited_.insert(m.canonical_state()).second) return;
-  ++result_.states_explored;
 
-  bool any_transition = false;
-  for (std::size_t cpu = 0; cpu < m.num_cpus(); ++cpu) {
-    for (Action a : {Action::Execute, Action::Drain}) {
-      if (!m.action_enabled(cpu, a)) continue;
-      any_transition = true;
-      Machine next = m;  // value-semantic snapshot
-      const Choice choice{static_cast<std::uint8_t>(cpu), a};
-      next.step(cpu, a);
-      ++result_.transitions;
-      trace_.push_back(choice);
-
-      std::optional<std::string> violation;
-      if (opts_.check_coherence) violation = next.check_coherence();
-      if (!violation && opts_.check_mutual_exclusion &&
-          next.cpus_in_cs() > 1) {
-        violation = "mutual exclusion violated: " +
-                    std::to_string(next.cpus_in_cs()) +
-                    " CPUs in the critical section";
+  const std::size_t threads = opts_.threads;
+  if (threads <= 1) {
+    Worker w(sh, /*parallel=*/false);
+    w.explore(std::move(root), root_fp, {});
+  } else {
+    // Seed a frontier breadth-first (full expansion — trivially sound under
+    // POR) until there is enough top-level parallelism to go around, then
+    // fan the subtrees out over the work-stealing pool.
+    std::deque<FrontierItem> frontier;
+    frontier.push_back(FrontierItem{std::move(root), root_fp, {}});
+    const std::size_t target = threads * 8;
+    while (!frontier.empty() && frontier.size() < target &&
+           !sh.done.load(std::memory_order_relaxed)) {
+      FrontierItem item = std::move(frontier.front());
+      frontier.pop_front();
+      ChoiceList cl;
+      enabled_choices(item.m, cl);
+      if (cl.n == 0) {  // terminal frontier state
+        std::lock_guard<std::mutex> g(sh.result_mu);
+        ++sh.merged.terminal_states;
+        if (opts_.observe) sh.merged.outcomes.insert(opts_.observe(item.m));
+        continue;
       }
-      if (!violation && opts_.check) violation = opts_.check(next);
-
-      if (violation) {
-        if (!result_.violation) {
-          result_.violation = violation;
-          result_.violation_trace = trace_;
+      for (std::uint8_t i = 0;
+           i < cl.n && !sh.done.load(std::memory_order_relaxed); ++i) {
+        const Choice c = cl.v[i];
+        Machine child = i + 1 == cl.n ? std::move(item.m) : item.m;
+        child.step(c.cpu, c.action);
+        ++sh.merged.transitions;
+        const Fingerprint fp = child.fingerprint(scratch);
+        if (!sh.visited.insert(fp, scratch)) {
+          ++sh.merged.dedup_hits;
+          continue;
         }
-        if (opts_.stop_at_violation) {
-          done_ = true;
-          trace_.pop_back();
-          return;
+        if (!sh.count_state()) break;
+        std::vector<Choice> prefix = item.prefix;
+        prefix.push_back(c);
+        if (auto violation = sh.check_state(child)) {
+          sh.report_violation(std::move(*violation), prefix);
+          continue;
         }
-      } else {
-        dfs(next);
+        frontier.push_back(
+            FrontierItem{std::move(child), fp, std::move(prefix)});
       }
-      trace_.pop_back();
-      if (done_) return;
+    }
+
+    if (!sh.done.load(std::memory_order_relaxed) && !frontier.empty()) {
+      std::vector<FrontierItem> items;
+      items.reserve(frontier.size());
+      while (!frontier.empty()) {
+        items.push_back(std::move(frontier.front()));
+        frontier.pop_front();
+      }
+      // Dog-food the paper's runtime: the asymmetric-fence work-stealing
+      // scheduler parallelizes the verifier that proves it correct.
+      ws::Scheduler<AsymmetricSignalFence> sched(threads);
+      sched.run([&] {
+        ws::parallel_for<AsymmetricSignalFence>(
+            0, items.size(), 1, [&](std::size_t i) {
+              if (sh.done.load(std::memory_order_relaxed)) return;
+              Worker w(sh, /*parallel=*/true);
+              w.explore(std::move(items[i].m), items[i].fp,
+                        std::move(items[i].prefix));
+            });
+      });
     }
   }
 
-  if (!any_transition) {
-    ++result_.terminal_states;
-    if (opts_.observe) result_.outcomes.insert(opts_.observe(m));
+  ExploreResult result;
+  {
+    std::lock_guard<std::mutex> g(sh.result_mu);
+    result = std::move(sh.merged);
   }
+  result.states_explored = sh.states.load(std::memory_order_relaxed);
+  result.hit_limit = sh.hit_limit.load(std::memory_order_relaxed);
+  result.visited_bytes = sh.visited.bytes();
+  return result;
 }
 
 std::string annotate_schedule(Machine initial,
@@ -78,9 +499,11 @@ std::string annotate_schedule(Machine initial,
   TraceRecorder rec;
   initial.set_trace(&rec);
   std::string out;
-  for (const Choice& c : schedule) {
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Choice& c = schedule[i];
     if (!initial.action_enabled(c.cpu, c.action)) {
-      out += "<<schedule step not enabled: " + to_string(c) + ">>\n";
+      out += "<<schedule step " + std::to_string(i) +
+             " not enabled: " + to_string(c) + ">>\n";
       break;
     }
     initial.step(c.cpu, c.action);
@@ -98,6 +521,10 @@ std::string annotate_schedule(Machine initial,
 ExploreResult explore_all(Machine machine, std::uint64_t max_states) {
   Explorer::Options opts;
   opts.max_states = max_states;
+  return explore_all(std::move(machine), std::move(opts));
+}
+
+ExploreResult explore_all(Machine machine, Explorer::Options opts) {
   Explorer ex(std::move(machine), std::move(opts));
   return ex.run();
 }
