@@ -11,16 +11,23 @@
 // cost-model columns (signal / signal+ack / LE/ST at each P) regenerate
 // the figure's shape; measured numbers are reported alongside.
 //
+// E15 rider: writer-acquire latency with 8 registered idle readers,
+// batched serialize_many wave vs. the sequential per-reader round-trip
+// loop (the pre-batching writer), for both ARW and ARW+. Emits
+// BENCH_arw.json.
+//
 // Usage: bench_arw [--quick] [window_seconds]
 
 #include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "lbmf/model/cost_model.hpp"
 #include "lbmf/rwlock/rwlock.hpp"
+#include "lbmf/util/stats.hpp"
 #include "lbmf/util/timing.hpp"
 
 using namespace lbmf;
@@ -68,13 +75,82 @@ double measure(std::size_t threads, double ratio, double window_s) {
   return static_cast<double>(total_reads.load()) / sw.seconds();
 }
 
+/// E15 fixture: a lock with `readers` registered but idle readers — the
+/// writer pays the full fan-out every acquire while the readers never
+/// contend, isolating the serialization cost. Kept alive across samples so
+/// two variants can be sampled interleaved under identical scheduler load.
+template <typename Lock>
+class IdleReaderHarness {
+ public:
+  explicit IdleReaderHarness(std::size_t readers) {
+    for (std::size_t t = 0; t < readers; ++t) {
+      pool_.emplace_back([this] {
+        auto token = lock_.register_reader();
+        ready_.fetch_add(1, std::memory_order_acq_rel);
+        while (!stop_.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      });
+    }
+    while (ready_.load(std::memory_order_acquire) <
+           static_cast<int>(readers)) {
+      std::this_thread::yield();
+    }
+    for (int i = 0; i < 3; ++i) sample();  // warm the slot paths
+  }
+
+  ~IdleReaderHarness() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& th : pool_) th.join();
+  }
+
+  /// Cycles for one write_lock/write_unlock pair.
+  double sample() {
+    const std::uint64_t c0 = rdtscp();
+    lock_.write_lock();
+    lock_.write_unlock();
+    const std::uint64_t c1 = rdtscp();
+    return static_cast<double>(c1 - c0);
+  }
+
+ private:
+  Lock lock_;
+  std::vector<std::thread> pool_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> ready_{0};
+};
+
+/// Sample two writer variants interleaved (one acquire each per round) so
+/// scheduler drift hits both equally instead of biasing whichever variant
+/// was measured last.
+template <typename SeqLock, typename BatchLock>
+std::pair<Summary, Summary> writer_latency_pair(std::size_t readers,
+                                                int reps) {
+  IdleReaderHarness<SeqLock> seq(readers);
+  IdleReaderHarness<BatchLock> batch(readers);
+  std::vector<double> seq_samples, batch_samples;
+  seq_samples.reserve(static_cast<std::size_t>(reps));
+  batch_samples.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    seq_samples.push_back(seq.sample());
+    batch_samples.push_back(batch.sample());
+  }
+  return {summarize(std::move(seq_samples)),
+          summarize(std::move(batch_samples))};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double window = 0.25;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) window = 0.05;
-    else window = std::atof(argv[i]);
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      window = 0.05;
+      quick = true;
+    } else {
+      window = std::atof(argv[i]);
+    }
   }
 
   const std::size_t thread_counts[] = {1, 2, 4, 8, 16};
@@ -134,5 +210,46 @@ int main(int argc, char** argv) {
       "\nShape: ARW dips below 1 at low ratios/high threads (signal storm),\n"
       "ARW+ holds >= 1 except near 300:1, and LE/ST wins everywhere — the\n"
       "progression Fig. 6 uses to argue for the hardware mechanism.\n");
+
+  // --- E15: writer-acquire latency, batched wave vs. sequential loop ------
+  constexpr std::size_t kIdleReaders = 8;
+  const int reps = quick ? 20 : 60;
+  std::printf("\nE15 — write_lock latency (cycles), %zu registered idle "
+              "readers:\n\n", kIdleReaders);
+  const auto [arw_seq, arw_batch] =
+      writer_latency_pair<ArwLockSequential, ArwLock>(kIdleReaders, reps);
+  const auto [plus_seq, plus_batch] =
+      writer_latency_pair<ArwPlusLockSequential, ArwPlusLock>(kIdleReaders,
+                                                              reps);
+  std::printf("%-26s p50=%9.0f  mean=%9.0f\n", "ARW  sequential signals",
+              arw_seq.p50, arw_seq.mean);
+  std::printf("%-26s p50=%9.0f  mean=%9.0f\n", "ARW  batched wave",
+              arw_batch.p50, arw_batch.mean);
+  std::printf("%-26s p50=%9.0f  mean=%9.0f\n", "ARW+ sequential signals",
+              plus_seq.p50, plus_seq.mean);
+  std::printf("%-26s p50=%9.0f  mean=%9.0f\n", "ARW+ batched wave",
+              plus_batch.p50, plus_batch.mean);
+  const double arw_speedup =
+      arw_batch.p50 > 0 ? arw_seq.p50 / arw_batch.p50 : 0.0;
+  const double plus_speedup =
+      plus_batch.p50 > 0 ? plus_seq.p50 / plus_batch.p50 : 0.0;
+  std::printf("%-26s ARW %.2fx, ARW+ %.2fx\n", "batched writer speedup",
+              arw_speedup, plus_speedup);
+
+  if (std::FILE* f = std::fopen("BENCH_arw.json", "w")) {
+    std::fprintf(
+        f,
+        "{\"bench\":\"arw\",\"idle_readers\":%zu,"
+        "\"arw_seq_writer_p50_cycles\":%.0f,"
+        "\"arw_batch_writer_p50_cycles\":%.0f,"
+        "\"arw_batch_speedup\":%.2f,"
+        "\"arwplus_seq_writer_p50_cycles\":%.0f,"
+        "\"arwplus_batch_writer_p50_cycles\":%.0f,"
+        "\"arwplus_batch_speedup\":%.2f,\"quick\":%s}\n",
+        kIdleReaders, arw_seq.p50, arw_batch.p50, arw_speedup, plus_seq.p50,
+        plus_batch.p50, plus_speedup, quick ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_arw.json\n");
+  }
   return 0;
 }

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -136,13 +138,24 @@ class EpochDomain {
         epoch_->fetch_add(2, std::memory_order_relaxed) + 2;
     P::secondary_fence();
 
+    // One batched serialize_many wave exposes any announce still parked in
+    // a reader's store buffer; afterwards, plain loads suffice. Batching
+    // makes the grace period pay the slowest reader's round trip once
+    // instead of summing round trips over all readers.
     const std::size_t hw = high_water_.load(std::memory_order_acquire);
+    std::array<typename P::Handle, kMaxReaders> wave;
+    std::array<Slot*, kMaxReaders> pending;
+    std::size_t n = 0;
     for (std::size_t i = 0; i < hw; ++i) {
       Slot& s = *slots_[i];
       if (!s.live.load(std::memory_order_acquire)) continue;
-      // One remote serialization exposes any announce still parked in the
-      // reader's store buffer; afterwards, plain loads suffice.
-      P::serialize(s.handle);
+      wave[n] = s.handle;
+      pending[n] = &s;
+      ++n;
+    }
+    P::serialize_many(std::span<const typename P::Handle>(wave.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& s = *pending[i];
       SpinWait w;
       for (;;) {
         const std::uint64_t st = s.state.load(std::memory_order_acquire);

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
+#include <span>
 
 #include "lbmf/core/fence.hpp"
 #include "lbmf/core/membarrier.hpp"
@@ -22,16 +24,35 @@ namespace lbmf {
 ///                         forces the primary's prior stores to become
 ///                         visible. A no-op for symmetric policies, where
 ///                         primary_fence() already did the work locally.
+///   * serialize_many(hs)— fan-out form: serialize a whole set of primaries
+///                         as one overlapped wave (post all requests, then
+///                         collect all acks), so a writer facing N primaries
+///                         pays the slowest round trip instead of the sum.
+///                         Returns the number of handles serialized.
 template <typename P>
-concept FencePolicy = requires(typename P::Handle h) {
-  { P::register_primary() } -> std::same_as<typename P::Handle>;
-  { P::unregister_primary(h) };
-  { P::primary_fence() };
-  { P::secondary_fence() };
-  { P::serialize(h) } -> std::convertible_to<bool>;
-  { P::name() } -> std::convertible_to<const char*>;
-  { P::kAsymmetric } -> std::convertible_to<bool>;
-};
+concept FencePolicy =
+    requires(typename P::Handle h, std::span<const typename P::Handle> hs) {
+      { P::register_primary() } -> std::same_as<typename P::Handle>;
+      { P::unregister_primary(h) };
+      { P::primary_fence() };
+      { P::secondary_fence() };
+      { P::serialize(h) } -> std::convertible_to<bool>;
+      { P::serialize_many(hs) } -> std::convertible_to<std::size_t>;
+      { P::name() } -> std::convertible_to<const char*>;
+      { P::kAsymmetric } -> std::convertible_to<bool>;
+    };
+
+/// Sequential fallback for serialize_many: N independent round trips. The
+/// correct (if slow) default for any policy without a cheaper wave.
+template <typename P>
+inline std::size_t serialize_many_sequential(
+    std::span<const typename P::Handle> hs) {
+  std::size_t done = 0;
+  for (const auto& h : hs) {
+    if (P::serialize(h)) ++done;
+  }
+  return done;
+}
 
 /// Program-based fences on both sides — the baseline the paper compares
 /// against (plain Dekker / Cilk-5 / SRW lock).
@@ -43,6 +64,9 @@ struct SymmetricFence {
   static void primary_fence() noexcept { store_load_fence(); }
   static void secondary_fence() noexcept { store_load_fence(); }
   static bool serialize(const Handle&) noexcept { return true; }
+  static std::size_t serialize_many(std::span<const Handle> hs) noexcept {
+    return hs.size();  // primaries fence locally: nothing remote to do
+  }
   static constexpr const char* name() noexcept { return "symmetric-mfence"; }
 };
 
@@ -61,6 +85,16 @@ struct AsymmetricSignalFence {
   static void secondary_fence() noexcept { store_load_fence(); }
   static bool serialize(const Handle& h) {
     return SerializerRegistry::instance().serialize(h);
+  }
+  static std::size_t serialize_many(std::span<const Handle> hs) {
+    return SerializerRegistry::instance().serialize_many(hs);
+  }
+  /// The pre-batching serialize: every call posts its own signal and
+  /// spin-waits the covering ack (no coalescing, no parking). Same
+  /// guarantee as serialize(); kept so sequential-baseline code paths and
+  /// benchmarks (bench_arw/bench_roundtrip E15) measure the original cost.
+  static bool serialize_baseline(const Handle& h) {
+    return SerializerRegistry::instance().serialize_uncoalesced(h);
   }
   static constexpr const char* name() noexcept { return "asymmetric-signal"; }
 };
@@ -81,6 +115,12 @@ struct AsymmetricMembarrierFence {
     membarrier::barrier();
     return true;
   }
+  static std::size_t serialize_many(std::span<const Handle> hs) noexcept {
+    // membarrier is a broadcast: one syscall serializes every thread of the
+    // process, so a whole wave collapses into a single kernel round trip.
+    if (!hs.empty()) membarrier::barrier();
+    return hs.size();
+  }
   static constexpr const char* name() noexcept {
     return "asymmetric-membarrier";
   }
@@ -98,6 +138,9 @@ struct UnsafeNoFence {
   static void primary_fence() noexcept { compiler_fence(); }
   static void secondary_fence() noexcept { compiler_fence(); }
   static bool serialize(const Handle&) noexcept { return true; }
+  static std::size_t serialize_many(std::span<const Handle> hs) noexcept {
+    return hs.size();
+  }
   static constexpr const char* name() noexcept { return "unsafe-no-fence"; }
 };
 

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <span>
 
 #include "lbmf/core/policies.hpp"
 #include "lbmf/util/cacheline.hpp"
@@ -139,15 +141,26 @@ class Safepoint {
     std::lock_guard<std::mutex> g(coordinator_gate_);
     request_->store(1, std::memory_order_relaxed);
     P::secondary_fence();
+    // Remote-serialize every mutator with one batched wave so an in-flight
+    // kRunning announce parked in a store buffer becomes visible before we
+    // sample its state. The overlapped wave means stopping the world costs
+    // the slowest mutator's round trip, not the sum over all mutators.
     const std::size_t hw = high_water_.load(std::memory_order_acquire);
+    std::array<typename P::Handle, kMaxMutators> wave;
+    std::array<Slot*, kMaxMutators> pending;
+    std::size_t n = 0;
     for (std::size_t i = 0; i < hw; ++i) {
       Slot& s = *slots_[i];
       if (!s.live.load(std::memory_order_acquire)) continue;
-      // Remote-serialize so an in-flight kRunning announce parked in the
-      // mutator's store buffer becomes visible before we sample its state.
-      P::serialize(s.handle);
+      wave[n] = s.handle;
+      pending[n] = &s;
+      ++n;
+    }
+    P::serialize_many(std::span<const typename P::Handle>(wave.data(), n));
+    for (std::size_t i = 0; i < n; ++i) {
       SpinWait w;
-      while (s.state.load(std::memory_order_acquire) == State::kRunning) {
+      while (pending[i]->state.load(std::memory_order_acquire) ==
+             State::kRunning) {
         w.wait();
       }
     }

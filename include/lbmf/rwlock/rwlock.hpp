@@ -1,8 +1,10 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <span>
 
 #include <pthread.h>
 
@@ -39,7 +41,14 @@ struct RwLockStats {
 ///   BiasedRwLock<SymmetricFence>                    — the SRW control
 ///   BiasedRwLock<AsymmetricSignalFence>             — ARW
 ///   BiasedRwLock<AsymmetricSignalFence, true>       — ARW+
-template <FencePolicy P, bool kWaitingHeuristic = false>
+///
+/// `kBatchedSignals` selects the writer's fan-out shape: batched (default)
+/// posts one serialize_many() wave to every reader it must signal and only
+/// then spin-waits on their flags, so the writer pays the slowest round trip
+/// instead of the sum; false reproduces the paper's sequential
+/// signal-one-wait-one loop (kept as the measured baseline, bench_arw E15).
+template <FencePolicy P, bool kWaitingHeuristic = false,
+          bool kBatchedSignals = true>
 class BiasedRwLock {
  public:
   static constexpr std::size_t kMaxReaders = 64;
@@ -168,33 +177,81 @@ class BiasedRwLock {
       }
     }
 
-    for (std::size_t i = 0; i < hw; ++i) {
-      Slot& s = *slots_[i];
-      if (!s.live.load(std::memory_order_acquire)) continue;
-      // Only ARW+ trusts reader acknowledgments; the plain ARW writer
-      // signals every reader unconditionally (Sec. 5: "the writer ends up
-      // signaling a list of readers ... one by one"). A writer's own
-      // reader slot needs neither ack nor signal: its flag stores are
-      // ordered by the intent fence it just executed.
-      bool cleared_by_ack = false;
-      if constexpr (kWaitingHeuristic) {
-        cleared_by_ack = s.ack.load(std::memory_order_acquire) == epoch ||
-                         pthread_equal(s.owner, pthread_self());
+    if constexpr (kBatchedSignals) {
+      // Batched round: classify every live reader first (ack-cleared vs.
+      // must-signal), fan the signals out as ONE serialize_many wave, and
+      // only then spin-wait on the flags. The wave overlaps the round
+      // trips, so the writer's serialization cost is max, not sum.
+      std::array<typename P::Handle, kMaxReaders> wave;
+      std::array<Slot*, kMaxReaders> pending;
+      std::size_t nwave = 0, npending = 0;
+      for (std::size_t i = 0; i < hw; ++i) {
+        Slot& s = *slots_[i];
+        if (!s.live.load(std::memory_order_acquire)) continue;
+        // Only ARW+ trusts reader acknowledgments; the plain ARW writer
+        // signals every reader unconditionally (Sec. 5: "the writer ends
+        // up signaling a list of readers ... one by one"). A writer's own
+        // reader slot needs neither ack nor signal: its flag stores are
+        // ordered by the intent fence it just executed.
+        bool cleared_by_ack = false;
+        if constexpr (kWaitingHeuristic) {
+          cleared_by_ack = s.ack.load(std::memory_order_acquire) == epoch ||
+                           pthread_equal(s.owner, pthread_self());
+        }
+        if (cleared_by_ack) {
+          // Reader acknowledged: its flag=0 completed before the ack (TSO
+          // FIFO), and it cannot re-enter while intent is set.
+          wstats_->ack_clears.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Force the reader to serialize so a flag=1 parked in its store
+          // buffer (committed before our intent became visible) is exposed.
+          wave[nwave++] = s.handle;
+          wstats_->signal_clears.fetch_add(1, std::memory_order_relaxed);
+        }
+        pending[npending++] = &s;
       }
-      if (cleared_by_ack) {
-        // Reader acknowledged: its flag=0 completed before the ack (TSO
-        // FIFO), and it cannot re-enter while intent is set.
-        ++wstats_->ack_clears;
-      } else {
-        // Force the reader to serialize so a flag=1 parked in its store
-        // buffer (committed before our intent became visible) is exposed.
-        if (P::serialize(s.handle)) ++wstats_->serializations;
-        ++wstats_->signal_clears;
+      const std::size_t serialized = P::serialize_many(
+          std::span<const typename P::Handle>(wave.data(), nwave));
+      wstats_->serializations.fetch_add(serialized,
+                                        std::memory_order_relaxed);
+      for (std::size_t i = 0; i < npending; ++i) {
+        SpinWait waiter;
+        while (pending[i]->flag.load(std::memory_order_acquire) != 0) {
+          waiter.wait();
+        }
       }
-      SpinWait waiter;
-      while (s.flag.load(std::memory_order_acquire) != 0) waiter.wait();
+    } else {
+      // Sequential round (pre-batching baseline): one full round trip per
+      // reader, each awaited before the next is posted.
+      for (std::size_t i = 0; i < hw; ++i) {
+        Slot& s = *slots_[i];
+        if (!s.live.load(std::memory_order_acquire)) continue;
+        bool cleared_by_ack = false;
+        if constexpr (kWaitingHeuristic) {
+          cleared_by_ack = s.ack.load(std::memory_order_acquire) == epoch ||
+                           pthread_equal(s.owner, pthread_self());
+        }
+        if (cleared_by_ack) {
+          wstats_->ack_clears.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Use the policy's pre-batching serialize when it has one so this
+          // leg measures the original writer's cost, not just its shape.
+          bool ok;
+          if constexpr (requires { P::serialize_baseline(s.handle); }) {
+            ok = P::serialize_baseline(s.handle);
+          } else {
+            ok = P::serialize(s.handle);
+          }
+          if (ok) {
+            wstats_->serializations.fetch_add(1, std::memory_order_relaxed);
+          }
+          wstats_->signal_clears.fetch_add(1, std::memory_order_relaxed);
+        }
+        SpinWait waiter;
+        while (s.flag.load(std::memory_order_acquire) != 0) waiter.wait();
+      }
     }
-    ++wstats_->write_acquires;
+    wstats_->write_acquires.fetch_add(1, std::memory_order_relaxed);
   }
 
   void write_unlock() {
@@ -202,13 +259,17 @@ class BiasedRwLock {
     writer_gate_.unlock();
   }
 
-  /// Merged counters (exact while quiescent).
+  /// Merged counters (exact while quiescent; safely readable — relaxed
+  /// atomic loads — while writers are mid-acquire).
   RwLockStats stats() const {
     RwLockStats out;
-    out.write_acquires = wstats_->write_acquires;
-    out.serializations = wstats_->serializations;
-    out.ack_clears = wstats_->ack_clears;
-    out.signal_clears = wstats_->signal_clears;
+    out.write_acquires =
+        wstats_->write_acquires.load(std::memory_order_relaxed);
+    out.serializations =
+        wstats_->serializations.load(std::memory_order_relaxed);
+    out.ack_clears = wstats_->ack_clears.load(std::memory_order_relaxed);
+    out.signal_clears =
+        wstats_->signal_clears.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < kMaxReaders; ++i) {
       out.read_acquires +=
           slots_[i]->reads.load(std::memory_order_relaxed);
@@ -239,9 +300,19 @@ class BiasedRwLock {
     s.used.store(false, std::memory_order_release);
   }
 
+  /// Writer-side counters. Incremented only under the writer gate, but read
+  /// by stats() from any thread at any time — hence atomics with relaxed
+  /// ordering (the values are monotonic event counts, not synchronization).
+  struct WriterCounters {
+    std::atomic<std::uint64_t> write_acquires{0};
+    std::atomic<std::uint64_t> serializations{0};
+    std::atomic<std::uint64_t> ack_clears{0};
+    std::atomic<std::uint64_t> signal_clears{0};
+  };
+
   CacheAligned<Slot> slots_[kMaxReaders];
   CacheAligned<std::atomic<std::uint64_t>> intent_{0};  // 0 = no writer (L2)
-  CacheAligned<RwLockStats> wstats_;  // writer-side counters (gate-held)
+  CacheAligned<WriterCounters> wstats_;
   std::mutex writer_gate_;
   std::atomic<std::uint64_t> epoch_counter_{0};
   std::atomic<std::size_t> high_water_{0};
@@ -251,5 +322,12 @@ class BiasedRwLock {
 using SrwLock = BiasedRwLock<SymmetricFence, false>;
 using ArwLock = BiasedRwLock<AsymmetricSignalFence, false>;
 using ArwPlusLock = BiasedRwLock<AsymmetricSignalFence, true>;
+
+/// Pre-batching writers (sequential signal-one-wait-one fan-out): the
+/// measured baseline for the serialize_many wave, and the second leg of the
+/// existing-tests-pass-on-both-paths guarantee.
+using ArwLockSequential = BiasedRwLock<AsymmetricSignalFence, false, false>;
+using ArwPlusLockSequential =
+    BiasedRwLock<AsymmetricSignalFence, true, false>;
 
 }  // namespace lbmf

@@ -183,5 +183,50 @@ TYPED_TEST(EpochTest, ManyReadersManyGracePeriods) {
   for (auto& t : readers) t.join();
 }
 
+TYPED_TEST(EpochTest, BatchedWaveWaitsForEveryActiveReader) {
+  // synchronize() fans out over all registered readers with one batched
+  // serialize_many wave; it must still wait for each of N concurrently
+  // active sections individually.
+  EpochDomain<TypeParam> d;
+  constexpr int kReaders = 6;
+  std::atomic<int> in_section{0};
+  std::atomic<bool> release{false};
+  std::atomic<bool> synced{false};
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    readers.emplace_back([&] {
+      auto token = d.register_reader();
+      {
+        auto g = token.read_lock();
+        in_section.fetch_add(1, std::memory_order_acq_rel);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        // Still inside: the grace period must not have ended.
+        EXPECT_FALSE(synced.load(std::memory_order_acquire));
+      }
+      while (!synced.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  while (in_section.load(std::memory_order_acquire) < kReaders) {
+    std::this_thread::yield();
+  }
+
+  std::thread writer([&] {
+    d.synchronize();
+    synced.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(synced.load(std::memory_order_acquire));
+  release.store(true, std::memory_order_release);
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(synced.load());
+  EXPECT_EQ(d.grace_periods(), 1u);
+}
+
 }  // namespace
 }  // namespace lbmf

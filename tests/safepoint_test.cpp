@@ -172,5 +172,64 @@ TEST(SafepointAsymmetry, MutatorPollPaysNoFenceWhenIdle) {
   EXPECT_EQ(sp.stops(), 0u);
 }
 
+TYPED_TEST(SafepointTest, BatchedWaveStopsMixedMutatorPopulation) {
+  // stop_the_world() serializes all mutators with one batched wave. Mix
+  // polling mutators with safe-region dwellers so a single wave spans both
+  // classes, and verify the snapshot is still atomic.
+  Safepoint<TypeParam> sp;
+  constexpr int kPolling = 4;
+  alignas(64) static volatile long a_cells[kPolling];
+  alignas(64) static volatile long b_cells[kPolling];
+  for (int i = 0; i < kPolling; ++i) {
+    a_cells[i] = 0;
+    b_cells[i] = 0;
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> ready{0};
+
+  std::vector<std::thread> mutators;
+  for (int t = 0; t < kPolling; ++t) {
+    mutators.emplace_back([&, t] {
+      auto token = sp.register_mutator();
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!stop.load(std::memory_order_relaxed)) {
+        a_cells[t] = a_cells[t] + 1;
+        b_cells[t] = b_cells[t] + 1;
+        token.poll();
+      }
+    });
+  }
+  // Two more mutators parked in safe regions for the whole test: the wave
+  // serializes them too, but must not wait on them.
+  for (int t = 0; t < 2; ++t) {
+    mutators.emplace_back([&] {
+      auto token = sp.register_mutator();
+      token.enter_safe_region();
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::yield();
+      }
+      token.leave_safe_region();
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < kPolling + 2) {
+    std::this_thread::yield();
+  }
+
+  int torn = 0;
+  for (int round = 0; round < 20; ++round) {
+    sp.stop_the_world([&] {
+      for (int t = 0; t < kPolling; ++t) {
+        if (a_cells[t] != b_cells[t]) ++torn;
+      }
+    });
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : mutators) th.join();
+  EXPECT_EQ(torn, 0);
+  EXPECT_EQ(sp.stops(), 20u);
+}
+
 }  // namespace
 }  // namespace lbmf
