@@ -1,0 +1,294 @@
+// fence_inferencer — counterexample-guided fence synthesis over the LE/ST
+// simulator: feed it a litmus test with `?fence` holes (see docs/LITMUS.md)
+// and it searches the per-hole {none, mfence, l-mfence} lattice for the
+// minimum-cost placement that makes every interleaving safe, prints the
+// repaired program, and emits a JSON report. On the holey Dekker with a
+// hot primary (freq 1000) and a rare secondary this mechanically
+// rediscovers the paper's Fig. 3 asymmetric protocol: l-mfence on the
+// primary, mfence on the secondary.
+//
+// Usage:
+//   fence_inferencer test.lit                 # infer and print the repair
+//   fence_inferencer -                        # read the test from stdin
+//   fence_inferencer test.lit --json=out.json # also write the JSON report
+//   fence_inferencer test.lit --exhaustive    # naive 3^k enumeration
+//   fence_inferencer test.lit --no-minimality # skip the minimality sweep
+//   fence_inferencer test.lit --max-states=N --batch=K --threads=T
+//
+// Exit codes: 0 = SAT (repair printed), 1 = UNSAT (no placement is safe),
+// 2 = usage/parse error, 3 = inconclusive (state or candidate budget hit).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lbmf/infer/infer.hpp"
+
+using namespace lbmf;
+
+namespace {
+
+struct CliOptions {
+  infer::InferenceEngine::Options engine;
+  std::string json_path;
+};
+
+[[noreturn]] void bad_flag(const std::string& flag) {
+  std::fprintf(stderr, "unrecognized or malformed flag: %s\n", flag.c_str());
+  std::exit(2);
+}
+
+CliOptions parse_flags(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;  // the litmus file argument
+    if (a.rfind("--max-states=", 0) == 0) {
+      char* end = nullptr;
+      cli.engine.max_states_per_check = std::strtoull(a.c_str() + 13, &end, 10);
+      if (end == nullptr || *end != '\0' ||
+          cli.engine.max_states_per_check == 0) {
+        bad_flag(a);
+      }
+    } else if (a.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      cli.engine.explorer_threads = std::strtoul(a.c_str() + 10, &end, 10);
+      if (end == nullptr || *end != '\0' || cli.engine.explorer_threads == 0 ||
+          cli.engine.explorer_threads > 256) {
+        bad_flag(a);
+      }
+    } else if (a.rfind("--batch=", 0) == 0) {
+      char* end = nullptr;
+      cli.engine.batch = std::strtoul(a.c_str() + 8, &end, 10);
+      if (end == nullptr || *end != '\0' || cli.engine.batch == 0 ||
+          cli.engine.batch > 64) {
+        bad_flag(a);
+      }
+    } else if (a.rfind("--json=", 0) == 0) {
+      cli.json_path = a.substr(7);
+      if (cli.json_path.empty()) bad_flag(a);
+    } else if (a == "--exhaustive") {
+      cli.engine.exhaustive = true;
+    } else if (a == "--no-learning") {
+      cli.engine.learn_clauses = false;
+    } else if (a == "--no-minimality") {
+      cli.engine.minimality_pass = false;
+    } else if (a == "--no-por") {
+      cli.engine.por = false;
+    } else {
+      bad_flag(a);
+    }
+  }
+  return cli;
+}
+
+std::string read_source(int argc, char** argv) {
+  std::string arg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) != 0) {
+      arg = argv[i];
+      break;
+    }
+  }
+  if (arg.empty()) {
+    std::fprintf(stderr,
+                 "usage: fence_inferencer <test.lit | -> [--flags]\n");
+    std::exit(2);
+  }
+  if (arg == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream f(arg);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+std::string bracketed(const infer::InferProblem& p, sim::Addr a) {
+  const std::string n = p.location_name(a);
+  return n.empty() || n.front() == '[' ? n : "[" + n + "]";
+}
+
+/// The repaired source: the original text with each `?fence` line replaced
+/// by the concrete instruction(s) the winning assignment chose there.
+std::string repair_source(const std::string& source,
+                          const infer::InferProblem& p,
+                          const infer::Assignment& a) {
+  // Split keeping line numbers 1-based, like the assembler counts them.
+  std::vector<std::string> lines;
+  std::istringstream in(source);
+  for (std::string l; std::getline(in, l);) lines.push_back(l);
+
+  for (std::size_t s = 0; s < p.sites.size(); ++s) {
+    const infer::FenceSite& site = p.sites[s];
+    if (site.src_line == 0 || site.src_line > lines.size()) continue;
+    std::string& l = lines[site.src_line - 1];
+    const std::string indent = l.substr(0, l.find_first_not_of(" \t"));
+    const std::string loc = bracketed(p, site.addr);
+    const std::string val = std::to_string(site.value);
+    switch (a.kinds[s]) {
+      case sim::FenceKind::kNone:
+        l = indent + "store " + loc + ", " + val;
+        break;
+      case sim::FenceKind::kMfence:
+        l = indent + "store " + loc + ", " + val + "\n" + indent + "mfence";
+        break;
+      case sim::FenceKind::kLmfence:
+        l = indent + "lmfence " + loc + ", " + val;
+        break;
+    }
+  }
+  std::string out;
+  for (const std::string& l : lines) out += l + "\n";
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_report(const infer::InferProblem& p,
+                        const infer::InferResult& r) {
+  std::ostringstream j;
+  j << "{\n";
+  j << "  \"status\": \"" << infer::to_string(r.status) << "\",\n";
+  j << "  \"holes\": " << p.sites.size() << ",\n";
+  j << "  \"lattice_size\": " << r.lattice_size << ",\n";
+  j << "  \"candidates_generated\": " << r.candidates_generated << ",\n";
+  j << "  \"candidates_verified\": " << r.candidates_verified << ",\n";
+  j << "  \"candidates_pruned\": " << r.candidates_pruned << ",\n";
+  j << "  \"states_total\": " << r.states_total << ",\n";
+  if (r.status == infer::InferStatus::kSat) {
+    j << "  \"best_cost\": " << r.best_cost << ",\n";
+    j << "  \"recheck_safe\": " << (r.recheck_safe ? "true" : "false")
+      << ",\n";
+    j << "  \"placement\": [\n";
+    for (std::size_t s = 0; s < p.sites.size(); ++s) {
+      j << "    {\"site\": \"" << json_escape(p.describe_site(s))
+        << "\", \"line\": " << p.sites[s].src_line << ", \"fence\": \""
+        << sim::to_string(r.best.kinds[s]) << "\"}"
+        << (s + 1 < p.sites.size() ? "," : "") << "\n";
+    }
+    j << "  ],\n";
+  }
+  if (r.unsat_violation) {
+    j << "  \"violation\": \"" << json_escape(*r.unsat_violation) << "\",\n";
+  }
+  j << "  \"clauses\": [";
+  for (std::size_t i = 0; i < r.clauses.size(); ++i) {
+    j << (i ? ", " : "") << "\"" << json_escape(r.clauses[i]) << "\"";
+  }
+  j << "],\n";
+  j << "  \"minimality\": [\n";
+  for (std::size_t i = 0; i < r.minimality.size(); ++i) {
+    const infer::MinimalityNote& n = r.minimality[i];
+    j << "    {\"site\": \"" << json_escape(p.describe_site(n.site))
+      << "\", \"from\": \"" << sim::to_string(n.from) << "\", \"to\": \""
+      << sim::to_string(n.to) << "\", \"safe\": " << (n.safe ? "true" : "false")
+      << ", \"cost_delta\": " << n.cost_delta << "}"
+      << (i + 1 < r.minimality.size() ? "," : "") << "\n";
+  }
+  j << "  ]\n";
+  j << "}\n";
+  return j.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = parse_flags(argc, argv);
+  const std::string source = read_source(argc, argv);
+
+  infer::ProblemParse parsed = infer::problem_from_source(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "line %zu: %s\n", parsed.error->line,
+                 parsed.error->message.c_str());
+    return 2;
+  }
+  infer::InferProblem& p = *parsed.problem;
+  std::printf("%zu cpu(s), %zu fence hole(s)", p.programs.size(),
+              p.sites.size());
+  for (std::size_t i = 0; i < p.sites.size(); ++i) {
+    std::printf(" %s", p.describe_site(i).c_str());
+  }
+  std::printf("\nfreqs:");
+  for (std::size_t c = 0; c < p.programs.size(); ++c) {
+    std::printf(" cpu%zu=%g", c, p.cpu_freq(c));
+  }
+  std::printf("\n");
+
+  infer::InferenceEngine engine(p, cli.engine);
+  const infer::InferResult r = engine.run();
+
+  std::printf("%s: %llu explorer checks over a %llu-point lattice (%llu "
+              "pruned by %zu learned clauses), %llu states\n",
+              infer::to_string(r.status),
+              static_cast<unsigned long long>(r.candidates_verified),
+              static_cast<unsigned long long>(r.lattice_size),
+              static_cast<unsigned long long>(r.candidates_pruned),
+              r.clauses.size(),
+              static_cast<unsigned long long>(r.states_total));
+  for (const std::string& c : r.clauses) {
+    std::printf("  clause: %s\n", c.c_str());
+  }
+
+  if (!cli.json_path.empty()) {
+    std::ofstream jf(cli.json_path);
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 2;
+    }
+    jf << json_report(p, r);
+    std::printf("report written to %s\n", cli.json_path.c_str());
+  }
+
+  if (r.status == infer::InferStatus::kUnsat) {
+    std::printf("UNSAT: no fence placement makes this program safe\n");
+    if (r.unsat_violation) {
+      std::printf("fence-independent violation: %s\n",
+                  r.unsat_violation->c_str());
+    }
+    return 1;
+  }
+  if (r.status == infer::InferStatus::kLimit) {
+    std::printf("INCONCLUSIVE: budget hit (raise --max-states=N)\n");
+    return 3;
+  }
+
+  std::printf("minimum-cost placement (cost %.0f, re-check %s):\n",
+              r.best_cost, r.recheck_safe ? "SAFE" : "FAILED");
+  for (std::size_t s = 0; s < p.sites.size(); ++s) {
+    std::printf("  line %zu %s -> %s\n", p.sites[s].src_line,
+                p.describe_site(s).c_str(), sim::to_string(r.best.kinds[s]));
+  }
+  for (const infer::MinimalityNote& n : r.minimality) {
+    std::printf("  minimality: site %zu %s -> %s is %s (cost %+.0f)\n", n.site,
+                sim::to_string(n.from), sim::to_string(n.to),
+                n.hit_limit ? "inconclusive" : n.safe ? "safe" : "UNSAFE",
+                n.cost_delta);
+  }
+  std::printf("\nrepaired program:\n%s",
+              repair_source(source, p, r.best).c_str());
+  return r.recheck_safe ? 0 : 3;
+}

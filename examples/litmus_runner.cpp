@@ -12,7 +12,12 @@
 //   litmus_runner test.lit --no-por         # disable partial-order reduction
 //   litmus_runner test.lit --threads=8      # parallel exploration
 //   litmus_runner test.lit --stats          # dedup hit rate, states/sec, ...
+//   litmus_runner test.lit --expect-violation  # negative test: fail if SAFE
 //   echo "..." | litmus_runner -            # read the test from stdin
+//
+// Exit codes: 0 = expected verdict (SAFE, or VIOLATION under
+// --expect-violation), 1 = the opposite verdict, 2 = usage/parse error,
+// 3 = state limit hit (always inconclusive, never the expected verdict).
 //
 // Litmus syntax: see include/lbmf/sim/assembler.hpp; sample tests live in
 // examples/litmus/.
@@ -61,6 +66,8 @@ struct CliOptions {
   bool por = true;
   std::size_t threads = 1;
   bool stats = false;
+  /// Negative tests (broken_*.lit): succeed only if a violation is found.
+  bool expect_violation = false;
 };
 
 [[noreturn]] void bad_flag(const std::string& flag) {
@@ -94,6 +101,8 @@ CliOptions parse_flags(int argc, char** argv) {
       }
     } else if (a == "--stats") {
       cli.stats = true;
+    } else if (a == "--expect-violation") {
+      cli.expect_violation = true;
     } else {
       bad_flag(a);
     }
@@ -193,6 +202,11 @@ int main(int argc, char** argv) {
   }
   if (!r.violation) {
     std::printf("SAFE: no schedule violates mutual exclusion or coherence\n");
+    if (cli.expect_violation) {
+      std::printf("UNEXPECTED: --expect-violation was given but every "
+                  "schedule is safe\n");
+      return 1;
+    }
     return 0;
   }
 
@@ -206,5 +220,9 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", annotate_schedule(std::move(replay),
                                       r.violation_trace).c_str());
+  if (cli.expect_violation) {
+    std::printf("EXPECTED: violation found, as requested\n");
+    return 0;
+  }
   return 1;
 }

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lbmf/infer/sites.hpp"
+#include "lbmf/model/cost_model.hpp"
+#include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/types.hpp"
+
+namespace lbmf::infer {
+
+enum class InferStatus : std::uint8_t {
+  kSat,    // a SAFE placement exists; `best` holds the cheapest one found
+  kUnsat,  // no placement makes the program safe (fence-independent bug)
+  kLimit,  // inconclusive: a state budget or candidate cap was hit first
+};
+
+const char* to_string(InferStatus s) noexcept;
+
+/// One entry of the minimality certificate: what happened when `site` was
+/// weakened (to = kNone) or swapped to the other fence kind, starting from
+/// the winning assignment.
+struct MinimalityNote {
+  std::size_t site = 0;
+  FenceKind from = FenceKind::kNone;
+  FenceKind to = FenceKind::kNone;
+  bool safe = false;       // did the mutated placement stay SAFE?
+  bool hit_limit = false;  // mutation check inconclusive
+  double cost_delta = 0;   // cost(mutated) - cost(best); > 0 means pricier
+};
+
+struct InferResult {
+  InferStatus status = InferStatus::kUnsat;
+
+  /// Valid when status == kSat.
+  Assignment best;
+  double best_cost = 0;
+
+  /// Assignments whose safety was actually model-checked (explorer runs),
+  /// including the minimality pass; the CEGIS-vs-naive bench ratio is over
+  /// this counter.
+  std::uint64_t candidates_verified = 0;
+  /// Assignments dispatched without an explorer run because a learned
+  /// clause already covers them (a prior counterexample applies).
+  std::uint64_t candidates_pruned = 0;
+  /// Distinct assignments ever enqueued.
+  std::uint64_t candidates_generated = 0;
+  /// Full lattice size Π per-site kind counts (3^holes minus the l-mfence
+  /// option at register-store sites) — what naive enumeration verifies.
+  std::uint64_t lattice_size = 0;
+  /// Σ states_explored over every explorer invocation.
+  std::uint64_t states_total = 0;
+
+  /// Final fresh explorer run over `best` (not counted above): the
+  /// end-to-end certificate that the emitted placement is SAFE.
+  bool recheck_safe = false;
+
+  /// Human-readable learned clauses ("strengthen one of: ..."), in the
+  /// order the counterexamples produced them.
+  std::vector<std::string> clauses;
+  std::vector<MinimalityNote> minimality;
+
+  /// For kUnsat: the fence-independent violation and its schedule.
+  std::optional<std::string> unsat_violation;
+  std::vector<sim::Choice> unsat_trace;
+};
+
+/// Counterexample-guided search for the minimum-cost SAFE fence placement.
+///
+/// The search walks the per-site strength lattice (none < l-mfence <
+/// mfence) best-first by cost lower bound, model-checking each popped
+/// assignment with sim::Explorer. Every violating run is replayed to find
+/// its *culprit sites* — the candidate program points a store-to-load
+/// reordering actually crossed — and learns the clause "any safe placement
+/// must strengthen one culprit site beyond what this candidate had there".
+/// Candidates covered by a learned clause are pruned without an explorer
+/// run; a counterexample with no culprit sites (the violation happens with
+/// no reordering at all) proves the program unsafe under every placement.
+/// A final minimality pass weakens/swaps each fence of the winner and
+/// re-verifies, emitting a per-site certificate. See docs/ARCHITECTURE.md
+/// "Fence inference".
+class InferenceEngine {
+ public:
+  struct Options {
+    model::CostTable costs;
+    /// Explorer state budget per candidate check.
+    std::uint64_t max_states_per_check = 500'000;
+    /// Hard cap on explorer invocations (runaway-lattice backstop).
+    std::uint64_t max_candidates = 100'000;
+    /// lbmf::ws workers per explorer run (the explorer's parallel fan-out).
+    std::size_t explorer_threads = 1;
+    /// Frontier candidates verified concurrently per wave (each on its own
+    /// thread, each running its own explorer).
+    std::size_t batch = 1;
+    bool por = true;
+    /// Naive 3^k enumeration instead of the guided search — the bench
+    /// baseline and a cross-check oracle for tests.
+    bool exhaustive = false;
+    /// Learn clauses from counterexamples (off => plain best-first).
+    bool learn_clauses = true;
+    /// Run the drop/downgrade minimality pass on the winner.
+    bool minimality_pass = true;
+  };
+
+  InferenceEngine(InferProblem problem, Options opts);
+
+  InferResult run();
+
+ private:
+  InferProblem p_;
+  Options o_;
+};
+
+}  // namespace lbmf::infer

@@ -2,6 +2,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 namespace lbmf::model {
 
@@ -34,6 +36,9 @@ enum class FenceImpl {
 };
 
 const char* to_string(FenceImpl f) noexcept;
+
+/// Inverse of to_string(FenceImpl). Returns nullopt for unknown spellings.
+std::optional<FenceImpl> fence_impl_from_string(std::string_view s) noexcept;
 
 /// Cycles the primary pays per announce (per pop / per read-lock).
 double victim_fence_cycles(FenceImpl f, const CostTable& c) noexcept;

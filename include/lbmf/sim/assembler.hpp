@@ -17,6 +17,18 @@ struct AssembleError {
   std::string message;
 };
 
+/// A `?fence [loc], value` hole: a candidate fence site awaiting an
+/// inference decision (see lbmf::infer). The hole assembles to the plain
+/// store it guards, so a holey test run directly is its weakest (all-`none`)
+/// instantiation.
+struct LitHole {
+  std::size_t cpu = 0;
+  std::size_t instr_index = 0;  // index of the candidate store in programs[cpu]
+  Addr addr = kInvalidAddr;
+  Word value = 0;
+  std::size_t line = 0;  // 1-based source line, for source rewriting
+};
+
 /// Output of assemble(): one Program per `cpu N:` section plus the mapping
 /// from symbolic location names to simulated addresses.
 struct AssembleResult {
@@ -24,6 +36,12 @@ struct AssembleResult {
   std::map<std::string, Addr> symbols;
   /// `init [loc], value` directives, in source order.
   std::vector<std::pair<Addr, Word>> initial_memory;
+  /// `?fence` candidate sites, in source order.
+  std::vector<LitHole> holes;
+  /// Relative execution frequency per CPU (`freq N` directive; default 1).
+  /// Drives the fence-inference cost ranking: a "hot" CPU pays its
+  /// per-announce fence cost that many times more often.
+  std::vector<double> cpu_freqs;
   std::optional<AssembleError> error;
 
   bool ok() const noexcept { return !error.has_value(); }
@@ -35,10 +53,12 @@ struct AssembleResult {
 ///
 ///   init [flag], 0       # optional initial memory, before any cpu section
 ///   cpu 0:
+///     freq  1000           # relative execution frequency (fence inference)
 ///     mov   r2, 5          # registers r0..r7
 ///   top:
 ///     store [flag], 1      # locations are symbolic or numeric: [3]
 ///     lmfence [flag], 1    # the full Fig. 3(b) expansion
+///     ?fence [flag], 1     # store with a fence HOLE (lbmf::infer decides)
 ///     mfence
 ///     load  r0, [peer]
 ///     le    r0, [peer]     # load-exclusive
@@ -55,7 +75,8 @@ struct AssembleResult {
 ///
 /// Symbolic location names are assigned ascending addresses in order of
 /// first appearance (shared across all CPUs — that is the point). Every
-/// CPU section must end with `halt`.
+/// CPU section must end with `halt`. The full grammar, including the
+/// `?fence` holes consumed by lbmf::infer, is documented in docs/LITMUS.md.
 AssembleResult assemble(std::string_view source);
 
 /// Convenience: assemble, abort (LBMF_CHECK) on error, and load the

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "lbmf/sim/machine.hpp"
@@ -17,6 +19,16 @@ enum class FenceKind : std::uint8_t {
 };
 
 const char* to_string(FenceKind k) noexcept;
+
+/// Inverse of to_string(FenceKind); also accepts the bare "lmfence"
+/// spelling used by the litmus grammar. Returns nullopt for anything else.
+std::optional<FenceKind> fence_kind_from_string(std::string_view s) noexcept;
+
+/// Append "[a] = v" with the chosen fence discipline: a plain store
+/// (kNone), store + mfence (kMfence), or the Fig. 3(b) l-mfence expansion
+/// (kLmfence). This is the shape every candidate fence site of lbmf::infer
+/// instantiates to.
+ProgramBuilder& fenced_store(ProgramBuilder& b, Addr a, Word v, FenceKind f);
 
 /// Well-known addresses used by the canned litmus programs.
 namespace addr {

@@ -92,6 +92,9 @@ class ProgramBuilder {
   /// error message, or nullopt on success (with *out filled in).
   std::optional<std::string> try_build(Program* out);
 
+  /// Instructions emitted so far (the index the next emit will land on).
+  std::size_t size() const noexcept { return prog_.code.size(); }
+
  private:
   ProgramBuilder& emit(Instr i);
 

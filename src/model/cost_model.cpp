@@ -15,6 +15,15 @@ const char* to_string(FenceImpl f) noexcept {
   return "?";
 }
 
+std::optional<FenceImpl> fence_impl_from_string(std::string_view s) noexcept {
+  if (s == "mfence") return FenceImpl::kMfence;
+  if (s == "signal") return FenceImpl::kSignal;
+  if (s == "signal+ack") return FenceImpl::kSignalAck;
+  if (s == "le/st") return FenceImpl::kLest;
+  if (s == "none") return FenceImpl::kNone;
+  return std::nullopt;
+}
+
 double victim_fence_cycles(FenceImpl f, const CostTable& c) noexcept {
   switch (f) {
     case FenceImpl::kMfence: return c.mfence_cycles;

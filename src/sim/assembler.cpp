@@ -70,6 +70,8 @@ struct Assembler {
   std::size_t line_no = 0;
   Addr next_addr = 0;
   std::vector<std::pair<Addr, Word>> initials;
+  std::vector<double> freqs;     // one per cpu section, default 1.0
+  std::vector<bool> freq_seen;   // duplicate-`freq` detection
 
   bool fail(std::string message) {
     result.error = AssembleError{line_no, std::move(message)};
@@ -172,15 +174,36 @@ struct Assembler {
     if (head == "cpu") {
       long long n = -1;
       const std::string_view num = lex.token();
-      if (!parse_int(num, &n) ||
-          n != static_cast<long long>(builders.size() +
-                                      result.programs.size())) {
+      // `builders` keeps one (possibly moved-from) slot per section seen so
+      // far, so its size alone is the next expected cpu index. (Adding
+      // result.programs.size() here double-counted finished sections and
+      // rejected any third `cpu N:` block.)
+      if (!parse_int(num, &n) || n != static_cast<long long>(builders.size())) {
         return fail("cpu sections must be 'cpu 0:', 'cpu 1:', ... in order");
       }
       if (!lex.consume(':')) return fail("expected ':' after cpu N");
       if (!finish_current()) return false;
       builders.emplace_back("cpu" + std::to_string(n));
       builder = &builders.back();
+      freqs.push_back(1.0);
+      freq_seen.push_back(false);
+      return require_end(lex);
+    }
+
+    // `freq N` — relative execution frequency of this CPU's protocol entry
+    // (how often this code runs per unit time, e.g. the biased-Dekker
+    // primary vs its rare secondary). Consumed by the fence-inference cost
+    // ranking; no effect on execution or exploration.
+    if (head == "freq") {
+      if (builder == nullptr) {
+        return fail("'freq' must be inside a 'cpu N:' section");
+      }
+      if (freq_seen.back()) return fail("duplicate 'freq' in cpu section");
+      Word v = 0;
+      if (!parse_imm(lex, &v)) return false;
+      if (v < 1) return fail("freq must be >= 1");
+      freqs.back() = static_cast<double>(v);
+      freq_seen.back() = true;
       return require_end(lex);
     }
 
@@ -233,6 +256,14 @@ struct Assembler {
     } else if (head == "lmfence") {
       if (!parse_addr(lex, &a) || !parse_imm(lex, &imm)) return false;
       builder->lmfence(a, imm);
+    } else if (head == "?fence") {
+      // A fence HOLE: a store whose fence discipline ({none, mfence,
+      // l-mfence}) is left for lbmf::infer to decide. Assembles to the
+      // plain store (the weakest instantiation) and records the site.
+      if (!parse_addr(lex, &a) || !parse_imm(lex, &imm)) return false;
+      result.holes.push_back(LitHole{builders.size() - 1, builder->size(), a,
+                                     imm, line_no});
+      builder->store(a, imm);
     } else if (head == "mfence") {
       builder->mfence();
     } else if (head == "delay") {
@@ -289,6 +320,7 @@ AssembleResult assemble(std::string_view source) {
   }
   as.finish_current();
   as.result.initial_memory = std::move(as.initials);
+  as.result.cpu_freqs = std::move(as.freqs);
   return std::move(as.result);
 }
 

@@ -7,18 +7,7 @@ namespace {
 
 /// Emit "[my_flag] = 1" with the chosen fence discipline after it.
 void emit_announce(ProgramBuilder& b, Addr my_flag, FenceKind fence) {
-  switch (fence) {
-    case FenceKind::kNone:
-      b.store(my_flag, 1);
-      break;
-    case FenceKind::kMfence:
-      b.store(my_flag, 1);
-      b.mfence();
-      break;
-    case FenceKind::kLmfence:
-      b.lmfence(my_flag, 1);
-      break;
-  }
+  fenced_store(b, my_flag, 1, fence);
 }
 
 }  // namespace
@@ -30,6 +19,26 @@ const char* to_string(FenceKind k) noexcept {
     case FenceKind::kLmfence: return "l-mfence";
   }
   return "?";
+}
+
+std::optional<FenceKind> fence_kind_from_string(std::string_view s) noexcept {
+  if (s == "none") return FenceKind::kNone;
+  if (s == "mfence") return FenceKind::kMfence;
+  if (s == "l-mfence" || s == "lmfence") return FenceKind::kLmfence;
+  return std::nullopt;
+}
+
+ProgramBuilder& fenced_store(ProgramBuilder& b, Addr a, Word v, FenceKind f) {
+  switch (f) {
+    case FenceKind::kNone:
+      return b.store(a, v);
+    case FenceKind::kMfence:
+      b.store(a, v);
+      return b.mfence();
+    case FenceKind::kLmfence:
+      return b.lmfence(a, v);
+  }
+  return b;
 }
 
 Program dekker_side(Addr my_flag, Addr peer_flag, FenceKind fence,

@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lbmf/infer/infer.hpp"
+
+namespace lbmf::infer {
+namespace {
+
+using sim::addr::kFlag0;
+using sim::addr::kFlag1;
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.is_open()) << "missing " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Test sources are self-contained so the suite does not depend on example
+// files; the example-file tests below additionally pin the shipped .lit
+// files to the same answers.
+constexpr const char* kHoleyDekker = R"(
+cpu 0:
+  freq 1000
+  ?fence [L1], 1
+  load r0, [L2]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  ?fence [L1], 0
+  halt
+cpu 1:
+  freq 1
+  ?fence [L2], 1
+  load r0, [L1]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  ?fence [L2], 0
+  halt
+)";
+
+constexpr const char* kHoleySb = R"(
+cpu 0:
+  ?fence [x], 1
+  load r0, [y]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  halt
+cpu 1:
+  ?fence [y], 1
+  load r0, [x]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  halt
+)";
+
+// Both CPUs enter the critical section unconditionally: no fence anywhere
+// can restore mutual exclusion.
+constexpr const char* kHopeless = R"(
+cpu 0:
+  ?fence [x], 1
+  cs_enter
+  cs_exit
+  halt
+cpu 1:
+  cs_enter
+  cs_exit
+  halt
+)";
+
+InferProblem parse(const std::string& src) {
+  ProblemParse p = problem_from_source(src);
+  EXPECT_TRUE(p.ok()) << (p.error ? p.error->message : "");
+  return *p.problem;
+}
+
+// ------------------------------------------------------------- lattice basics
+
+TEST(InferLattice, StrengthOrdersKinds) {
+  EXPECT_LT(strength(FenceKind::kNone), strength(FenceKind::kLmfence));
+  EXPECT_LT(strength(FenceKind::kLmfence), strength(FenceKind::kMfence));
+}
+
+TEST(InferLattice, WeakerEqualIsPointwise) {
+  const Assignment bottom{{FenceKind::kNone, FenceKind::kNone}};
+  const Assignment mixed{{FenceKind::kLmfence, FenceKind::kNone}};
+  const Assignment top{{FenceKind::kMfence, FenceKind::kMfence}};
+  EXPECT_TRUE(weaker_equal(bottom, mixed));
+  EXPECT_TRUE(weaker_equal(mixed, top));
+  EXPECT_TRUE(weaker_equal(bottom, bottom));
+  EXPECT_FALSE(weaker_equal(top, mixed));
+  // Incomparable: each stronger somewhere.
+  const Assignment other{{FenceKind::kNone, FenceKind::kMfence}};
+  EXPECT_FALSE(weaker_equal(mixed, other));
+  EXPECT_FALSE(weaker_equal(other, mixed));
+}
+
+// ------------------------------------------------------------------- parsing
+
+TEST(InferParse, HolesCarryCpuIndexAddrAndLine) {
+  const InferProblem p = parse(kHoleyDekker);
+  ASSERT_EQ(p.sites.size(), 4u);
+  ASSERT_EQ(p.programs.size(), 2u);
+  EXPECT_EQ(p.sites[0].cpu, 0u);
+  EXPECT_EQ(p.sites[0].instr_index, 0u);
+  EXPECT_EQ(p.sites[0].value, 1);
+  EXPECT_EQ(p.sites[1].cpu, 0u);
+  EXPECT_EQ(p.sites[1].value, 0);
+  EXPECT_EQ(p.sites[2].cpu, 1u);
+  EXPECT_EQ(p.sites[3].cpu, 1u);
+  // Announce holes sit at the top of each program.
+  EXPECT_EQ(p.sites[2].instr_index, 0u);
+  // 1-based source lines, increasing.
+  EXPECT_GT(p.sites[0].src_line, 0u);
+  EXPECT_LT(p.sites[0].src_line, p.sites[1].src_line);
+  EXPECT_LT(p.sites[1].src_line, p.sites[2].src_line);
+  // The two flags resolve to distinct symbols.
+  EXPECT_NE(p.sites[0].addr, p.sites[2].addr);
+  EXPECT_EQ(p.location_name(p.sites[0].addr), "L1");
+}
+
+TEST(InferParse, FreqDirectiveIsPerCpu) {
+  const InferProblem p = parse(kHoleyDekker);
+  EXPECT_DOUBLE_EQ(p.cpu_freq(0), 1000.0);
+  EXPECT_DOUBLE_EQ(p.cpu_freq(1), 1.0);
+  // Out-of-range CPUs default to 1.0 rather than crashing.
+  EXPECT_DOUBLE_EQ(p.cpu_freq(7), 1.0);
+}
+
+TEST(InferParse, FreqOutsideCpuSectionIsAnError) {
+  const ProblemParse p = problem_from_source("freq 10\ncpu 0:\n  halt\n");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(InferParse, DuplicateFreqIsAnError) {
+  const ProblemParse p =
+      problem_from_source("cpu 0:\n  freq 10\n  freq 20\n  halt\n");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(InferParse, HoleWithoutLaterUseStillParses) {
+  const ProblemParse p =
+      problem_from_source("cpu 0:\n  ?fence [x], 1\n  halt\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.problem->sites.size(), 1u);
+}
+
+// ------------------------------------------------------------ instantiation
+
+TEST(InferInstantiate, BranchTargetsAreRemappedAcrossInsertions) {
+  InferProblem p;
+  sim::ProgramBuilder b;
+  b.mov(0, 0);                  // 0
+  b.branch_eq(0, 1, "end");     // 1 -> old target 4
+  b.store(kFlag0, 1);           // 2  (the site)
+  b.load(1, kFlag1);            // 3
+  b.label("end");
+  b.halt();                     // 4
+  p.programs.push_back(b.build());
+  FenceSite s;
+  s.cpu = 0;
+  s.instr_index = 2;
+  s.addr = kFlag0;
+  s.value = 1;
+  p.sites.push_back(s);
+  p.config.num_cpus = 1;
+
+  {
+    const Instantiation none = instantiate(p, Assignment{{FenceKind::kNone}});
+    EXPECT_EQ(none.programs[0].code.size(), 5u);
+    EXPECT_EQ(none.site_pos[0], 2u);
+    EXPECT_EQ(none.programs[0].code[1].target, 4);
+  }
+  {
+    const Instantiation mf = instantiate(p, Assignment{{FenceKind::kMfence}});
+    ASSERT_EQ(mf.programs[0].code.size(), 6u);
+    EXPECT_EQ(mf.site_pos[0], 2u);
+    EXPECT_EQ(mf.programs[0].code[3].op, sim::Op::kMfence);
+    EXPECT_EQ(mf.programs[0].code[1].target, 5);  // shifted past the mfence
+    EXPECT_EQ(mf.programs[0].code[5].op, sim::Op::kHalt);
+  }
+  {
+    const Instantiation lm = instantiate(p, Assignment{{FenceKind::kLmfence}});
+    // mov, beq, SetLink, LE, ST, BranchLinkSet, Mfence, load, halt
+    ASSERT_EQ(lm.programs[0].code.size(), 9u);
+    EXPECT_EQ(lm.site_pos[0], 4u);
+    EXPECT_EQ(lm.programs[0].code[4].op, sim::Op::kStore);
+    EXPECT_EQ(lm.programs[0].code[1].target, 8);  // beq over the expansion
+    // The expansion's own branch skips only its trailing mfence.
+    EXPECT_EQ(lm.programs[0].code[5].op, sim::Op::kBranchLinkSet);
+    EXPECT_EQ(lm.programs[0].code[5].target, 7);
+    EXPECT_EQ(lm.programs[0].code[8].op, sim::Op::kHalt);
+  }
+}
+
+TEST(InferInstantiate, LmfenceExpansionMatchesProgramBuilder) {
+  InferProblem p;
+  sim::ProgramBuilder b;
+  b.store(kFlag0, 1).load(0, kFlag1).halt();
+  p.programs.push_back(b.build());
+  FenceSite s;
+  s.cpu = 0;
+  s.instr_index = 0;
+  s.addr = kFlag0;
+  s.value = 1;
+  p.sites.push_back(s);
+
+  const Instantiation lm = instantiate(p, Assignment{{FenceKind::kLmfence}});
+  sim::ProgramBuilder ref;
+  ref.lmfence(kFlag0, 1).load(0, kFlag1).halt();
+  const sim::Program want = ref.build();
+  ASSERT_EQ(lm.programs[0].code.size(), want.code.size());
+  for (std::size_t i = 0; i < want.code.size(); ++i) {
+    EXPECT_EQ(sim::to_string(lm.programs[0].code[i]),
+              sim::to_string(want.code[i]))
+        << "instr " << i;
+  }
+}
+
+TEST(InferInstantiate, DiscoverSitesFindsStoreLoadPoints) {
+  sim::ProgramBuilder b0;
+  b0.store(kFlag0, 1).load(0, kFlag1).store(kFlag0, 0).halt();
+  sim::ProgramBuilder b1;
+  b1.load(0, kFlag0).halt();
+  std::vector<sim::Program> progs{b0.build(), b1.build()};
+  const std::vector<FenceSite> sites = discover_sites(progs);
+  // Only the first store has a later load; the trailing clear does not.
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].cpu, 0u);
+  EXPECT_EQ(sites[0].instr_index, 0u);
+  EXPECT_EQ(sites[0].addr, kFlag0);
+}
+
+// --------------------------------------------------------------------- costs
+
+TEST(InferCost, FrequencyAsymmetryDrivesTheFig3Answer) {
+  const InferProblem p = parse(kHoleyDekker);
+  const model::CostTable c;
+  // Hot primary: l-mfence (3 cycles x 1000) + one rare remote read round
+  // trip beats an mfence per entry by ~30x.
+  EXPECT_LT(site_cost(p, 0, FenceKind::kLmfence, c),
+            site_cost(p, 0, FenceKind::kMfence, c));
+  // Rare secondary: guarding its flag would bill every hot-side load the
+  // LE/ST round trip; the plain mfence is far cheaper.
+  EXPECT_LT(site_cost(p, 2, FenceKind::kMfence, c),
+            site_cost(p, 2, FenceKind::kLmfence, c));
+  // The bound is sound: never above the cost of any strengthening.
+  const Assignment bottom = p.uniform(FenceKind::kNone);
+  const Assignment asym{{FenceKind::kLmfence, FenceKind::kNone,
+                         FenceKind::kMfence, FenceKind::kNone}};
+  EXPECT_LE(assignment_cost_lower_bound(p, bottom, c), assignment_cost(p, asym, c));
+}
+
+// -------------------------------------------------------------------- engine
+
+InferResult run_engine(const std::string& src,
+                       InferenceEngine::Options o = {}) {
+  InferenceEngine e(parse(src), o);
+  return e.run();
+}
+
+TEST(InferEngine, DekkerRecoversThePaperAsymmetricProtocol) {
+  const InferResult r = run_engine(kHoleyDekker);
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  const Assignment want{{FenceKind::kLmfence, FenceKind::kNone,
+                         FenceKind::kMfence, FenceKind::kNone}};
+  EXPECT_EQ(r.best, want);
+  // freq 1000 * 3 + 1 * (150 + 10) for the l-mfence, + 1 * 100 mfence.
+  EXPECT_NEAR(r.best_cost, 3260.0, 0.5);
+  EXPECT_TRUE(r.recheck_safe);
+  EXPECT_FALSE(r.clauses.empty());
+  // Every fence in the winner is load-bearing: dropping any breaks safety.
+  // (Swapping mfence -> l-mfence can stay safe — just never cheaper here.)
+  for (const MinimalityNote& n : r.minimality) {
+    if (n.to == FenceKind::kNone) {
+      EXPECT_FALSE(n.safe);
+    }
+  }
+}
+
+TEST(InferEngine, CounterexamplePruningBeatsNaiveEnumeration) {
+  const InferResult guided = run_engine(kHoleyDekker);
+  InferenceEngine::Options naive;
+  naive.exhaustive = true;
+  naive.minimality_pass = false;
+  const InferResult full = run_engine(kHoleyDekker, naive);
+  ASSERT_EQ(guided.status, InferStatus::kSat);
+  ASSERT_EQ(full.status, InferStatus::kSat);
+  // Same optimum, found with >= 4x fewer explorer runs (the E16 gate).
+  EXPECT_EQ(guided.best, full.best);
+  EXPECT_DOUBLE_EQ(guided.best_cost, full.best_cost);
+  EXPECT_EQ(full.candidates_verified, full.lattice_size);
+  EXPECT_GE(full.candidates_verified, guided.candidates_verified * 4);
+}
+
+TEST(InferEngine, StoreBufferNeedsAFenceOnBothSides) {
+  const InferResult r = run_engine(kHoleySb);
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  // Equal frequencies: the 100-cycle mfence undercuts the l-mfence's
+  // 150-cycle remote round trip on both sides.
+  const Assignment want{{FenceKind::kMfence, FenceKind::kMfence}};
+  EXPECT_EQ(r.best, want);
+  EXPECT_NEAR(r.best_cost, 200.0, 0.5);
+  EXPECT_TRUE(r.recheck_safe);
+  // The forbidden both-read-zero outcome means a single fence never
+  // suffices: every single-site weakening is re-verified UNSAFE.
+  int weakenings_checked = 0;
+  for (const MinimalityNote& n : r.minimality) {
+    if (n.to == FenceKind::kNone) {
+      EXPECT_FALSE(n.safe);
+      ++weakenings_checked;
+    }
+  }
+  EXPECT_EQ(weakenings_checked, 2);
+}
+
+TEST(InferEngine, FenceIndependentViolationIsUnsat) {
+  const InferResult r = run_engine(kHopeless);
+  ASSERT_EQ(r.status, InferStatus::kUnsat);
+  ASSERT_TRUE(r.unsat_violation.has_value());
+  EXPECT_NE(r.unsat_violation->find("mutual exclusion"), std::string::npos);
+  EXPECT_FALSE(r.unsat_trace.empty());
+}
+
+TEST(InferEngine, StateBudgetExhaustionReportsLimitNotSat) {
+  InferenceEngine::Options o;
+  o.max_states_per_check = 1;  // every check is inconclusive
+  const InferResult r = run_engine(kHoleyDekker, o);
+  // Regression: an exploration that hits its limit must never be taken as
+  // proof of safety.
+  EXPECT_EQ(r.status, InferStatus::kLimit);
+}
+
+TEST(InferEngine, BatchedVerificationFindsTheSameOptimum) {
+  InferenceEngine::Options o;
+  o.batch = 4;
+  const InferResult batched = run_engine(kHoleyDekker, o);
+  const InferResult serial = run_engine(kHoleyDekker);
+  ASSERT_EQ(batched.status, InferStatus::kSat);
+  EXPECT_EQ(batched.best, serial.best);
+  EXPECT_DOUBLE_EQ(batched.best_cost, serial.best_cost);
+}
+
+TEST(InferEngine, LearningOffStillFindsTheOptimum) {
+  InferenceEngine::Options o;
+  o.learn_clauses = false;
+  const InferResult r = run_engine(kHoleyDekker, o);
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  EXPECT_NEAR(r.best_cost, 3260.0, 0.5);
+  EXPECT_TRUE(r.clauses.empty());
+  EXPECT_EQ(r.candidates_pruned, 0u);
+}
+
+TEST(InferEngine, NoHolesIsTriviallySatWhenSafe) {
+  const InferResult r = run_engine(
+      "cpu 0:\n  store [x], 1\n  halt\ncpu 1:\n  load r0, [x]\n  halt\n");
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  EXPECT_TRUE(r.best.kinds.empty());
+  EXPECT_DOUBLE_EQ(r.best_cost, 0.0);
+  EXPECT_TRUE(r.recheck_safe);
+}
+
+// ------------------------------------------------------------ shipped files
+
+TEST(InferExamples, DekkerHolesFileMatchesThePaper) {
+  const InferResult r =
+      run_engine(slurp(std::string(LBMF_LITMUS_DIR) + "/dekker_holes.lit"));
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  const Assignment want{{FenceKind::kLmfence, FenceKind::kNone,
+                         FenceKind::kMfence, FenceKind::kNone}};
+  EXPECT_EQ(r.best, want);
+  EXPECT_TRUE(r.recheck_safe);
+}
+
+TEST(InferExamples, PetersonHolesFencesOnlyTheLastAnnounceStore) {
+  const InferResult r =
+      run_engine(slurp(std::string(LBMF_LITMUS_DIR) + "/peterson_holes.lit"));
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  ASSERT_EQ(r.best.kinds.size(), 4u);
+  // FIFO store buffers: fencing turn (the last announce store) also orders
+  // the flag store, so the flag holes stay empty on both sides.
+  EXPECT_EQ(r.best.kinds[0], FenceKind::kNone);
+  EXPECT_EQ(r.best.kinds[1], FenceKind::kLmfence);  // hot primary
+  EXPECT_EQ(r.best.kinds[2], FenceKind::kNone);
+  EXPECT_EQ(r.best.kinds[3], FenceKind::kMfence);   // rare secondary
+  EXPECT_TRUE(r.recheck_safe);
+}
+
+TEST(InferExamples, StoreBufferHolesFileNeedsBothMfences) {
+  const InferResult r = run_engine(
+      slurp(std::string(LBMF_LITMUS_DIR) + "/store_buffer_holes.lit"));
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  const Assignment want{{FenceKind::kMfence, FenceKind::kMfence}};
+  EXPECT_EQ(r.best, want);
+}
+
+}  // namespace
+}  // namespace lbmf::infer

@@ -1,9 +1,50 @@
 #include <gtest/gtest.h>
 
 #include "lbmf/model/cost_model.hpp"
+#include "lbmf/sim/litmus.hpp"
 
 namespace lbmf::model {
 namespace {
+
+// ------------------------------------------------------------- enum naming
+
+TEST(CostModelNames, FenceImplToStringRoundTrips) {
+  for (FenceImpl f : {FenceImpl::kMfence, FenceImpl::kSignal,
+                      FenceImpl::kSignalAck, FenceImpl::kLest,
+                      FenceImpl::kNone}) {
+    const auto back = fence_impl_from_string(to_string(f));
+    ASSERT_TRUE(back.has_value()) << to_string(f);
+    EXPECT_EQ(*back, f);
+  }
+  EXPECT_FALSE(fence_impl_from_string("sfence").has_value());
+  EXPECT_FALSE(fence_impl_from_string("").has_value());
+}
+
+TEST(CostModelNames, SimFenceKindToStringRoundTrips) {
+  using sim::FenceKind;
+  for (FenceKind k :
+       {FenceKind::kNone, FenceKind::kMfence, FenceKind::kLmfence}) {
+    const auto back = sim::fence_kind_from_string(sim::to_string(k));
+    ASSERT_TRUE(back.has_value()) << sim::to_string(k);
+    EXPECT_EQ(*back, k);
+  }
+  // The litmus grammar's bare spelling is accepted too.
+  const auto bare = sim::fence_kind_from_string("lmfence");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(*bare, FenceKind::kLmfence);
+  EXPECT_FALSE(sim::fence_kind_from_string("sfence").has_value());
+}
+
+TEST(CostModelNames, DefaultTableKeepsThePaperCostOrdering) {
+  // The whole asymmetric-fence argument rests on this chain: an l-mfence
+  // victim pays a few cycles, an mfence ~a hundred, a signal ~ten thousand.
+  const CostTable c;
+  EXPECT_LT(c.compiler_fence_cycles, c.lest_victim_cycles);
+  EXPECT_LT(c.lest_victim_cycles, c.mfence_cycles);
+  EXPECT_LT(c.mfence_cycles, c.signal_roundtrip_cycles);
+  EXPECT_LT(c.lest_roundtrip_cycles, c.signal_roundtrip_cycles);
+  EXPECT_LT(c.lest_primary_penalty_cycles, c.signal_primary_penalty_cycles);
+}
 
 // ---------------------------------------------------------- per-event costs
 

@@ -41,6 +41,64 @@ TEST(Assembler, SymbolicLocationsShareAddressesAcrossCpus) {
   EXPECT_EQ(r.symbols.at("flag"), 0u);
 }
 
+TEST(Assembler, ThreeOrMoreCpuSectionsAssemble) {
+  // Regression: the cpu-section ordering check used to double-count
+  // finished sections and rejected every program with a third CPU.
+  const auto r = assemble(R"(
+    cpu 0:
+      store [x], 1
+      halt
+    cpu 1:
+      store [x], 2
+      halt
+    cpu 2:
+      load r0, [x]
+      halt
+    cpu 3:
+      halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  EXPECT_EQ(r.programs.size(), 4u);
+}
+
+TEST(Assembler, FenceHolesAreRecordedAndAssembleAsPlainStores) {
+  const auto r = assemble(R"(
+    cpu 0:
+      ?fence [flag], 1
+      load r0, [peer]
+      halt
+    cpu 1:
+      ?fence [peer], 1
+      load r0, [flag]
+      halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.holes.size(), 2u);
+  EXPECT_EQ(r.holes[0].cpu, 0u);
+  EXPECT_EQ(r.holes[0].instr_index, 0u);
+  EXPECT_EQ(r.holes[0].addr, r.symbols.at("flag"));
+  EXPECT_EQ(r.holes[0].value, 1);
+  EXPECT_EQ(r.holes[1].cpu, 1u);
+  // The hole itself is a plain store until a fence kind is chosen.
+  EXPECT_EQ(r.programs[0].code[0].op, Op::kStore);
+}
+
+TEST(Assembler, FreqDirectiveRecordsPerCpuWeights) {
+  const auto r = assemble(R"(
+    cpu 0:
+      freq 1000
+      halt
+    cpu 1:
+      halt
+  )");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.cpu_freqs.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.cpu_freqs[0], 1000.0);
+  EXPECT_DOUBLE_EQ(r.cpu_freqs[1], 1.0);
+  // freq emits no instruction.
+  EXPECT_EQ(r.programs[0].code.size(), r.programs[1].code.size());
+}
+
 TEST(Assembler, CommentsWhitespaceAndNumericAddresses) {
   const auto r = assemble(
       "cpu 0:\n"
@@ -112,7 +170,8 @@ TEST(Assembler, TextualAsymmetricDekkerIsExhaustivelySafe) {
   cfg.sb_capacity = 4;
   cfg.cache_capacity = 8;
   const ExploreResult r = explore_all(assemble_machine(source, cfg));
-  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
   EXPECT_GT(r.states_explored, 100u);
 }
 
@@ -186,7 +245,8 @@ TEST(Assembler, ShippedPetersonLitmusShapeWorksInline) {
       halt
   )";
   const ExploreResult r = explore_all(assemble_machine(source));
-  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
 }
 
 // ------------------------------------------------------------- error paths

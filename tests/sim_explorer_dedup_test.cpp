@@ -124,7 +124,8 @@ TEST(DeepPrograms, RegisterChainThirtyThousandDeep) {
   Explorer::Options opts;
   opts.max_states = 200'000;
   const ExploreResult r = explore_all(std::move(m), opts);
-  ASSERT_TRUE(r.ok()) << (r.violation ? *r.violation : "hit state limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  ASSERT_FALSE(r.violation.has_value()) << *r.violation;
   EXPECT_EQ(r.terminal_states, 1u);
   EXPECT_GE(r.states_explored, static_cast<std::uint64_t>(kLen));
 }
@@ -147,7 +148,8 @@ TEST(DeepPrograms, StoreChainTwelveThousandDeep) {
   Explorer::Options opts;
   opts.max_states = 500'000;
   const ExploreResult r = explore_all(std::move(m), opts);
-  ASSERT_TRUE(r.ok()) << (r.violation ? *r.violation : "hit state limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  ASSERT_FALSE(r.violation.has_value()) << *r.violation;
   EXPECT_EQ(r.terminal_states, 1u);
   EXPECT_GE(r.states_explored, static_cast<std::uint64_t>(kLen));
 }

@@ -89,7 +89,8 @@ TEST(DekkerExhaustive, AblatedLeStFallsBackToFenceAndStaysSafe) {
   const ExploreResult r =
       explore_all(make_dekker_machine(FenceKind::kLmfence, FenceKind::kMfence,
                                       cfg));
-  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
 }
 
 TEST(DekkerExhaustive, TinyStoreBufferStillSafe) {
@@ -100,7 +101,8 @@ TEST(DekkerExhaustive, TinyStoreBufferStillSafe) {
   cfg.sb_capacity = 1;
   const ExploreResult r = explore_all(
       make_dekker_machine(FenceKind::kLmfence, FenceKind::kMfence, cfg));
-  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
 }
 
 TEST(DekkerExhaustive, TinyCacheEvictionPathsStillSafe) {
@@ -110,7 +112,8 @@ TEST(DekkerExhaustive, TinyCacheEvictionPathsStillSafe) {
   cfg.cache_capacity = 2;
   const ExploreResult r = explore_all(
       make_dekker_machine(FenceKind::kLmfence, FenceKind::kMfence, cfg));
-  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
 }
 
 // ----------------------------------------------------------------- Peterson
@@ -171,7 +174,8 @@ TEST_P(StoreBufferLitmus, BothZeroOutcomeMatchesTso) {
   opts.observe = observe_obs0;
   Explorer ex(make_store_buffer_litmus(c.f0, c.f1, cfg2()), opts);
   const ExploreResult r = ex.run();
-  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  ASSERT_FALSE(r.violation.has_value()) << *r.violation;
   const bool saw_both_zero = r.outcomes.count("r0=0,r0=0") > 0;
   EXPECT_EQ(saw_both_zero, c.both_zero_allowed)
       << to_string(c.f0) << "/" << to_string(c.f1);
@@ -208,7 +212,8 @@ TEST(MessagePassingLitmus, TsoForbidsFlagWithoutData) {
   };
   Explorer ex(make_message_passing_litmus(cfg2()), opts);
   const ExploreResult r = ex.run();
-  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  ASSERT_FALSE(r.violation.has_value()) << *r.violation;
   EXPECT_EQ(r.outcomes.count("1,0"), 0u);  // the forbidden reordering
   EXPECT_GT(r.outcomes.count("1,42"), 0u);
   EXPECT_GT(r.outcomes.count("0,0"), 0u);
@@ -224,7 +229,8 @@ TEST(LoadBufferingLitmus, TsoForbidsBothOnes) {
   opts.observe = observe_obs0;
   Explorer ex(make_load_buffering_litmus(cfg2()), opts);
   const ExploreResult r = ex.run();
-  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  ASSERT_FALSE(r.violation.has_value()) << *r.violation;
   EXPECT_EQ(r.outcomes.count("r0=1,r0=1"), 0u);
   EXPECT_GT(r.outcomes.count("r0=0,r0=0"), 0u);  // the common outcome
 }
@@ -243,7 +249,8 @@ TEST(IriwLitmus, ReadersAgreeOnStoreOrder) {
   opts.max_states = 5'000'000;
   Explorer ex(make_iriw_litmus(cfg2()), opts);
   const ExploreResult r = ex.run();
-  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  ASSERT_FALSE(r.violation.has_value()) << *r.violation;
   // Forbidden: both readers saw their first write but not the other's.
   EXPECT_EQ(r.outcomes.count("10,10"), 0u);
   // Plenty of legal outcomes must exist.
@@ -267,6 +274,22 @@ TEST(Explorer, StateLimitIsHonored) {
   const ExploreResult r = ex.run();
   EXPECT_TRUE(r.hit_limit);
   EXPECT_LE(r.states_explored, 5u);
+}
+
+TEST(Explorer, LimitHitNeverReportsSafe) {
+  // Regression: a truncated exploration is inconclusive — ok() must come
+  // back false even though no violation was found, and callers that need
+  // to tell the two apart must see hit_limit set with violation empty.
+  // The machine here is genuinely UNSAFE (fence-free Dekker), so trusting
+  // a limit-hit run as "safe" would be exactly the bug.
+  Explorer::Options opts;
+  opts.max_states = 2;
+  Explorer ex(make_dekker_machine(FenceKind::kNone, FenceKind::kNone, cfg2()),
+              opts);
+  const ExploreResult r = ex.run();
+  ASSERT_TRUE(r.hit_limit);
+  EXPECT_FALSE(r.violation.has_value());
+  EXPECT_FALSE(r.ok());
 }
 
 TEST(Explorer, ViolationTraceReplaysToViolation) {

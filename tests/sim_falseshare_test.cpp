@@ -106,8 +106,10 @@ TEST(SimFalseShare, DekkerStaysSafeWithColocatedFlags) {
   for (std::size_t words : {2u, 4u, 8u}) {
     const ExploreResult r = explore_all(make_dekker_machine(
         FenceKind::kLmfence, FenceKind::kMfence, wide_cfg(words)));
-    EXPECT_TRUE(r.ok()) << "line_words=" << words << ": "
-                        << (r.violation ? *r.violation : "limit");
+    ASSERT_FALSE(r.hit_limit)
+        << "line_words=" << words << ": state budget hit, not SAFE";
+    EXPECT_FALSE(r.violation.has_value())
+        << "line_words=" << words << ": " << *r.violation;
   }
 }
 

@@ -181,7 +181,8 @@ TEST(SimProperty, RandomOutcomesAreSubsetOfExhaustiveOutcomes) {
   Explorer ex(make_store_buffer_litmus(FenceKind::kNone, FenceKind::kNone),
               opts);
   const ExploreResult all = ex.run();
-  ASSERT_TRUE(all.ok());
+  ASSERT_FALSE(all.hit_limit) << "state budget hit: inconclusive";
+  ASSERT_FALSE(all.violation.has_value()) << *all.violation;
   for (std::uint64_t seed = 0; seed < 100; ++seed) {
     Machine m = make_store_buffer_litmus(FenceKind::kNone, FenceKind::kNone);
     m.run_random(seed);
@@ -206,7 +207,8 @@ TEST(SimProperty, ThreeCpuExhaustiveKeepsCoherence) {
   m.load_program(1, p1.build());
   m.load_program(2, p2.build());
   const ExploreResult r = explore_all(std::move(m));
-  EXPECT_TRUE(r.ok()) << (r.violation ? *r.violation : "limit");
+  ASSERT_FALSE(r.hit_limit) << "state budget hit: inconclusive, not SAFE";
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
   EXPECT_GT(r.states_explored, 50u);
 }
 

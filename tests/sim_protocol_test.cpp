@@ -25,14 +25,19 @@ class ProtocolSuite : public ::testing::TestWithParam<Protocol> {};
 TEST_P(ProtocolSuite, AsymmetricDekkerSafeExhaustively) {
   const ExploreResult r = explore_all(make_dekker_machine(
       FenceKind::kLmfence, FenceKind::kMfence, cfg_for(GetParam())));
-  EXPECT_TRUE(r.ok()) << to_string(GetParam()) << ": "
-                      << (r.violation ? *r.violation : "limit");
+  ASSERT_FALSE(r.hit_limit)
+      << to_string(GetParam()) << ": state budget hit, not SAFE";
+  EXPECT_FALSE(r.violation.has_value())
+      << to_string(GetParam()) << ": " << *r.violation;
 }
 
 TEST_P(ProtocolSuite, MirroredLmfenceSafeExhaustively) {
   const ExploreResult r = explore_all(make_dekker_machine(
       FenceKind::kLmfence, FenceKind::kLmfence, cfg_for(GetParam())));
-  EXPECT_TRUE(r.ok()) << to_string(GetParam());
+  ASSERT_FALSE(r.hit_limit)
+      << to_string(GetParam()) << ": state budget hit, not SAFE";
+  EXPECT_FALSE(r.violation.has_value())
+      << to_string(GetParam()) << ": " << *r.violation;
 }
 
 TEST_P(ProtocolSuite, FenceFreeDekkerStillViolates) {
@@ -52,7 +57,10 @@ TEST_P(ProtocolSuite, StoreBufferLitmusMatchesTso) {
                                        cfg_for(GetParam())),
               opts);
   const ExploreResult r = ex.run();
-  ASSERT_TRUE(r.ok()) << to_string(GetParam());
+  ASSERT_FALSE(r.hit_limit)
+      << to_string(GetParam()) << ": state budget hit, not SAFE";
+  ASSERT_FALSE(r.violation.has_value())
+      << to_string(GetParam()) << ": " << *r.violation;
   EXPECT_EQ(r.outcomes.count("r0=0,r0=0"), 0u) << to_string(GetParam());
 }
 
