@@ -1,0 +1,182 @@
+// E17 — LE/ST-vs-mfence cost frontier on the THE deque protocol: run
+// lbmf::infer over the 4-hole deque litmus (examples/litmus/
+// the_deque_holes.lit, embedded below) at every point of a (victim pop
+// frequency × LE/ST remote-round-trip cost) grid and chart where the
+// inferred optimum crosses over between the all-mfence placement, the
+// paper's asymmetric mix (victim l-mfence + thief mfence), and the
+// double-l-mfence corner where remote trips are nearly free. Safety is
+// cost-independent, so the whole grid shares one verdict cache and the
+// explorer runs only once per distinct lattice point.
+//
+//   bench_sweep            # full 6x5 grid
+//   bench_sweep --quick    # CI smoke mode: 3x2 grid around the frontier
+//
+// Emits BENCH_sweep.json (per-point optima, crossover boundaries, cache
+// accounting) in the working directory. Exit 0 requires every grid point
+// SAT with a SAFE recheck, at least two distinct optima along the freq
+// axis at the paper's 150-cycle round-trip, and agreement with three
+// hand-checked grid points (see ROADMAP/EXPERIMENTS E17).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lbmf/infer/infer.hpp"
+
+using namespace lbmf;
+
+namespace {
+
+// examples/litmus/the_deque_holes.lit, embedded so the bench is
+// self-contained and keeps working from any working directory.
+constexpr const char* kHoleyDeque = R"(
+init [T], 1
+
+cpu 0:                     # victim: pop() on the hot path
+  freq 1000
+  ?fence [T], 0            # hole A: announce the tail decrement
+  load r0, [H]
+  beq r0, 0, claim
+  ?fence [T], 1            # hole B: retreat
+  lock [G]
+  load r1, [H]
+  bne r1, 0, empty
+  store [T], 0
+  store [TK0], 1
+empty:
+  unlock [G]
+  halt
+claim:
+  store [TK0], 1
+  halt
+
+cpu 1:                     # thief: steal(), always under the gate
+  freq 1
+  lock [G]
+  ?fence [H], 1            # hole C: announce the head increment
+  load r0, [T]
+  beq r0, 0, miss
+  store [TK1], 1
+  unlock [G]
+  halt
+miss:
+  ?fence [H], 0            # hole D: retreat
+  unlock [G]
+  halt
+
+final [TK0], 1, [TK1], 0
+final [TK0], 0, [TK1], 1
+)";
+
+const infer::SweepPoint* find_point(const infer::SweepResult& r, double freq,
+                                    double roundtrip) {
+  for (const infer::SweepPoint& p : r.points) {
+    if (p.victim_freq == freq && p.lest_roundtrip == roundtrip) return &p;
+  }
+  return nullptr;
+}
+
+// The three hand-derived grid points the sweep must reproduce (costs from
+// model::CostTable defaults; see EXPERIMENTS.md E17 for the arithmetic).
+bool check_known_point(const infer::SweepResult& r, double freq,
+                       double roundtrip, const char* expect) {
+  const infer::SweepPoint* p = find_point(r, freq, roundtrip);
+  if (p == nullptr) {
+    std::printf("  MISSING grid point (freq %g, roundtrip %g)\n", freq,
+                roundtrip);
+    return false;
+  }
+  const std::string got = infer::to_string(p->best);
+  const bool ok =
+      p->status == infer::InferStatus::kSat && p->recheck_safe && got == expect;
+  std::printf("  (freq %-6g rt %-4g) expect %-34s got %-34s %s\n", freq,
+              roundtrip, expect, got.c_str(), ok ? "ok" : "MISMATCH");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const infer::ProblemParse parsed = infer::problem_from_source(kHoleyDeque);
+  if (!parsed.ok()) {
+    std::printf("FAIL: embedded litmus does not assemble: line %zu: %s\n",
+                parsed.error ? parsed.error->line : 0,
+                parsed.error ? parsed.error->message.c_str() : "?");
+    return 1;
+  }
+
+  infer::SweepOptions so;
+  if (quick) {
+    // The smallest grid that still crosses the frontier twice: the freq
+    // axis at rt=150 flips between f=1 and f=10, and the cheap-round-trip
+    // corner (f=1, rt=10) prefers the double-l-mfence placement.
+    so.victim_freqs = {1, 10, 1'000};
+    so.roundtrips = {10, 150};
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const infer::SweepResult r = infer::run_sweep(*parsed.problem, so);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms = std::chrono::duration<double>(t1 - t0).count() * 1e3;
+
+  std::printf("THE-deque cost frontier, %s %zux%zu grid (%.1f ms)\n\n",
+              quick ? "quick" : "full", r.roundtrips.size(),
+              r.victim_freqs.size(), ms);
+  std::printf("%-10s", "rt\\freq");
+  for (double f : r.victim_freqs) std::printf(" %-28g", f);
+  std::printf("\n");
+  for (double rt : r.roundtrips) {
+    std::printf("%-10g", rt);
+    for (double f : r.victim_freqs) {
+      const infer::SweepPoint* p = find_point(r, f, rt);
+      std::printf(" %-28s", p != nullptr && p->status == infer::InferStatus::kSat
+                                ? infer::to_string(p->best).c_str()
+                                : "?");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncrossovers:\n");
+  if (r.crossovers.empty()) std::printf("  (none)\n");
+  for (const infer::Crossover& x : r.crossovers) {
+    std::printf("  rt %-5g: %s -> %s between freq %g and %g\n",
+                x.lest_roundtrip, x.from.c_str(), x.to.c_str(), x.freq_before,
+                x.freq_after);
+  }
+  std::printf(
+      "grid points %zu, explorer runs %llu, cache hits %llu, states %llu\n",
+      r.points.size(), static_cast<unsigned long long>(r.explorer_runs),
+      static_cast<unsigned long long>(r.cache_hits),
+      static_cast<unsigned long long>(r.states_total));
+
+  std::printf("\nhand-checked points:\n");
+  bool known_ok = true;
+  known_ok &= check_known_point(r, 1, 150, "{mfence, none, mfence, none}");
+  known_ok &=
+      check_known_point(r, 1'000, 150, "{l-mfence, none, mfence, none}");
+  known_ok &= check_known_point(r, 1, 10, "{l-mfence, none, l-mfence, none}");
+
+  const std::size_t optima_150 = r.distinct_optima_at(150);
+  std::printf("distinct optima along freq axis at rt=150: %zu (target >= 2)\n",
+              optima_150);
+
+  if (std::FILE* f = std::fopen("BENCH_sweep.json", "w")) {
+    std::fprintf(f, "%s\n",
+                 infer::sweep_to_json(r, "the_deque_holes").c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_sweep.json\n");
+  }
+
+  const bool pass = r.all_sat() && optima_150 >= 2 && known_ok;
+  std::printf("%s\n",
+              pass ? "PASS"
+                   : "FAIL: grid not fully SAT, frontier flat at rt=150, or "
+                     "hand-checked point mismatch");
+  return pass ? 0 : 1;
+}

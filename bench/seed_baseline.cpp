@@ -402,6 +402,13 @@ void Machine::exec_instr(CpuState& c) {
       c.halted = true;
       next_pc = c.pc;
       break;
+
+    case Op::kLock:
+    case Op::kUnlock:
+      // Ops that postdate the seed snapshot; the baseline workloads never
+      // execute them.
+      LBMF_CHECK_MSG(false, "seed baseline does not implement locked RMWs");
+      break;
   }
 
   c.pc = next_pc;

@@ -14,9 +14,14 @@
 //   fence_inferencer test.lit --exhaustive    # naive 3^k enumeration
 //   fence_inferencer test.lit --no-minimality # skip the minimality sweep
 //   fence_inferencer test.lit --max-states=N --batch=K --threads=T
+//   fence_inferencer test.lit --sweep        # Fig. 6-style cost frontier:
+//                                            # re-solve over a (victim freq
+//                                            # × LE/ST round-trip) grid and
+//                                            # chart the optimum crossovers
 //
-// Exit codes: 0 = SAT (repair printed), 1 = UNSAT (no placement is safe),
-// 2 = usage/parse error, 3 = inconclusive (state or candidate budget hit).
+// Exit codes: 0 = SAT (repair printed; in --sweep mode: every grid point
+// SAT with a SAFE recheck), 1 = UNSAT (no placement is safe), 2 =
+// usage/parse error, 3 = inconclusive (state or candidate budget hit).
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +40,7 @@ namespace {
 struct CliOptions {
   infer::InferenceEngine::Options engine;
   std::string json_path;
+  bool sweep = false;
 };
 
 [[noreturn]] void bad_flag(const std::string& flag) {
@@ -71,6 +77,8 @@ CliOptions parse_flags(int argc, char** argv) {
     } else if (a.rfind("--json=", 0) == 0) {
       cli.json_path = a.substr(7);
       if (cli.json_path.empty()) bad_flag(a);
+    } else if (a == "--sweep") {
+      cli.sweep = true;
     } else if (a == "--exhaustive") {
       cli.engine.exhaustive = true;
     } else if (a == "--no-learning") {
@@ -214,6 +222,55 @@ std::string json_report(const infer::InferProblem& p,
   return j.str();
 }
 
+/// --sweep mode: solve the problem over the (victim freq × LE/ST
+/// round-trip) grid, print the optimum per point plus the crossover
+/// boundaries, optionally dump the JSON report. Exit 0 iff every grid
+/// point is SAT with a SAFE recheck.
+int run_sweep_mode(const infer::InferProblem& p, const CliOptions& cli) {
+  infer::SweepOptions so;
+  so.engine = cli.engine;
+  const infer::SweepResult sr = infer::run_sweep(p, so);
+
+  std::printf("\ncost-frontier sweep: victim=cpu%zu, %zux%zu grid\n",
+              so.victim_cpu, sr.roundtrips.size(), sr.victim_freqs.size());
+  for (double rt : sr.roundtrips) {
+    std::printf("  roundtrip %g:\n", rt);
+    for (const infer::SweepPoint& pt : sr.points) {
+      if (pt.lest_roundtrip != rt) continue;
+      std::printf("    freq %-8g %-7s %-40s cost %.0f%s\n", pt.victim_freq,
+                  infer::to_string(pt.status),
+                  infer::to_string(pt.best).c_str(), pt.best_cost,
+                  pt.recheck_safe ? "" : " (recheck FAILED)");
+    }
+  }
+  std::printf("crossovers along the freq axis:\n");
+  if (sr.crossovers.empty()) std::printf("  (none)\n");
+  for (const infer::Crossover& x : sr.crossovers) {
+    std::printf("  roundtrip %g: %s -> %s between freq %g and %g\n",
+                x.lest_roundtrip, x.from.c_str(), x.to.c_str(), x.freq_before,
+                x.freq_after);
+  }
+  std::printf("explorer runs %llu, verdict-cache hits %llu, states %llu\n",
+              static_cast<unsigned long long>(sr.explorer_runs),
+              static_cast<unsigned long long>(sr.cache_hits),
+              static_cast<unsigned long long>(sr.states_total));
+
+  if (!cli.json_path.empty()) {
+    std::ofstream jf(cli.json_path);
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", cli.json_path.c_str());
+      return 2;
+    }
+    jf << infer::sweep_to_json(sr, "cli") << "\n";
+    std::printf("report written to %s\n", cli.json_path.c_str());
+  }
+  if (!sr.all_sat()) {
+    std::printf("SWEEP FAILED: some grid point is not SAT+SAFE\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,6 +294,8 @@ int main(int argc, char** argv) {
     std::printf(" cpu%zu=%g", c, p.cpu_freq(c));
   }
   std::printf("\n");
+
+  if (cli.sweep) return run_sweep_mode(p, cli);
 
   infer::InferenceEngine engine(p, cli.engine);
   const infer::InferResult r = engine.run();

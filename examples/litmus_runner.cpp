@@ -32,6 +32,7 @@
 
 #include "lbmf/sim/assembler.hpp"
 #include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/litmus.hpp"
 
 using namespace lbmf::sim;
 
@@ -170,6 +171,14 @@ int main(int argc, char** argv) {
   opts.max_states = cli.max_states;
   opts.por = cli.por;
   opts.threads = cli.threads;
+  // Terminal-state property: `final` directives (if any) plus deadlock
+  // detection for tests using `lock`/`unlock`. A no-op for tests without
+  // either construct.
+  if (!assembled.final_allowed.empty()) {
+    std::printf("final-state property: %zu allowed terminal valuation(s)\n",
+                assembled.final_allowed.size());
+  }
+  opts.check = final_state_check(assembled.final_allowed);
   Explorer ex(machine, opts);
   const auto t0 = std::chrono::steady_clock::now();
   const ExploreResult r = ex.run();
@@ -201,7 +210,8 @@ int main(int argc, char** argv) {
     return 3;
   }
   if (!r.violation) {
-    std::printf("SAFE: no schedule violates mutual exclusion or coherence\n");
+    std::printf("SAFE: no schedule violates mutual exclusion, coherence, "
+                "or the final-state property\n");
     if (cli.expect_violation) {
       std::printf("UNEXPECTED: --expect-violation was given but every "
                   "schedule is safe\n");

@@ -6,6 +6,7 @@
 #include "lbmf/core/policies.hpp"
 #include "lbmf/util/cacheline.hpp"
 #include "lbmf/util/check.hpp"
+#include "lbmf/util/counters.hpp"
 #include "lbmf/util/spin.hpp"
 
 namespace lbmf {
@@ -13,8 +14,10 @@ namespace lbmf {
 /// Event counters for the Dekker protocol; these feed the analytic cost
 /// model (how many fences were avoided, how many remote serializations were
 /// paid — the quantities Sec. 5 of the paper reasons with). Internally each
-/// side writes only its own cache-line-separated half, so counting is
-/// race-free; stats() merges the halves.
+/// side writes only its own cache-line-separated half, so counter updates
+/// never race each other — but stats() reads both halves from arbitrary
+/// threads, so the live halves are relaxed atomics (SideStats) and this
+/// struct is the plain merged snapshot.
 struct DekkerStats {
   std::uint64_t primary_acquires = 0;
   std::uint64_t primary_fences = 0;     // primary_fence() executions
@@ -75,14 +78,14 @@ class AsymmetricDekker {
 
   void lock_primary() noexcept {
     announce_primary();
-    ++pstats_->acquires;
+    bump_relaxed(pstats_->acquires);
     SpinWait waiter;
     while (flag_[1]->load(std::memory_order_acquire) != 0) {
       if (turn_->load(std::memory_order_acquire) != 0) {
         // Not our turn: retreat so the secondary can proceed, wait for the
         // turn to come back, then re-announce (which needs a fresh fence).
         flag_[0]->store(0, std::memory_order_release);
-        ++pstats_->retreats;
+        bump_relaxed(pstats_->retreats);
         waiter.reset();
         while (turn_->load(std::memory_order_acquire) != 0) waiter.wait();
         announce_primary();
@@ -102,10 +105,10 @@ class AsymmetricDekker {
   /// fall back to a slow path rather than spin).
   bool try_lock_primary() noexcept {
     announce_primary();
-    ++pstats_->acquires;
+    bump_relaxed(pstats_->acquires);
     if (flag_[1]->load(std::memory_order_acquire) != 0) {
       flag_[0]->store(0, std::memory_order_release);
-      ++pstats_->retreats;
+      bump_relaxed(pstats_->retreats);
       return false;
     }
     return true;
@@ -119,12 +122,12 @@ class AsymmetricDekker {
 
   void lock_secondary() {
     announce_secondary();
-    ++sstats_->acquires;
+    bump_relaxed(sstats_->acquires);
     SpinWait waiter;
     while (flag_[0]->load(std::memory_order_acquire) != 0) {
       if (turn_->load(std::memory_order_acquire) != 1) {
         flag_[1]->store(0, std::memory_order_release);
-        ++sstats_->retreats;
+        bump_relaxed(sstats_->retreats);
         waiter.reset();
         while (turn_->load(std::memory_order_acquire) != 1) waiter.wait();
         announce_secondary();
@@ -141,32 +144,33 @@ class AsymmetricDekker {
 
   bool try_lock_secondary() {
     announce_secondary();
-    ++sstats_->acquires;
+    bump_relaxed(sstats_->acquires);
     if (flag_[0]->load(std::memory_order_acquire) != 0) {
       flag_[1]->store(0, std::memory_order_release);
-      ++sstats_->retreats;
+      bump_relaxed(sstats_->retreats);
       return false;
     }
     return true;
   }
 
   /// Merged snapshot of both sides' counters. Exact once both threads have
-  /// quiesced; approximate (but tear-free per field) while they run.
+  /// quiesced; approximate (but tear-free per field — relaxed atomic loads)
+  /// while they run.
   DekkerStats stats() const noexcept {
     DekkerStats s;
-    s.primary_acquires = pstats_->acquires;
-    s.primary_fences = pstats_->fences;
-    s.primary_retreats = pstats_->retreats;
-    s.secondary_acquires = sstats_->acquires;
-    s.secondary_fences = sstats_->fences;
-    s.secondary_retreats = sstats_->retreats;
-    s.serializations = sstats_->serializations;
+    s.primary_acquires = pstats_->acquires.load(std::memory_order_relaxed);
+    s.primary_fences = pstats_->fences.load(std::memory_order_relaxed);
+    s.primary_retreats = pstats_->retreats.load(std::memory_order_relaxed);
+    s.secondary_acquires = sstats_->acquires.load(std::memory_order_relaxed);
+    s.secondary_fences = sstats_->fences.load(std::memory_order_relaxed);
+    s.secondary_retreats = sstats_->retreats.load(std::memory_order_relaxed);
+    s.serializations = sstats_->serializations.load(std::memory_order_relaxed);
     return s;
   }
 
   void reset_stats() noexcept {
-    *pstats_ = SideStats{};
-    *sstats_ = SideStats{};
+    pstats_->reset();
+    sstats_->reset();
   }
 
  private:
@@ -175,7 +179,7 @@ class AsymmetricDekker {
     compiler_fence();
     flag_[0]->store(1, std::memory_order_relaxed);
     P::primary_fence();
-    ++pstats_->fences;
+    bump_relaxed(pstats_->fences);
   }
 
   /// Lines J1-J2 of Fig. 3(a) plus the remote trigger: L2 = 1; mfence;
@@ -183,15 +187,26 @@ class AsymmetricDekker {
   void announce_secondary() {
     flag_[1]->store(1, std::memory_order_relaxed);
     P::secondary_fence();
-    ++sstats_->fences;
-    if (P::serialize(handle_)) ++sstats_->serializations;
+    bump_relaxed(sstats_->fences);
+    if (P::serialize(handle_)) bump_relaxed(sstats_->serializations);
   }
 
+  // One side's counters: single writer (that side's thread), read by
+  // stats() from anywhere — relaxed atomics bumped without a lock prefix
+  // (bump_relaxed), so instrumentation adds no hidden fence to the
+  // announce paths.
   struct SideStats {
-    std::uint64_t acquires = 0;
-    std::uint64_t fences = 0;
-    std::uint64_t retreats = 0;
-    std::uint64_t serializations = 0;  // used by the secondary side only
+    std::atomic<std::uint64_t> acquires{0};
+    std::atomic<std::uint64_t> fences{0};
+    std::atomic<std::uint64_t> retreats{0};
+    std::atomic<std::uint64_t> serializations{0};  // secondary side only
+
+    void reset() noexcept {
+      acquires.store(0, std::memory_order_relaxed);
+      fences.store(0, std::memory_order_relaxed);
+      retreats.store(0, std::memory_order_relaxed);
+      serializations.store(0, std::memory_order_relaxed);
+    }
   };
 
   CacheAligned<std::atomic<int>> flag_[2];

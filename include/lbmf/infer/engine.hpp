@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +34,39 @@ struct MinimalityNote {
   double cost_delta = 0;   // cost(mutated) - cost(best); > 0 means pricier
 };
 
+/// Shared memo of safety verdicts, keyed by assignment. A placement's
+/// SAFE/violation verdict depends only on the instantiated programs — never
+/// on the CostTable or the freq weights — so a cost-frontier sweep that
+/// revisits the same lattice points under different costs can reuse every
+/// explorer run. Thread-safe (engines verify waves concurrently).
+/// Inconclusive (hit_limit) results are never stored: a bigger budget on a
+/// later run must be allowed to try again.
+class VerdictCache {
+ public:
+  std::optional<sim::ExploreResult> lookup(
+      const std::vector<FenceKind>& kinds) const {
+    std::lock_guard<std::mutex> g(mu_);
+    const auto it = map_.find(kinds);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void store(const std::vector<FenceKind>& kinds,
+             const sim::ExploreResult& r) {
+    std::lock_guard<std::mutex> g(mu_);
+    map_.emplace(kinds, r);
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::vector<FenceKind>, sim::ExploreResult> map_;
+};
+
 struct InferResult {
   InferStatus status = InferStatus::kUnsat;
 
@@ -46,6 +81,10 @@ struct InferResult {
   /// Assignments dispatched without an explorer run because a learned
   /// clause already covers them (a prior counterexample applies).
   std::uint64_t candidates_pruned = 0;
+  /// Assignments answered from Options::verdict_cache instead of a fresh
+  /// explorer run (0 when no cache is attached). Not counted in
+  /// candidates_verified or states_total.
+  std::uint64_t cache_hits = 0;
   /// Distinct assignments ever enqueued.
   std::uint64_t candidates_generated = 0;
   /// Full lattice size Π per-site kind counts (3^holes minus the l-mfence
@@ -103,6 +142,10 @@ class InferenceEngine {
     bool learn_clauses = true;
     /// Run the drop/downgrade minimality pass on the winner.
     bool minimality_pass = true;
+    /// Optional cross-run verdict memo (not owned; must outlive the
+    /// engine). The final recheck always bypasses it, so the emitted
+    /// certificate is a fresh exploration even on a fully cached run.
+    VerdictCache* verdict_cache = nullptr;
   };
 
   InferenceEngine(InferProblem problem, Options opts);

@@ -7,3 +7,4 @@
 
 #include "lbmf/infer/engine.hpp"
 #include "lbmf/infer/sites.hpp"
+#include "lbmf/infer/sweep.hpp"

@@ -67,6 +67,10 @@ struct InferProblem {
   std::vector<double> cpu_freqs;
   std::vector<std::pair<sim::Addr, sim::Word>> initial_memory;
   std::map<std::string, sim::Addr> symbols;
+  /// Allowed terminal valuations (`final` directives), installed as the
+  /// explorer's check on every candidate verification — see
+  /// sim::final_state_check. Empty = deadlock detection only.
+  std::vector<std::vector<std::pair<sim::Addr, sim::Word>>> final_allowed;
   sim::SimConfig config;
 
   /// Uniform assignment over all sites (e.g. the all-kNone lattice bottom).

@@ -42,6 +42,11 @@ struct AssembleResult {
   /// Drives the fence-inference cost ranking: a "hot" CPU pays its
   /// per-announce fence cost that many times more often.
   std::vector<double> cpu_freqs;
+  /// `final [loc], v, ...` directives: each entry is one conjunction of
+  /// required terminal (address, value) pairs; the whole set is a
+  /// disjunction. Empty means "no terminal-state property". Checked against
+  /// coherent values once no CPU can step (see sim::final_state_check).
+  std::vector<std::vector<std::pair<Addr, Word>>> final_allowed;
   std::optional<AssembleError> error;
 
   bool ok() const noexcept { return !error.has_value(); }
@@ -52,11 +57,14 @@ struct AssembleResult {
 /// Syntax (one instruction per line; `#` or `//` start a comment):
 ///
 ///   init [flag], 0       # optional initial memory, before any cpu section
+///   final [t0], 1, [t1], 0   # allowed terminal state (repeat = disjunction)
 ///   cpu 0:
 ///     freq  1000           # relative execution frequency (fence inference)
 ///     mov   r2, 5          # registers r0..r7
 ///   top:
 ///     store [flag], 1      # locations are symbolic or numeric: [3]
+///     lock  [gate]         # blocking locked-xchg acquire (implicit mfence)
+///     unlock [gate]        # locked release (implicit mfence)
 ///     lmfence [flag], 1    # the full Fig. 3(b) expansion
 ///     ?fence [flag], 1     # store with a fence HOLE (lbmf::infer decides)
 ///     mfence

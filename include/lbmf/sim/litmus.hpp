@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "lbmf/sim/machine.hpp"
@@ -111,5 +113,18 @@ Machine make_roundtrip_machine(bool use_interrupt, SimConfig cfg = {});
 
 /// Format the litmus observation registers of every CPU, e.g. "r0=0,r0=1".
 std::string observe_obs0(const Machine& m);
+
+/// Safety property over *terminal* states, for Explorer::Options::check:
+/// a state where no CPU can Execute or Drain must (a) have every CPU
+/// halted — otherwise some CPU is wedged on a blocked `lock`, reported as
+/// a deadlock — and (b) match at least one of the `allowed` conjunctions
+/// of (address, value) pairs, compared against Machine::coherent_value
+/// (a dirty cache line beats stale memory at halt). An empty `allowed`
+/// checks only for deadlock. Non-terminal states always pass, so the
+/// property is insensitive to partial-order reduction (terminal states
+/// are preserved exactly). This is how `final` directives from the litmus
+/// grammar (AssembleResult::final_allowed) become explorer properties.
+std::function<std::optional<std::string>(const Machine&)> final_state_check(
+    std::vector<std::vector<std::pair<Addr, Word>>> allowed);
 
 }  // namespace lbmf::sim

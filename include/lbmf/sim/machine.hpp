@@ -124,6 +124,12 @@ class Machine {
   void set_memory(Addr a, Word v) { mem_.set(a, v); }
   Word memory(Addr a) const;
 
+  /// The globally visible value of `a`: a dirty (M/O) cache copy anywhere
+  /// beats possibly-stale memory. Store-buffer entries are invisible (TSO:
+  /// not yet globally performed). This is the value a locked RMW observes
+  /// and the value `final` directives are checked against.
+  Word coherent_value(Addr a) const;
+
   /// Whether `step(cpu, a)` is currently legal.
   bool action_enabled(std::size_t cpu, Action a) const;
 

@@ -31,6 +31,8 @@ enum class Op : std::uint8_t {
   kCsExit,        // leave critical section
   kDelay,         // spend imm cycles of local work
   kHalt,
+  kLock,          // spin-acquire [addr] (locked xchg: full fence + atomic RMW)
+  kUnlock,        // release [addr] (locked store: full fence, bypasses the SB)
 };
 
 const char* to_string(Op op) noexcept;
@@ -69,6 +71,13 @@ class ProgramBuilder {
   ProgramBuilder& cs_exit();
   ProgramBuilder& delay(Word cycles);
   ProgramBuilder& halt();
+
+  /// Locked-xchg mutex acquire/release on [a]. LOCK blocks (the Execute
+  /// action is disabled) until the store buffer is empty and the coherent
+  /// value of [a] is 0, then writes 1 atomically; UNLOCK drains likewise
+  /// and writes 0. Both model x86 `lock xchg` — an implicit full fence.
+  ProgramBuilder& lock(Addr a);
+  ProgramBuilder& unlock(Addr a);
 
   /// Define a label at the current position.
   ProgramBuilder& label(const std::string& name);

@@ -45,9 +45,10 @@ class ChaseLevDeque {
     const std::int64_t t = top_->load(std::memory_order_acquire);
     LBMF_CHECK_MSG(b - t < static_cast<std::int64_t>(kCapacity),
                    "Chase-Lev deque overflow");
-    buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)] = task;
+    buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)].store(
+        task, std::memory_order_relaxed);
     bottom_->store(b + 1, std::memory_order_release);
-    ++vstats_->pushes;
+    bump_relaxed(vstats_->pushes);
   }
 
   /// Owner-only: take from the bottom; nullptr when empty.
@@ -55,24 +56,26 @@ class ChaseLevDeque {
     const std::int64_t b = bottom_->load(std::memory_order_relaxed) - 1;
     bottom_->store(b, std::memory_order_release);  // announce (L1 = 1)
     P::primary_fence();                            // the l-mfence slot
-    ++vstats_->victim_fences;
+    bump_relaxed(vstats_->victim_fences);
     std::int64_t t = top_->load(std::memory_order_relaxed);
     if (t < b) {
       // More than one task: no race possible on this element.
-      ++vstats_->pops_fast;
-      return buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)];
+      bump_relaxed(vstats_->pops_fast);
+      return buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)].load(
+          std::memory_order_relaxed);
     }
     TaskBase* result = nullptr;
-    ++vstats_->pops_conflict;
+    bump_relaxed(vstats_->pops_conflict);
     if (t == b) {
       // Last element: race the thieves via CAS on top.
       if (top_->compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
-        result = buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)];
+        result = buffer_[static_cast<std::size_t>(b) & (kCapacity - 1)].load(
+            std::memory_order_relaxed);
       }
     }
     bottom_->store(b + 1, std::memory_order_relaxed);  // restore
-    if (result == nullptr) ++vstats_->pops_empty;
+    if (result == nullptr) bump_relaxed(vstats_->pops_empty);
     return result;
   }
 
@@ -89,7 +92,8 @@ class ChaseLevDeque {
       tstats_->steals_empty.fetch_add(1, std::memory_order_relaxed);
       return nullptr;  // empty
     }
-    TaskBase* task = buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)];
+    TaskBase* task = buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)]
+                         .load(std::memory_order_relaxed);
     if (!top_->compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                        std::memory_order_relaxed)) {
       tstats_->steals_empty.fetch_add(1, std::memory_order_relaxed);
@@ -99,33 +103,50 @@ class ChaseLevDeque {
     return task;
   }
 
-  /// Merged snapshot; thief counters are atomics because Chase-Lev thieves
-  /// race each other without a gate.
+  /// Merged snapshot; exact when quiescent, well-defined (relaxed atomic
+  /// loads) at any time. Thieves race each other without a gate, hence
+  /// their fetch_add above; the owner's counters are single-writer and use
+  /// the lock-prefix-free bump_relaxed.
   DequeStats stats() const noexcept {
-    DequeStats s = *vstats_;
+    DequeStats s;
+    s.pushes = vstats_->pushes.load(std::memory_order_relaxed);
+    s.pops_fast = vstats_->pops_fast.load(std::memory_order_relaxed);
+    s.pops_conflict = vstats_->pops_conflict.load(std::memory_order_relaxed);
+    s.pops_empty = vstats_->pops_empty.load(std::memory_order_relaxed);
+    s.victim_fences = vstats_->victim_fences.load(std::memory_order_relaxed);
     s.steals_success = tstats_->steals_success.load(std::memory_order_relaxed);
     s.steals_empty = tstats_->steals_empty.load(std::memory_order_relaxed);
     s.thief_fences = tstats_->thief_fences.load(std::memory_order_relaxed);
-    s.serializations =
-        tstats_->serializations.load(std::memory_order_relaxed);
+    s.serializations = tstats_->serializations.load(std::memory_order_relaxed);
     return s;
   }
 
   void reset_stats() noexcept {
-    *vstats_ = DequeStats{};
-    tstats_->steals_success.store(0, std::memory_order_relaxed);
-    tstats_->steals_empty.store(0, std::memory_order_relaxed);
-    tstats_->thief_fences.store(0, std::memory_order_relaxed);
-    tstats_->serializations.store(0, std::memory_order_relaxed);
+    vstats_->reset();
+    tstats_->reset();
   }
 
   /// Scheduler-facing alias so TheDeque and ChaseLevDeque are drop-in
   /// interchangeable (Chase-Lev literature calls this operation take()).
   TaskBase* pop() { return take(); }
 
+  /// Advisory only — same contract (and same debug tripwire) as
+  /// TheDeque::looks_empty(): the hint may be stale before it returns, so
+  /// a non-empty answer only ever means "worth trying".
   bool looks_empty() const noexcept {
     return top_->load(std::memory_order_acquire) >=
            bottom_->load(std::memory_order_acquire);
+  }
+
+  /// See TheDeque::pop_expecting_nonempty().
+  TaskBase* pop_expecting_nonempty() {
+    TaskBase* t = take();
+#ifndef NDEBUG
+    LBMF_CHECK_MSG(t != nullptr,
+                   "looks_empty() is advisory, not authoritative: the deque "
+                   "that looked non-empty was drained before take()");
+#endif
+    return t;
   }
 
   std::int64_t size_estimate() const noexcept {
@@ -134,19 +155,18 @@ class ChaseLevDeque {
   }
 
  private:
-  struct ThiefStats {
-    std::atomic<std::uint64_t> steals_success{0};
-    std::atomic<std::uint64_t> steals_empty{0};
-    std::atomic<std::uint64_t> thief_fences{0};
-    std::atomic<std::uint64_t> serializations{0};
-  };
-
   CacheAligned<std::atomic<std::int64_t>> top_{0};
   CacheAligned<std::atomic<std::int64_t>> bottom_{0};
-  CacheAligned<DequeStats> vstats_;   // owner-written fields only
-  CacheAligned<ThiefStats> tstats_;   // thief-written (racing, atomic)
+  CacheAligned<VictimCounters> vstats_;  // owner-written fields only
+  CacheAligned<ThiefCounters> tstats_;   // thief-written (racing: fetch_add)
   typename P::Handle owner_handle_{};
-  std::vector<TaskBase*> buffer_;
+  // Relaxed-atomic cells (plain MOVs on x86): a thief's speculative read
+  // of buffer_[t] before its CAS can overlap the owner's push into the
+  // same cell once indices wrap — the classic Chase-Lev buffer race. The
+  // stale value is discarded (the CAS fails), but the access itself must
+  // be atomic or it is UB; this mirrors the C11 formalization (Lê et al.,
+  // PPoPP'13). TSan caught the plain-pointer version via deque_tsan_test.
+  std::vector<std::atomic<TaskBase*>> buffer_;
 };
 
 }  // namespace lbmf::ws

@@ -8,13 +8,19 @@
 #include "lbmf/core/policies.hpp"
 #include "lbmf/util/cacheline.hpp"
 #include "lbmf/util/check.hpp"
+#include "lbmf/util/counters.hpp"
 
 namespace lbmf::ws {
 
 class TaskBase;
 
-/// Per-deque event counters; split per side (victim-written vs
-/// thief-written) so no counter update races.
+/// Per-deque event counters — a plain value snapshot, as returned by
+/// stats(). The live counters inside the deques are relaxed atomics
+/// (VictimCounters / ThiefCounters below): splitting writers per side
+/// stops counter *updates* from racing each other, but stats() reads both
+/// sides from arbitrary threads while they run, so the storage itself must
+/// be atomic or the snapshot is a data race (TSan flags it; the compiler
+/// may tear or invent reads).
 struct DequeStats {
   std::uint64_t pushes = 0;
   std::uint64_t pops_fast = 0;      // pop won without touching the lock
@@ -25,6 +31,42 @@ struct DequeStats {
   std::uint64_t steals_empty = 0;
   std::uint64_t thief_fences = 0;
   std::uint64_t serializations = 0;  // remote serialize() by thieves
+};
+
+/// Victim-written counters: single writer (the owning worker, so the
+/// lock-prefix-free bump_relaxed applies — see util/counters.hpp), read by
+/// stats() from any thread.
+struct VictimCounters {
+  std::atomic<std::uint64_t> pushes{0};
+  std::atomic<std::uint64_t> pops_fast{0};
+  std::atomic<std::uint64_t> pops_conflict{0};
+  std::atomic<std::uint64_t> pops_empty{0};
+  std::atomic<std::uint64_t> victim_fences{0};
+
+  void reset() noexcept {
+    pushes.store(0, std::memory_order_relaxed);
+    pops_fast.store(0, std::memory_order_relaxed);
+    pops_conflict.store(0, std::memory_order_relaxed);
+    pops_empty.store(0, std::memory_order_relaxed);
+    victim_fences.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Thief-written counters. In TheDeque every update happens under the THE
+/// gate (one writer at a time → bump_relaxed); Chase-Lev thieves race
+/// without a gate and must use fetch_add on these same fields.
+struct ThiefCounters {
+  std::atomic<std::uint64_t> steals_success{0};
+  std::atomic<std::uint64_t> steals_empty{0};
+  std::atomic<std::uint64_t> thief_fences{0};
+  std::atomic<std::uint64_t> serializations{0};
+
+  void reset() noexcept {
+    steals_success.store(0, std::memory_order_relaxed);
+    steals_empty.store(0, std::memory_order_relaxed);
+    thief_fences.store(0, std::memory_order_relaxed);
+    serializations.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// A Cilk-5-style THE (Tail / Head / Exception-free variant) work-stealing
@@ -60,9 +102,10 @@ class TheDeque {
     LBMF_CHECK_MSG(t - head_->load(std::memory_order_relaxed) <
                        static_cast<std::int64_t>(kCapacity),
                    "work-stealing deque overflow");
-    buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)] = task;
+    buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)].store(
+        task, std::memory_order_relaxed);
     tail_->store(t + 1, std::memory_order_release);
-    ++vstats_->pushes;
+    bump_relaxed(vstats_->pushes);
   }
 
   /// Victim-only: pop from the tail. Returns nullptr when empty. This is
@@ -74,24 +117,26 @@ class TheDeque {
     const std::int64_t t = tail_->load(std::memory_order_relaxed) - 1;
     tail_->store(t, std::memory_order_release);  // announce intent (L1 = 1)
     P::primary_fence();                          // l-mfence / mfence / ...
-    ++vstats_->victim_fences;
+    bump_relaxed(vstats_->victim_fences);
     const std::int64_t h = head_->load(std::memory_order_acquire);
     if (h <= t) {
       // No conflict: the deque had at least one task beyond every thief.
-      ++vstats_->pops_fast;
-      return buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)];
+      bump_relaxed(vstats_->pops_fast);
+      return buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)].load(
+          std::memory_order_relaxed);
     }
     // Possible conflict with a thief racing for the last task: retreat and
     // resolve under the thief gate (the augmented-Dekker slow path).
     tail_->store(t + 1, std::memory_order_release);
     std::lock_guard<std::mutex> g(gate_);
-    ++vstats_->pops_conflict;
+    bump_relaxed(vstats_->pops_conflict);
     const std::int64_t h2 = head_->load(std::memory_order_acquire);
     if (h2 <= t) {
       tail_->store(t, std::memory_order_release);
-      return buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)];
+      return buffer_[static_cast<std::size_t>(t) & (kCapacity - 1)].load(
+          std::memory_order_relaxed);
     }
-    ++vstats_->pops_empty;
+    bump_relaxed(vstats_->pops_empty);
     return nullptr;
   }
 
@@ -102,47 +147,84 @@ class TheDeque {
     head_->store(h + 1, std::memory_order_release);  // announce (L2 = 1)
     P::secondary_fence();                            // always a real fence
     if (P::serialize(owner_handle_)) {
-      ++tstats_->serializations;  // force the victim's tail store visible
+      // Force the victim's tail store visible.
+      bump_relaxed(tstats_->serializations);
     }
-    ++tstats_->thief_fences;
+    bump_relaxed(tstats_->thief_fences);
     const std::int64_t t = tail_->load(std::memory_order_acquire);
     if (h + 1 > t) {
       head_->store(h, std::memory_order_release);  // retreat (L2 = 0)
-      ++tstats_->steals_empty;
+      bump_relaxed(tstats_->steals_empty);
       return nullptr;
     }
-    ++tstats_->steals_success;
-    return buffer_[static_cast<std::size_t>(h) & (kCapacity - 1)];
+    bump_relaxed(tstats_->steals_success);
+    return buffer_[static_cast<std::size_t>(h) & (kCapacity - 1)].load(
+        std::memory_order_relaxed);
   }
 
+  /// Advisory only: a racy occupancy hint for steal-target selection. The
+  /// answer can be invalidated before this function even returns — a thief
+  /// may drain the last task, the victim may push. Callers must treat a
+  /// non-empty answer as "worth trying" and re-check the pop()/steal()
+  /// result for nullptr (the scheduler does exactly this); never branch on
+  /// it as a guarantee. pop_expecting_nonempty() is the debug tripwire for
+  /// call sites that want that assumption checked.
   bool looks_empty() const noexcept {
     return head_->load(std::memory_order_acquire) >=
            tail_->load(std::memory_order_acquire);
   }
 
-  /// Merged snapshot; exact when victim and thieves are quiescent.
+  /// pop() for callers acting on a looks_empty() == false observation as
+  /// if it were authoritative. In debug builds the empty outcome aborts
+  /// with a diagnosis instead of silently returning nullptr — catching the
+  /// moment the advisory assumption is violated by a racing thief. Release
+  /// builds: identical to pop().
+  TaskBase* pop_expecting_nonempty() {
+    TaskBase* t = pop();
+#ifndef NDEBUG
+    LBMF_CHECK_MSG(t != nullptr,
+                   "looks_empty() is advisory, not authoritative: the deque "
+                   "that looked non-empty was drained before pop()");
+#endif
+    return t;
+  }
+
+  /// Merged snapshot; exact when victim and thieves are quiescent, and a
+  /// well-defined (relaxed, per-field-consistent) approximation while they
+  /// run.
   DequeStats stats() const noexcept {
-    DequeStats s = *vstats_;
-    s.steals_success = tstats_->steals_success;
-    s.steals_empty = tstats_->steals_empty;
-    s.thief_fences = tstats_->thief_fences;
-    s.serializations = tstats_->serializations;
+    DequeStats s;
+    s.pushes = vstats_->pushes.load(std::memory_order_relaxed);
+    s.pops_fast = vstats_->pops_fast.load(std::memory_order_relaxed);
+    s.pops_conflict = vstats_->pops_conflict.load(std::memory_order_relaxed);
+    s.pops_empty = vstats_->pops_empty.load(std::memory_order_relaxed);
+    s.victim_fences = vstats_->victim_fences.load(std::memory_order_relaxed);
+    s.steals_success = tstats_->steals_success.load(std::memory_order_relaxed);
+    s.steals_empty = tstats_->steals_empty.load(std::memory_order_relaxed);
+    s.thief_fences = tstats_->thief_fences.load(std::memory_order_relaxed);
+    s.serializations = tstats_->serializations.load(std::memory_order_relaxed);
     return s;
   }
 
   void reset_stats() noexcept {
-    *vstats_ = DequeStats{};
-    *tstats_ = DequeStats{};
+    vstats_->reset();
+    tstats_->reset();
   }
 
  private:
   CacheAligned<std::atomic<std::int64_t>> head_{0};
   CacheAligned<std::atomic<std::int64_t>> tail_{0};
-  CacheAligned<DequeStats> vstats_;  // victim-written fields only
-  CacheAligned<DequeStats> tstats_;  // thief-written fields (gate-serialized)
+  CacheAligned<VictimCounters> vstats_;  // victim-written fields only
+  CacheAligned<ThiefCounters> tstats_;   // thief-written (gate-serialized)
   std::mutex gate_;
   typename P::Handle owner_handle_{};
-  std::vector<TaskBase*> buffer_;
+  // Relaxed-atomic cells: a thief reads buffer_[h] only after bumping head
+  // (so the slot is already consumed from the protocol's point of view),
+  // and once indices wrap the victim may push into that same cell while
+  // the thief's read is still in flight. The protocol keeps the *values*
+  // straight, but the cell access itself must be atomic to be defined —
+  // same fix as ChaseLevDeque's buffer (which TSan flagged outright).
+  std::vector<std::atomic<TaskBase*>> buffer_;
 };
 
 }  // namespace lbmf::ws

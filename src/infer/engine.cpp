@@ -150,14 +150,29 @@ std::set<std::size_t> find_culprits(const InferProblem& p,
 struct Checked {
   Instantiation inst;
   sim::ExploreResult r;
+  bool cached = false;  // answered from Options::verdict_cache
 };
 
 Checked check_one(const InferProblem& p, const InferenceEngine::Options& o,
-                  const Assignment& a) {
+                  const Assignment& a, bool allow_cache = true) {
   Checked c;
   c.inst = instantiate(p, a);
-  sim::Explorer ex(machine_for(p, c.inst), explorer_options(o));
+  if (allow_cache && o.verdict_cache != nullptr) {
+    if (auto hit = o.verdict_cache->lookup(a.kinds)) {
+      c.r = std::move(*hit);
+      c.cached = true;
+      return c;
+    }
+  }
+  sim::Explorer::Options eo = explorer_options(o);
+  // Terminal-state property: `final` directives plus deadlock detection
+  // (a no-op scan for problems without either construct).
+  eo.check = sim::final_state_check(p.final_allowed);
+  sim::Explorer ex(machine_for(p, c.inst), eo);
   c.r = ex.run();
+  if (allow_cache && o.verdict_cache != nullptr && !c.r.hit_limit) {
+    o.verdict_cache->store(a.kinds, c.r);
+  }
   return c;
 }
 
@@ -245,9 +260,13 @@ InferResult InferenceEngine::run() {
       enqueue(std::move(succ));
     }
   };
-  const auto account = [&](const sim::ExploreResult& r) {
+  const auto account = [&](const Checked& c) {
+    if (c.cached) {
+      ++res.cache_hits;
+      return;
+    }
     ++res.candidates_verified;
-    res.states_total += r.states_explored;
+    res.states_total += c.r.states_explored;
   };
   // Learn from a counterexample; returns false on the empty clause (the
   // violation involves no store→load crossing, so no placement helps).
@@ -285,7 +304,7 @@ InferResult InferenceEngine::run() {
       }
       ++res.candidates_generated;
       Checked c = check_one(p_, o_, cur);
-      account(c.r);
+      account(c);
       if (c.r.hit_limit) {
         saw_limit = true;
       } else if (!c.r.violation) {
@@ -346,7 +365,7 @@ InferResult InferenceEngine::run() {
       if (wave.empty()) continue;
       const std::vector<Checked> checked = check_wave(p_, o_, wave);
       for (std::size_t i = 0; i < wave.size(); ++i) {
-        account(checked[i].r);
+        account(checked[i]);
         if (checked[i].r.violation) {
           if (o_.learn_clauses && !learn_clause(checked[i], wave[i])) {
             return res;  // empty clause: unsat, res already filled
@@ -368,7 +387,7 @@ InferResult InferenceEngine::run() {
       // ruled out by counterexample reasoning, never explored directly).
       const Assignment top = p_.uniform(FenceKind::kMfence);
       Checked c = check_one(p_, o_, top);
-      account(c.r);
+      account(c);
       if (c.r.violation) {
         res.status = InferStatus::kUnsat;
         res.unsat_violation = c.r.violation;
@@ -407,7 +426,7 @@ InferResult InferenceEngine::run() {
           Assignment mut = *best;
           mut.kinds[s] = alt;
           Checked c = check_one(p_, o_, mut);
-          account(c.r);
+          account(c);
           MinimalityNote note;
           note.site = s;
           note.from = best->kinds[s];
@@ -431,9 +450,10 @@ InferResult InferenceEngine::run() {
   res.best = *best;
   res.best_cost = best_cost;
 
-  // End-to-end certificate: one fresh exploration of the emitted placement.
+  // End-to-end certificate: one fresh exploration of the emitted placement
+  // (never served from the verdict cache).
   {
-    Checked c = check_one(p_, o_, res.best);
+    Checked c = check_one(p_, o_, res.best, /*allow_cache=*/false);
     res.states_total += c.r.states_explored;
     res.recheck_safe = !c.r.violation && !c.r.hit_limit;
   }

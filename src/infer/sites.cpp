@@ -73,6 +73,7 @@ ProblemParse problem_from_source(std::string_view source, sim::SimConfig cfg) {
   p.cpu_freqs = std::move(r.cpu_freqs);
   p.initial_memory = std::move(r.initial_memory);
   p.symbols = std::move(r.symbols);
+  p.final_allowed = std::move(r.final_allowed);
   p.sites.reserve(r.holes.size());
   for (const sim::LitHole& h : r.holes) {
     FenceSite s;

@@ -1,0 +1,155 @@
+#include "lbmf/infer/sweep.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::infer {
+
+bool SweepResult::all_sat() const noexcept {
+  for (const SweepPoint& p : points) {
+    if (p.status != InferStatus::kSat || !p.recheck_safe) return false;
+  }
+  return !points.empty();
+}
+
+std::size_t SweepResult::distinct_optima_at(double roundtrip) const {
+  std::vector<std::string> seen;
+  for (const SweepPoint& p : points) {
+    if (p.lest_roundtrip != roundtrip || p.status != InferStatus::kSat) {
+      continue;
+    }
+    std::string key = to_string(p.best);
+    bool fresh = true;
+    for (const std::string& s : seen) {
+      if (s == key) {
+        fresh = false;
+        break;
+      }
+    }
+    if (fresh) seen.push_back(std::move(key));
+  }
+  return seen.size();
+}
+
+SweepResult run_sweep(InferProblem problem, const SweepOptions& opts) {
+  LBMF_CHECK(!opts.victim_freqs.empty() && !opts.roundtrips.empty());
+  LBMF_CHECK(opts.victim_cpu < problem.programs.size());
+  if (problem.cpu_freqs.size() < problem.programs.size()) {
+    problem.cpu_freqs.resize(problem.programs.size(), 1.0);
+  }
+
+  SweepResult out;
+  out.victim_freqs = opts.victim_freqs;
+  out.roundtrips = opts.roundtrips;
+
+  // One verdict cache for the whole grid: safety is cost-independent, so
+  // every lattice point is explored at most once across all grid points.
+  // An externally supplied cache is honoured (and outlives the sweep).
+  VerdictCache local_cache;
+  VerdictCache* cache = opts.engine.verdict_cache != nullptr
+                            ? opts.engine.verdict_cache
+                            : &local_cache;
+
+  for (double rt : opts.roundtrips) {
+    const SweepPoint* prev = nullptr;
+    for (double f : opts.victim_freqs) {
+      InferProblem p = problem;
+      p.cpu_freqs[opts.victim_cpu] = f;
+      InferenceEngine::Options eo = opts.engine;
+      eo.costs.lest_roundtrip_cycles = rt;
+      eo.verdict_cache = cache;
+      InferenceEngine engine(std::move(p), eo);
+      const InferResult r = engine.run();
+
+      SweepPoint pt;
+      pt.victim_freq = f;
+      pt.lest_roundtrip = rt;
+      pt.status = r.status;
+      pt.best = r.best;
+      pt.best_cost = r.best_cost;
+      pt.recheck_safe = r.recheck_safe;
+      out.explorer_runs += r.candidates_verified;
+      out.cache_hits += r.cache_hits;
+      out.states_total += r.states_total;
+
+      if (prev != nullptr && prev->status == InferStatus::kSat &&
+          pt.status == InferStatus::kSat && !(prev->best == pt.best)) {
+        Crossover x;
+        x.lest_roundtrip = rt;
+        x.freq_before = prev->victim_freq;
+        x.freq_after = f;
+        x.from = to_string(prev->best);
+        x.to = to_string(pt.best);
+        out.crossovers.push_back(std::move(x));
+      }
+      out.points.push_back(std::move(pt));
+      prev = &out.points.back();
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_num(std::string& s, double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  s += buf;
+}
+
+}  // namespace
+
+std::string sweep_to_json(const SweepResult& r, const std::string& workload) {
+  std::string s = "{\"bench\":\"sweep\",\"workload\":\"" + workload + "\",";
+  s += "\"victim_freqs\":[";
+  for (std::size_t i = 0; i < r.victim_freqs.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, r.victim_freqs[i]);
+  }
+  s += "],\"roundtrips\":[";
+  for (std::size_t i = 0; i < r.roundtrips.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, r.roundtrips[i]);
+  }
+  s += "],\"points\":[";
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const SweepPoint& p = r.points[i];
+    if (i > 0) s += ',';
+    s += "{\"freq\":";
+    append_num(s, p.victim_freq);
+    s += ",\"roundtrip\":";
+    append_num(s, p.lest_roundtrip);
+    s += ",\"status\":\"";
+    s += to_string(p.status);
+    s += "\",\"optimum\":\"" + to_string(p.best) + "\",\"cost\":";
+    append_num(s, p.best_cost);
+    s += ",\"recheck_safe\":";
+    s += p.recheck_safe ? "true" : "false";
+    s += '}';
+  }
+  s += "],\"crossovers\":[";
+  for (std::size_t i = 0; i < r.crossovers.size(); ++i) {
+    const Crossover& x = r.crossovers[i];
+    if (i > 0) s += ',';
+    s += "{\"roundtrip\":";
+    append_num(s, x.lest_roundtrip);
+    s += ",\"freq_before\":";
+    append_num(s, x.freq_before);
+    s += ",\"freq_after\":";
+    append_num(s, x.freq_after);
+    s += ",\"from\":\"" + x.from + "\",\"to\":\"" + x.to + "\"}";
+  }
+  s += "],\"explorer_runs\":" + std::to_string(r.explorer_runs);
+  s += ",\"cache_hits\":" + std::to_string(r.cache_hits);
+  s += ",\"states_total\":" + std::to_string(r.states_total);
+  s += '}';
+  return s;
+}
+
+}  // namespace lbmf::infer

@@ -171,6 +171,23 @@ struct Assembler {
       return require_end(lex);
     }
 
+    // `final [loc], v, [loc2], w, ...` — one allowed terminal valuation (a
+    // conjunction over locations); repeating the directive builds a
+    // disjunction. Legal anywhere: it describes the whole test, not one
+    // CPU, and by convention sits at the end of the file.
+    if (head == "final") {
+      std::vector<std::pair<Addr, Word>> conj;
+      while (!lex.at_end()) {
+        Addr a = 0;
+        Word v = 0;
+        if (!parse_addr(lex, &a) || !parse_imm(lex, &v)) return false;
+        conj.emplace_back(a, v);
+      }
+      if (conj.empty()) return fail("'final' needs at least one [loc], value");
+      result.final_allowed.push_back(std::move(conj));
+      return true;
+    }
+
     if (head == "cpu") {
       long long n = -1;
       const std::string_view num = lex.token();
@@ -266,6 +283,12 @@ struct Assembler {
       builder->store(a, imm);
     } else if (head == "mfence") {
       builder->mfence();
+    } else if (head == "lock") {
+      if (!parse_addr(lex, &a)) return false;
+      builder->lock(a);
+    } else if (head == "unlock") {
+      if (!parse_addr(lex, &a)) return false;
+      builder->unlock(a);
     } else if (head == "delay") {
       if (!parse_imm(lex, &imm)) return false;
       if (imm < 0) return fail("delay must be non-negative");

@@ -1,5 +1,6 @@
 #include "lbmf/sim/litmus.hpp"
 
+#include <map>
 #include <string>
 
 namespace lbmf::sim {
@@ -237,6 +238,55 @@ std::string observe_obs0(const Machine& m) {
     out += "r0=" + std::to_string(m.cpu(i).regs[reg::kObs0]);
   }
   return out;
+}
+
+
+std::function<std::optional<std::string>(const Machine&)> final_state_check(
+    std::vector<std::vector<std::pair<Addr, Word>>> allowed) {
+  return [allowed = std::move(allowed)](
+             const Machine& m) -> std::optional<std::string> {
+    // Terminal = no CPU can take either explorable action. (The explorer
+    // never schedules Interrupt, so Execute/Drain exhaust its choices.)
+    for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+      if (m.action_enabled(i, Action::Execute) ||
+          m.action_enabled(i, Action::Drain)) {
+        return std::nullopt;
+      }
+    }
+    if (!m.finished()) {
+      // Zero enabled actions with un-halted CPUs: someone is wedged on a
+      // blocked `lock` whose holder will never release the gate.
+      std::string who;
+      for (std::size_t i = 0; i < m.num_cpus(); ++i) {
+        if (m.cpu(i).halted) continue;
+        if (!who.empty()) who += ',';
+        who += "cpu" + std::to_string(i);
+      }
+      return "deadlock: " + who + " blocked with no enabled action";
+    }
+    if (allowed.empty()) return std::nullopt;
+    for (const auto& conj : allowed) {
+      bool match = true;
+      for (const auto& [a, v] : conj) {
+        if (m.coherent_value(a) != v) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return std::nullopt;
+    }
+    // No disjunct matched: report the actual terminal values of every
+    // location any `final` line mentions.
+    std::map<Addr, Word> actual;
+    for (const auto& conj : allowed) {
+      for (const auto& [a, v] : conj) actual.emplace(a, m.coherent_value(a));
+    }
+    std::string got = "terminal state not in final set:";
+    for (const auto& [a, v] : actual) {
+      got += " [" + std::to_string(a) + "]=" + std::to_string(v);
+    }
+    return got;
+  };
 }
 
 }  // namespace lbmf::sim

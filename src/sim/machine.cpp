@@ -95,6 +95,15 @@ void Machine::load_program(std::size_t cpu, Program p) {
 
 Word Machine::memory(Addr a) const { return mem_.get(a); }
 
+Word Machine::coherent_value(Addr a) const {
+  const Addr base = line_base(a);
+  for (const auto& c : cpus_) {
+    const CacheLine* l = c.cache.peek(base);
+    if (l != nullptr && is_dirty_state(l->state)) return l->at(line_off(a));
+  }
+  return mem_.get(a);
+}
+
 Addr Machine::line_base(Addr a) const noexcept {
   return a - (a % static_cast<Addr>(cfg_.line_words));
 }
@@ -121,8 +130,21 @@ bool Machine::action_enabled(std::size_t cpu, Action a) const {
   if (cpu >= cpus_.size()) return false;
   const CpuState& c = cpus_[cpu];
   switch (a) {
-    case Action::Execute:
-      return !c.halted && c.program != nullptr;
+    case Action::Execute: {
+      if (c.halted || c.program == nullptr) return false;
+      // Locked RMWs are blocking instructions: their Execute action is
+      // disabled until they can complete atomically. x86's `lock xchg`
+      // drains the store buffer first (implicit full fence), and LOCK
+      // additionally spins until the gate reads 0 — a disabled Execute
+      // models the spin without adding retry states. Drain stays enabled,
+      // so a CPU stalled here still makes its own stores visible.
+      const Instr& i = c.program->code[c.pc];
+      if (i.op == Op::kLock) {
+        return c.sb.empty() && coherent_value(i.addr) == 0;
+      }
+      if (i.op == Op::kUnlock) return c.sb.empty();
+      return true;
+    }
     case Action::Drain:
       return !c.sb.empty();
     case Action::Interrupt:
@@ -374,6 +396,22 @@ void Machine::exec_instr(CpuState& c) {
       c.halted = true;
       next_pc = c.pc;
       break;
+
+    case Op::kLock:
+    case Op::kUnlock: {
+      // action_enabled guaranteed an empty store buffer and, for LOCK, a
+      // zero gate. The RMW bypasses the buffer entirely: acquire the line
+      // exclusively and write in one atomic simulator step, exactly the
+      // shape of complete_oldest()'s commit path.
+      ++c.counters.stores;
+      c.counters.cycles += acquire_exclusive(c, i.addr);
+      CacheLine* l = c.cache.touch(line_base(i.addr));
+      LBMF_CHECK_MSG(l != nullptr, "locked RMW lost its cache line");
+      l->at(line_off(i.addr)) = (i.op == Op::kLock) ? 1 : 0;
+      l->state = Mesi::Modified;
+      c.counters.cycles += cfg_.cost_store_commit;
+      break;
+    }
   }
 
   c.pc = next_pc;
@@ -708,6 +746,12 @@ bool Machine::action_is_local(std::size_t cpu, Action a) const {
     case Op::kLoad:
     case Op::kLoadExclusive:
       return false;  // cache/LRU/bus interaction
+    case Op::kLock:
+    case Op::kUnlock:
+      // Atomic RMWs write a globally watched location (and their
+      // enabledness depends on it), so they never commute with remote
+      // actions.
+      return false;
   }
   return false;
 }

@@ -24,6 +24,8 @@ const char* to_string(Op op) noexcept {
     case Op::kCsExit: return "CS_EXIT";
     case Op::kDelay: return "DELAY";
     case Op::kHalt: return "HALT";
+    case Op::kLock: return "LOCK";
+    case Op::kUnlock: return "UNLOCK";
   }
   return "?";
 }
@@ -76,6 +78,14 @@ ProgramBuilder& ProgramBuilder::delay(Word cycles) {
 }
 
 ProgramBuilder& ProgramBuilder::halt() { return emit({.op = Op::kHalt}); }
+
+ProgramBuilder& ProgramBuilder::lock(Addr a) {
+  return emit({.op = Op::kLock, .addr = a});
+}
+
+ProgramBuilder& ProgramBuilder::unlock(Addr a) {
+  return emit({.op = Op::kUnlock, .addr = a});
+}
 
 ProgramBuilder& ProgramBuilder::label(const std::string& name) {
   labels_.emplace_back(name, static_cast<std::int32_t>(prog_.code.size()));

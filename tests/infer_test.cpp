@@ -406,5 +406,114 @@ TEST(InferExamples, StoreBufferHolesFileNeedsBothMfences) {
   EXPECT_EQ(r.best, want);
 }
 
+TEST(InferExamples, TheDequeHolesRecoverThePaperPlacement) {
+  // The tentpole acceptance test: on the THE-deque pop/steal handshake
+  // (victim hot at freq 1000) the engine must rediscover the paper's
+  // Sec. 6 protocol — l-mfence on the victim's announce, mfence on the
+  // thief's announce, nothing on either retreat.
+  const InferResult r =
+      run_engine(slurp(std::string(LBMF_LITMUS_DIR) + "/the_deque_holes.lit"));
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  const Assignment want{{FenceKind::kLmfence, FenceKind::kNone,
+                         FenceKind::kMfence, FenceKind::kNone}};
+  EXPECT_EQ(r.best, want);
+  // Site A: f=1000 * lest_victim(3) + 1 remote load * (150 + 10) = 3160;
+  // site C: f=1 * mfence(100). Total 3260.
+  EXPECT_NEAR(r.best_cost, 3260.0, 0.5);
+  EXPECT_TRUE(r.recheck_safe);
+}
+
+// ------------------------------------------------------------------- sweep
+
+TEST(InferSweep, DequeFrontierMatchesHandCheckedGridPoints) {
+  const InferProblem p =
+      parse(slurp(std::string(LBMF_LITMUS_DIR) + "/the_deque_holes.lit"));
+  SweepOptions so;
+  so.victim_freqs = {1, 1000};
+  so.roundtrips = {10, 150};
+  const SweepResult r = run_sweep(p, so);
+  ASSERT_EQ(r.points.size(), 4u);
+  ASSERT_TRUE(r.all_sat());
+
+  auto at = [&](double f, double rt) -> const SweepPoint& {
+    for (const SweepPoint& pt : r.points) {
+      if (pt.victim_freq == f && pt.lest_roundtrip == rt) return pt;
+    }
+    ADD_FAILURE() << "missing grid point";
+    return r.points.front();
+  };
+  // Hand-derived from CostTable defaults (see EXPERIMENTS.md E17):
+  // slow victim at the paper's 150-cycle round-trip -> symmetric mfences
+  // (victim l-mfence would cost 3+160=163 > 100).
+  const Assignment sym{{FenceKind::kMfence, FenceKind::kNone,
+                        FenceKind::kMfence, FenceKind::kNone}};
+  // Hot victim -> the asymmetric mix (mfence would cost 1000*100).
+  const Assignment mix{{FenceKind::kLmfence, FenceKind::kNone,
+                        FenceKind::kMfence, FenceKind::kNone}};
+  // Near-free remote trips -> even the rare thief goes l-mfence
+  // (1*3 + 2*(10+10) = 43 < 100).
+  const Assignment dbl{{FenceKind::kLmfence, FenceKind::kNone,
+                        FenceKind::kLmfence, FenceKind::kNone}};
+  EXPECT_EQ(at(1, 150).best, sym);
+  EXPECT_EQ(at(1000, 150).best, mix);
+  EXPECT_EQ(at(1, 10).best, dbl);
+  EXPECT_NEAR(at(1000, 150).best_cost, 3260.0, 0.5);
+
+  EXPECT_GE(r.distinct_optima_at(150), 2u);
+  ASSERT_FALSE(r.crossovers.empty());
+}
+
+TEST(InferSweep, GridSharesOneVerdictCacheAcrossPoints) {
+  const InferProblem p =
+      parse(slurp(std::string(LBMF_LITMUS_DIR) + "/the_deque_holes.lit"));
+  SweepOptions so;
+  so.victim_freqs = {1, 10, 1000};
+  so.roundtrips = {10, 150};
+  const SweepResult r = run_sweep(p, so);
+  ASSERT_TRUE(r.all_sat());
+  // Safety verdicts are cost-independent, so across the 6-point grid the
+  // explorer only runs for lattice points the first solve didn't already
+  // settle; every later check is a cache hit.
+  EXPECT_GT(r.cache_hits, 0u);
+  EXPECT_LT(r.explorer_runs, r.cache_hits);
+}
+
+TEST(InferSweep, ExternalCacheIsSharedAndSurvivesTheSweep) {
+  const InferProblem p =
+      parse(slurp(std::string(LBMF_LITMUS_DIR) + "/the_deque_holes.lit"));
+  VerdictCache cache;
+  SweepOptions so;
+  so.victim_freqs = {1, 1000};
+  so.roundtrips = {150};
+  so.engine.verdict_cache = &cache;
+  const SweepResult first = run_sweep(p, so);
+  ASSERT_TRUE(first.all_sat());
+  EXPECT_GT(cache.size(), 0u);
+  // Re-running against the warm cache does zero new explorer work beyond
+  // the per-point final recheck (which always bypasses the cache).
+  const SweepResult second = run_sweep(p, so);
+  ASSERT_TRUE(second.all_sat());
+  EXPECT_GT(second.cache_hits, first.cache_hits);
+  EXPECT_EQ(first.points[0].best, second.points[0].best);
+  EXPECT_EQ(first.points[1].best, second.points[1].best);
+}
+
+TEST(InferSweep, JsonReportCarriesGridPointsAndCrossovers) {
+  const InferProblem p =
+      parse(slurp(std::string(LBMF_LITMUS_DIR) + "/the_deque_holes.lit"));
+  SweepOptions so;
+  so.victim_freqs = {1, 1000};
+  so.roundtrips = {150};
+  const SweepResult r = run_sweep(p, so);
+  const std::string json = sweep_to_json(r, "unit");
+  EXPECT_NE(json.find("\"bench\":\"sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"optimum\":\"{mfence, none, mfence, none}\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"optimum\":\"{l-mfence, none, mfence, none}\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"crossovers\":[{"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace lbmf::infer

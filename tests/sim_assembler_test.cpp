@@ -2,6 +2,7 @@
 
 #include "lbmf/sim/assembler.hpp"
 #include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/litmus.hpp"
 
 namespace lbmf::sim {
 namespace {
@@ -308,6 +309,125 @@ TEST(AssemblerErrors, InitAfterCpuSectionRejected) {
 
 TEST(AssemblerErrors, MalformedLocation) {
   const auto r = assemble("cpu 0:\n  load r0, flag\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("'['"), std::string::npos);
+}
+
+// ------------------------------------------- locked RMWs + final directive
+
+TEST(Assembler, LockUnlockEnforceMutualExclusion) {
+  // A spinlock word [G] guarding the critical section: the locked-xchg
+  // semantics of lock/unlock must make this exhaustively safe even though
+  // no fence instruction appears anywhere.
+  const char* source = R"(
+    cpu 0:
+      lock [G]
+      cs_enter
+      cs_exit
+      unlock [G]
+      halt
+    cpu 1:
+      lock [G]
+      cs_enter
+      cs_exit
+      unlock [G]
+      halt
+  )";
+  const ExploreResult r = explore_all(assemble_machine(source));
+  ASSERT_FALSE(r.hit_limit);
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
+}
+
+TEST(Assembler, FinalDirectiveRecordsDisjunctionOfConjunctions) {
+  const auto r = assemble(R"(
+    cpu 0:
+      store [x], 1
+      halt
+    cpu 1:
+      store [x], 2
+      halt
+    final [x], 1, [y], 0
+    final [x], 2
+  )");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.final_allowed.size(), 2u);
+  ASSERT_EQ(r.final_allowed[0].size(), 2u);  // one line = one conjunction
+  EXPECT_EQ(r.final_allowed[0][0].second, 1);
+  ASSERT_EQ(r.final_allowed[1].size(), 1u);
+  EXPECT_EQ(r.final_allowed[1][0].second, 2);
+}
+
+TEST(Assembler, FinalStateCheckFlagsAForbiddenTerminalState) {
+  // Racing stores: both final orders are reachable, but only [x]=1 is
+  // declared allowed — the explorer must surface the [x]=2 outcome.
+  const char* source = R"(
+    cpu 0:
+      store [x], 1
+      halt
+    cpu 1:
+      store [x], 2
+      halt
+    final [x], 1
+  )";
+  const auto a = assemble(source);
+  ASSERT_TRUE(a.ok());
+  Explorer::Options opts;
+  opts.check = final_state_check(a.final_allowed);
+  Explorer ex(assemble_machine(source), opts);
+  const ExploreResult r = ex.run();
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_NE(r.violation->find("not in final set"), std::string::npos);
+}
+
+TEST(Assembler, FinalStateCheckAcceptsWhenAllOutcomesListed) {
+  const char* source = R"(
+    cpu 0:
+      store [x], 1
+      halt
+    cpu 1:
+      store [x], 2
+      halt
+    final [x], 1
+    final [x], 2
+  )";
+  const auto a = assemble(source);
+  ASSERT_TRUE(a.ok());
+  Explorer::Options opts;
+  opts.check = final_state_check(a.final_allowed);
+  Explorer ex(assemble_machine(source), opts);
+  const ExploreResult r = ex.run();
+  EXPECT_FALSE(r.violation.has_value()) << *r.violation;
+}
+
+TEST(Assembler, BlockedLockWithNoReleaserIsReportedAsDeadlock) {
+  // cpu0 takes the gate and halts without releasing; cpu1 blocks forever
+  // on its lock — a terminal state that is not finished().
+  const char* source = R"(
+    cpu 0:
+      lock [G]
+      halt
+    cpu 1:
+      lock [G]
+      store [x], 1
+      halt
+  )";
+  const auto a = assemble(source);
+  ASSERT_TRUE(a.ok());
+  Explorer::Options opts;
+  opts.check = final_state_check(a.final_allowed);
+  Explorer ex(assemble_machine(source), opts);
+  const ExploreResult r = ex.run();
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_NE(r.violation->find("deadlock"), std::string::npos);
+}
+
+TEST(AssemblerErrors, FinalWithoutPairsRejected) {
+  const auto r = assemble("cpu 0:\n  halt\nfinal\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AssemblerErrors, LockNeedsABracketedLocation) {
+  const auto r = assemble("cpu 0:\n  lock r0\n  halt\n");
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.error->message.find("'['"), std::string::npos);
 }

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "lbmf/ws/scheduler.hpp"
@@ -48,6 +50,80 @@ TEST(TheDeque, StatsCountFences) {
   EXPECT_EQ(s.victim_fences, 1u);
   EXPECT_EQ(s.thief_fences, 1u);
   EXPECT_EQ(s.steals_empty, 1u);
+}
+
+TEST(TheDeque, ResetStatsZeroesBothSides) {
+  TheDeque<SymmetricFence> d;
+  TaskGroupBase g;
+  auto t1 = ClosureTask(g, [] {});
+  d.push(&t1);
+  (void)d.pop();
+  (void)d.steal();
+  d.reset_stats();
+  const DequeStats s = d.stats();
+  EXPECT_EQ(s.pushes, 0u);
+  EXPECT_EQ(s.victim_fences, 0u);
+  EXPECT_EQ(s.pops_fast, 0u);
+  EXPECT_EQ(s.thief_fences, 0u);
+  EXPECT_EQ(s.steals_empty, 0u);
+}
+
+TEST(TheDeque, StatsAreReadableWhileVictimAndThiefRun) {
+  // Regression for the stats() data race: the live counters must be
+  // atomics, so a concurrent reader sees well-defined (if slightly stale)
+  // values. Run under TSan (deque_tsan_test drives the same shape) this
+  // used to report plain uint64_t read/write races.
+  TheDeque<SymmetricFence> d;
+  TaskGroupBase g;
+  constexpr int kTasks = 20000;
+  std::vector<ClosureTask<void (*)()>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) tasks.emplace_back(g, +[] {});
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> removed{0};
+  std::thread thief([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      if (d.steal() != nullptr) {
+        removed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const DequeStats s = d.stats();
+      // Monotone counters: a snapshot can lag but never exceeds what the
+      // victim/thief have actually done.
+      EXPECT_LE(s.pushes, static_cast<std::uint64_t>(kTasks));
+      EXPECT_LE(s.steals_success + s.pops_fast,
+                static_cast<std::uint64_t>(kTasks));
+    }
+  });
+  for (auto& t : tasks) {
+    d.push(&t);
+    if (d.pop() != nullptr) removed.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (d.steal() != nullptr) removed.fetch_add(1, std::memory_order_relaxed);
+  stop.store(true, std::memory_order_release);
+  thief.join();
+  reader.join();
+
+  EXPECT_EQ(removed.load(), static_cast<std::uint64_t>(kTasks));
+  const DequeStats s = d.stats();
+  EXPECT_EQ(s.pushes, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(s.pops_fast + s.pops_conflict - s.pops_empty + s.steals_success,
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(TheDeque, PopExpectingNonemptySucceedsWhenTrulyNonempty) {
+  // Single-threaded, the advisory answer cannot go stale: the tripwire
+  // must pass through the popped task.
+  TheDeque<SymmetricFence> d;
+  TaskGroupBase g;
+  auto t1 = ClosureTask(g, [] {});
+  d.push(&t1);
+  ASSERT_FALSE(d.looks_empty());
+  EXPECT_EQ(d.pop_expecting_nonempty(), &t1);
 }
 
 TEST(TheDeque, InterleavedPushPopKeepsOrder) {
