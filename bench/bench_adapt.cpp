@@ -1,0 +1,218 @@
+// E18 — online policy selection across a workload phase change: replay a
+// deterministic two-phase steal/pop trace through the real adaptation
+// stack (WorkloadMonitor EWMA → PolicyTable frontier lookup → hysteresis →
+// AdaptiveFence quiescent-point switch on a live registered primary) and
+// price every window with the Sec. 5 cost model under the mode the fence
+// was actually in. Phase 1 is pop-heavy (the asymmetric corner: victim
+// announces dominate), phase 2 is steal-heavy (the symmetric corner: each
+// steal costs a signal round trip). A static policy is optimal in one
+// phase and pays heavily in the other; the adaptive policy must track both
+// regimes and switch exactly twice.
+//
+//   bench_adapt            # 120 + 120 windows
+//   bench_adapt --quick    # CI smoke mode: 40 + 40 windows
+//
+// Emits BENCH_adapt.json in the working directory. Exit 0 requires:
+//   - exactly 2 mode switches, and the fence's switch count agrees with
+//     the selector's (every adoption really crossed a quiescent point);
+//   - steady state: over the last quarter of each phase the adaptive cost
+//     is within 1.10x of the best static policy for that phase;
+//   - across the phase change: the worst static policy costs >= 1.5x the
+//     adaptive total;
+//   - a live Scheduler<AdaptiveFence> run (adaptation on) computes the
+//     same fib checksum as the symmetric baseline scheduler.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lbmf/adapt/adapt.hpp"
+#include "lbmf/model/cost_model.hpp"
+#include "lbmf/ws/scheduler.hpp"
+
+using namespace lbmf;
+
+namespace {
+
+struct PhaseSpec {
+  const char* name;
+  int windows;
+  std::uint64_t pops;    // victim announces per window
+  std::uint64_t steals;  // steal attempts per window
+};
+
+// Window cost under mode m: the victim pays its announce fence per pop,
+// each steal attempt costs the thief a remote serialization and the victim
+// its penalty — exactly ws_predicted_cycles' accounting, per window.
+double window_cost(adapt::PolicyMode m, std::uint64_t pops,
+                   std::uint64_t steals, const model::CostTable& c) {
+  using model::FenceImpl;
+  FenceImpl f = FenceImpl::kMfence;
+  if (m == adapt::PolicyMode::kAsymmetric) f = FenceImpl::kSignal;
+  if (m == adapt::PolicyMode::kDoubleLmfence) f = FenceImpl::kLest;
+  return static_cast<double>(pops) * model::victim_fence_cycles(f, c) +
+         static_cast<double>(steals) *
+             (model::remote_serialize_cycles(f, c) +
+              model::primary_penalty_cycles(f, c));
+}
+
+// Spawn-recursive fib for the live-scheduler checksum leg.
+template <typename P>
+void fib(long n, long* out) {
+  if (n < 2) {
+    *out = n;
+    return;
+  }
+  long a = 0, b = 0;
+  typename ws::Scheduler<P>::TaskGroup tg;
+  auto t = tg.capture([n, &a] { fib<P>(n - 1, &a); });
+  tg.spawn(t);
+  fib<P>(n - 2, &b);
+  tg.sync();
+  *out = a + b;
+}
+
+void append_num(std::string& s, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  s += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int phase_windows = quick ? 40 : 120;
+
+  // The two steady-state extremes of the E17 frontier at the signal
+  // prototype's 10k-cycle round trip: a ~2000:1 pop:steal mix wants the
+  // asymmetric fence, a 1:4 mix wants mfence.
+  const PhaseSpec phases[] = {
+      {"pop-heavy", phase_windows, 2000, 1},
+      {"steal-heavy", phase_windows, 50, 200},
+  };
+  const model::CostTable costs;
+
+  // Real stack end to end: table + hysteresis + a live registered primary
+  // whose mode is switched at explicit quiescent points. The round trip is
+  // pinned to the model constant so the replay is deterministic.
+  adapt::SelectorConfig cfg;
+  cfg.fixed_roundtrip_cycles = costs.signal_roundtrip_cycles;
+  adapt::PolicySelector selector(adapt::PolicyTable::builtin_default(), cfg);
+  adapt::AdaptiveFence::Handle h = adapt::AdaptiveFence::register_primary();
+  if (!h.valid()) {
+    std::printf("FAIL: could not register an adaptive primary\n");
+    return 1;
+  }
+
+  double cost_adaptive = 0.0, cost_sym = 0.0, cost_asym = 0.0;
+  bool tails_ok = true;
+  std::uint64_t pops_total = 0, steals_total = 0;
+
+  std::printf("adaptive policy replay, %d+%d windows\n\n", phase_windows,
+              phase_windows);
+  for (const PhaseSpec& ph : phases) {
+    const double sym_w =
+        window_cost(adapt::PolicyMode::kSymmetric, ph.pops, ph.steals, costs);
+    const double asym_w =
+        window_cost(adapt::PolicyMode::kAsymmetric, ph.pops, ph.steals, costs);
+    const double best_w = sym_w < asym_w ? sym_w : asym_w;
+    double tail_cost = 0.0;
+    const int tail_from = ph.windows - ph.windows / 4;
+
+    for (int w = 0; w < ph.windows; ++w) {
+      pops_total += ph.pops;
+      steals_total += ph.steals;
+      const adapt::PolicyMode want =
+          selector.update(pops_total, steals_total);
+      adapt::AdaptiveFence::request_mode(h, want);
+      // Between replay windows no announce is outstanding on this thread —
+      // the quiescent point where a decided switch may be adopted.
+      adapt::AdaptiveFence::quiescent_point(h);
+      const adapt::PolicyMode mode = adapt::AdaptiveFence::current_mode(h);
+      const double c = window_cost(mode, ph.pops, ph.steals, costs);
+      cost_adaptive += c;
+      if (w >= tail_from) tail_cost += c;
+      cost_sym += sym_w;
+      cost_asym += asym_w;
+    }
+
+    const double tail_best = best_w * static_cast<double>(ph.windows / 4);
+    const bool tail_ok = tail_cost <= 1.10 * tail_best;
+    tails_ok &= tail_ok;
+    std::printf(
+        "  %-12s %4d windows  sym %.0f c/w  asym %.0f c/w  "
+        "adaptive tail %.0f (best %.0f)  %s\n",
+        ph.name, ph.windows, sym_w, asym_w, tail_cost, tail_best,
+        tail_ok ? "ok" : "LAGGING");
+  }
+
+  const std::uint64_t fence_switches = adapt::AdaptiveFence::switch_count(h);
+  adapt::AdaptiveFence::unregister_primary(h);
+  const std::uint64_t switches = selector.switches();
+  const double worst_static = cost_sym > cost_asym ? cost_sym : cost_asym;
+  const double best_static = cost_sym < cost_asym ? cost_sym : cost_asym;
+  const bool switches_ok = switches == 2 && fence_switches == switches;
+  const bool phase_win = worst_static >= 1.5 * cost_adaptive;
+
+  std::printf("\n  totals: adaptive %.0f, static sym %.0f, static asym %.0f\n",
+              cost_adaptive, cost_sym, cost_asym);
+  std::printf("  switches: selector %llu, fence %llu (want 2)\n",
+              static_cast<unsigned long long>(switches),
+              static_cast<unsigned long long>(fence_switches));
+  std::printf("  worst static / adaptive = %.2fx (gate >= 1.5x)\n",
+              cost_adaptive > 0.0 ? worst_static / cost_adaptive : 0.0);
+
+  // Live leg: the adaptive scheduler must still compute correct answers
+  // with adaptation enabled (switching machinery racing real steals).
+  long want = 0, got = 0;
+  {
+    ws::Scheduler<SymmetricFence> base(2);
+    base.run([&] { fib<SymmetricFence>(18, &want); });
+  }
+  {
+    ws::Scheduler<adapt::AdaptiveFence> sched(2);
+    ws::AdaptationOptions opts;
+    opts.selector.confirm_windows = 1;
+    opts.sample_every = 64;
+    sched.enable_adaptation(opts);
+    sched.run([&] { fib<adapt::AdaptiveFence>(18, &got); });
+  }
+  const bool live_ok = want == got && want == 2584;
+  std::printf("  live scheduler checksum: fib(18) = %ld vs %ld  %s\n", got,
+              want, live_ok ? "ok" : "MISMATCH");
+
+  std::string json = "{\"bench\":\"adapt\",\"phase_windows\":";
+  json += std::to_string(phase_windows);
+  json += ",\"cost_adaptive\":";
+  append_num(json, cost_adaptive);
+  json += ",\"cost_static_symmetric\":";
+  append_num(json, cost_sym);
+  json += ",\"cost_static_asymmetric\":";
+  append_num(json, cost_asym);
+  json += ",\"best_static\":";
+  append_num(json, best_static);
+  json += ",\"switches\":" + std::to_string(switches);
+  json += ",\"tails_ok\":";
+  json += tails_ok ? "true" : "false";
+  json += ",\"phase_win_factor\":";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                cost_adaptive > 0.0 ? worst_static / cost_adaptive : 0.0);
+  json += buf;
+  json += '}';
+  if (std::FILE* f = std::fopen("BENCH_adapt.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_adapt.json\n");
+  }
+
+  const bool pass = switches_ok && tails_ok && phase_win && live_ok;
+  std::printf("%s\n", pass ? "PASS"
+                           : "FAIL: lagging tail, wrong switch count, "
+                             "missing phase-change win, or bad checksum");
+  return pass ? 0 : 1;
+}

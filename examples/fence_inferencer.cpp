@@ -18,6 +18,10 @@
 //                                            # re-solve over a (victim freq
 //                                            # × LE/ST round-trip) grid and
 //                                            # chart the optimum crossovers
+//   fence_inferencer test.lit --sweep --policy-json=table.json
+//                                            # also write the sweep as the
+//                                            # compact runtime policy table
+//                                            # adapt::PolicyTable loads
 //
 // Exit codes: 0 = SAT (repair printed; in --sweep mode: every grid point
 // SAT with a SAFE recheck), 1 = UNSAT (no placement is safe), 2 =
@@ -40,6 +44,7 @@ namespace {
 struct CliOptions {
   infer::InferenceEngine::Options engine;
   std::string json_path;
+  std::string policy_json_path;
   bool sweep = false;
 };
 
@@ -77,6 +82,9 @@ CliOptions parse_flags(int argc, char** argv) {
     } else if (a.rfind("--json=", 0) == 0) {
       cli.json_path = a.substr(7);
       if (cli.json_path.empty()) bad_flag(a);
+    } else if (a.rfind("--policy-json=", 0) == 0) {
+      cli.policy_json_path = a.substr(14);
+      if (cli.policy_json_path.empty()) bad_flag(a);
     } else if (a == "--sweep") {
       cli.sweep = true;
     } else if (a == "--exhaustive") {
@@ -263,6 +271,15 @@ int run_sweep_mode(const infer::InferProblem& p, const CliOptions& cli) {
     }
     jf << infer::sweep_to_json(sr, "cli") << "\n";
     std::printf("report written to %s\n", cli.json_path.c_str());
+  }
+  if (!cli.policy_json_path.empty()) {
+    std::ofstream jf(cli.policy_json_path);
+    if (!jf) {
+      std::fprintf(stderr, "cannot write %s\n", cli.policy_json_path.c_str());
+      return 2;
+    }
+    jf << infer::sweep_to_policy_json(sr) << "\n";
+    std::printf("policy table written to %s\n", cli.policy_json_path.c_str());
   }
   if (!sr.all_sat()) {
     std::printf("SWEEP FAILED: some grid point is not SAT+SAFE\n");

@@ -4,12 +4,21 @@
 // the per-benchmark relative execution time plus the event counts the
 // paper's Sec. 5 analysis is based on.
 //
-// Usage:  work_stealing [workers] [benchmark-name]
+// Usage:  work_stealing [workers] [benchmark-name] [--adaptive]
+//                       [--policy=table.json]
 //         (default: 2 workers, fib + cilksort + nqueens)
+//
+// --adaptive adds a third runtime whose workers pick their fence at
+// runtime (lbmf::adapt: monitor -> crossover table -> hysteresis) and
+// reports the mode switches each run adopted. --policy loads the crossover
+// table from a fence_inferencer --policy-json file instead of the builtin
+// E17 frontier.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,20 +45,58 @@ double run_once(ws::Scheduler<P>& sched, const Benchmark& b,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool adaptive = false;
+  const char* policy_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--adaptive") == 0) {
+      adaptive = true;
+    } else if (std::strncmp(argv[i], "--policy=", 9) == 0) {
+      policy_path = argv[i] + 9;
+      adaptive = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
   const std::size_t workers =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 2;
-  const char* only = argc > 2 ? argv[2] : nullptr;
+      !positional.empty() ? static_cast<std::size_t>(std::atoi(positional[0]))
+                          : 2;
+  const char* only = positional.size() > 1 ? positional[1] : nullptr;
+
+  ws::AdaptationOptions aopts;
+  if (policy_path != nullptr) {
+    std::ifstream in(policy_path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const auto table = adapt::PolicyTable::from_json(ss.str());
+    if (!table) {
+      std::fprintf(stderr, "could not parse policy table from %s\n",
+                   policy_path);
+      return 1;
+    }
+    aopts.table = *table;
+    std::printf("policy table: %s\n", policy_path);
+  }
 
   const auto sym_list = cilkbench::all_benchmarks<SymmetricFence>(Scale::kTest);
   const auto asym_list =
       cilkbench::all_benchmarks<AsymmetricSignalFence>(Scale::kTest);
+  const auto adapt_list =
+      cilkbench::all_benchmarks<adapt::AdaptiveFence>(Scale::kTest);
 
   ws::Scheduler<SymmetricFence> sym(workers);
   ws::Scheduler<AsymmetricSignalFence> asym(workers);
+  ws::Scheduler<adapt::AdaptiveFence> adap(workers);
+  if (adaptive) adap.enable_adaptation(aopts);
 
-  std::printf("%-10s %10s %10s %7s %9s %8s %10s\n", "benchmark", "sym(ms)",
+  std::printf("%-10s %10s %10s %7s %9s %8s %10s", "benchmark", "sym(ms)",
               "asym(ms)", "rel", "spawns", "steals", "steal-eff");
+  if (adaptive) std::printf(" %10s %9s", "adapt(ms)", "switches");
+  std::printf("\n");
   const char* defaults[] = {"fib", "cilksort", "nqueens"};
+  // Switch counts live in the policy slots and survive reset_stats();
+  // difference successive totals to report per-benchmark adoptions.
+  std::uint64_t switches_seen = 0;
   for (std::size_t i = 0; i < sym_list.size(); ++i) {
     const Benchmark& b = sym_list[i];
     if (only != nullptr) {
@@ -68,17 +115,37 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "checksum mismatch on %s!\n", b.name.c_str());
       return 1;
     }
-    std::printf("%-10s %10.2f %10.2f %7.2f %9llu %8llu %9.0f%%\n",
+    std::printf("%-10s %10.2f %10.2f %7.2f %9llu %8llu %9.0f%%",
                 b.name.c_str(), t_sym * 1e3, t_asym * 1e3,
                 t_sym > 0 ? t_asym / t_sym : 0.0,
                 static_cast<unsigned long long>(as.spawns),
                 static_cast<unsigned long long>(as.steals_success),
                 as.steal_success_ratio() * 100.0);
+    if (adaptive) {
+      ws::SchedulerStats ds{};
+      std::uint64_t sum_d = 0;
+      const double t_adapt = run_once(adap, adapt_list[i], &ds, &sum_d);
+      if (sum_s != sum_d) {
+        std::fprintf(stderr, "adaptive checksum mismatch on %s!\n",
+                     b.name.c_str());
+        return 1;
+      }
+      std::printf(" %10.2f %9llu", t_adapt * 1e3,
+                  static_cast<unsigned long long>(ds.policy_switches -
+                                                  switches_seen));
+      switches_seen = ds.policy_switches;
+    }
+    std::printf("\n");
   }
 
   std::printf(
       "\nrel < 1 means the asymmetric runtime (victim pays only a compiler\n"
       "fence; thieves signal) beat the symmetric mfence-per-pop baseline.\n"
       "steal-eff is the paper's signals-to-successful-steals ratio.\n");
+  if (adaptive) {
+    std::printf(
+        "switches counts the quiescent-point fence changes the adaptive\n"
+        "workers adopted while tracking the run's steal/pop mix.\n");
+  }
   return 0;
 }

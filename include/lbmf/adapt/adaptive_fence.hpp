@@ -1,0 +1,184 @@
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "lbmf/adapt/policy_table.hpp"
+#include "lbmf/core/fence.hpp"
+#include "lbmf/core/membarrier.hpp"
+#include "lbmf/core/policies.hpp"
+#include "lbmf/core/serializer.hpp"
+#include "lbmf/util/cacheline.hpp"
+
+namespace lbmf::adapt {
+
+/// How the asymmetric modes remotely serialize a primary.
+enum class AsymmetricBackend : std::uint8_t {
+  kSignal,      // per-primary POSIX signal round trip (the paper's prototype)
+  kMembarrier,  // one membarrier(2) broadcast covers every primary
+};
+
+/// A FencePolicy whose strength is chosen *per primary, at runtime*: each
+/// registered primary carries a mode cell (PolicyMode) that secondaries
+/// consult, and the primary re-binds at its own quiescent points from a
+/// monitor-driven request (see selector.hpp and ws::Scheduler's adaptation
+/// hook). This is the runtime realization of the E17 sweep's frontier: the
+/// same deployment runs {mfence, mfence} through a steal-storm and the
+/// paper's asymmetric protocol through a pop-heavy phase, without
+/// recompiling or even re-registering.
+///
+/// Mode semantics on each side of the Dekker duality:
+///
+///   kSymmetric      primary_fence = mfence;          serialize = no-op
+///   kAsymmetric     primary_fence = compiler fence;  serialize = remote trip
+///   kDoubleLmfence  realized as kAsymmetric: with the software prototype a
+///                   weak *secondary* would require the primary to serialize
+///                   the secondary mid-steal — inverting the protocol roles —
+///                   and the mode only wins below round trips of a few tens
+///                   of cycles (LE/ST hardware). The secondary keeps its
+///                   mfence; only the bookkeeping distinguishes the modes.
+///
+/// ## Why switching mid-run is safe (proof sketch)
+///
+/// Def. 2 of the paper requires a *serialization point* between a primary's
+/// guarded store and the moment a secondary may trust its read of the
+/// primary's flag: either the primary's own fence (symmetric) or the remote
+/// serialization the secondary performs (asymmetric). A mode switch is the
+/// one place both obligations could be dropped at once — the primary stops
+/// fencing while a secondary, still assuming the old mode, skips the trip.
+/// quiescent_point() closes that window with a single locked RMW on the
+/// mode cell, executed by the primary *between* protocol operations (no
+/// announce in flight):
+///
+///   * The RMW is a full StoreLoad fence, so every store of the *old*
+///     regime has drained before the new mode becomes visible — it is
+///     itself the Def. 2 serialization point between the regimes.
+///   * It is a store, so (TSO, FIFO store buffer) any announce issued under
+///     the *new* regime becomes visible only after the new mode does.
+///
+/// A secondary orders its own announce before the mode read with its
+/// unconditional mfence (secondary_fence), then acts on the mode it read:
+///
+///   * New mode read ⇒ by the first bullet every old-regime store is
+///     already visible, and in-flight protocol state is per the new mode,
+///     which the secondary now honours.
+///   * Old mode read ⇒ the mode publication was not yet visible to it, so
+///     by the second bullet *no new-regime announce is visible either* —
+///     every store the secondary might miss by acting on the old mode
+///     belongs to the new regime, and the primary issued those only after
+///     the RMW completed, i.e. after the secondary's own announce (ordered
+///     by its mfence before its mode read) was globally visible. The
+///     primary's next conflict check therefore observes the secondary and
+///     retreats to the gated slow path; the task race resolves there, just
+///     as in the steady-state protocol.
+///
+/// Switching is thus linearized at the RMW: before it the pair runs the old
+/// protocol end-to-end, after it the new one, and the straddling case
+/// degrades to the protocol's own conflict path rather than to a missed
+/// serialization.
+class AdaptiveFence {
+ public:
+  static constexpr std::size_t kMaxPrimaries = 256;
+
+  struct Slot {
+    /// Current regime; written only by the registered primary (inside
+    /// quiescent_point), read by secondaries on every serialize.
+    alignas(kCacheLineSize) std::atomic<PolicyMode> mode{
+        PolicyMode::kSymmetric};
+    /// Requested regime; written by any controller thread, adopted by the
+    /// primary at its next quiescent point.
+    std::atomic<PolicyMode> requested{PolicyMode::kSymmetric};
+    std::atomic<std::uint64_t> switches{0};
+    std::atomic<bool> used{false};
+    std::atomic<bool> live{false};
+    SerializerRegistry::Handle sig;
+  };
+
+  class Handle {
+   public:
+    Handle() = default;
+    bool valid() const noexcept { return slot_ != nullptr; }
+
+   private:
+    friend class AdaptiveFence;
+    explicit Handle(Slot* s) noexcept : slot_(s) {}
+    Slot* slot_ = nullptr;
+  };
+
+  static constexpr bool kAsymmetric = true;
+
+  /// Registers the calling thread with the SerializerRegistry and claims a
+  /// mode slot; starts in kSymmetric (the self-sufficient regime — safe
+  /// before any monitor has spoken). One adaptive registration per thread.
+  /// Returns an invalid handle when the pool is exhausted, in which case
+  /// primary_fence() falls back to a real fence and serialize() to a no-op:
+  /// the pair degenerates to SymmetricFence.
+  static Handle register_primary();
+  static void unregister_primary(Handle& h);
+
+  /// Hot path: dispatch on the calling thread's own mode (thread-local;
+  /// the mode cell is only ever written by this same thread).
+  static void primary_fence() noexcept;
+
+  static void secondary_fence() noexcept { store_load_fence(); }
+
+  /// Dispatch on the primary's current mode: no remote work when the
+  /// primary fences for itself, a signal round trip (or membarrier
+  /// broadcast) when it does not.
+  static bool serialize(const Handle& h);
+
+  /// Batched wave: symmetric primaries are skipped, signal-mode primaries
+  /// share one overlapped wave, and a membarrier backend collapses every
+  /// asymmetric primary into a single broadcast.
+  static std::size_t serialize_many(std::span<const Handle> hs);
+
+  static constexpr const char* name() noexcept { return "adaptive"; }
+
+  // -------------------------------------------------------------------
+  // Control surface (the FencePolicy concept stops above this line)
+  // -------------------------------------------------------------------
+
+  /// Ask the primary behind `h` to move to `m` at its next quiescent
+  /// point. Callable from any thread. Returns false on an invalid handle.
+  static bool request_mode(const Handle& h, PolicyMode m) noexcept;
+
+  /// Adopt the requested mode. MUST be called by the registered primary
+  /// itself, strictly between protocol operations (no announce in flight) —
+  /// a worker's own scheduling-loop boundary, a safepoint, an epoch edge.
+  /// Returns true iff the mode changed. Refuses to leave kSymmetric when
+  /// no remote-serialization path exists (signal registration failed and
+  /// membarrier is unavailable), so a degraded primary stays safe.
+  static bool quiescent_point(const Handle& h);
+
+  static PolicyMode current_mode(const Handle& h) noexcept;
+  static PolicyMode requested_mode(const Handle& h) noexcept;
+  static std::uint64_t switch_count(const Handle& h) noexcept;
+
+  /// Process-wide backend for the asymmetric modes. kMembarrier silently
+  /// keeps signals when membarrier(2) is unavailable. Intended to be set
+  /// once at startup; flipping it mid-run is safe (both backends serialize
+  /// every live primary) but pointless.
+  static void set_backend(AsymmetricBackend b) noexcept;
+  static AsymmetricBackend backend() noexcept;
+};
+
+static_assert(FencePolicy<AdaptiveFence>);
+
+/// FencePolicy extension the scheduler's adaptation hook dispatches on:
+/// policies whose per-primary strength can be re-bound live.
+template <typename P>
+concept AdaptiveFencePolicy =
+    FencePolicy<P> && requires(const typename P::Handle h, PolicyMode m) {
+      { P::request_mode(h, m) } -> std::convertible_to<bool>;
+      { P::quiescent_point(h) } -> std::convertible_to<bool>;
+      { P::current_mode(h) } -> std::same_as<PolicyMode>;
+      { P::switch_count(h) } -> std::convertible_to<std::uint64_t>;
+    };
+
+static_assert(AdaptiveFencePolicy<AdaptiveFence>);
+static_assert(!AdaptiveFencePolicy<SymmetricFence>);
+
+}  // namespace lbmf::adapt

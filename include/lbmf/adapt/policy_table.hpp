@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbmf::adapt {
+
+/// The three regimes the E17 cost-frontier sweep distinguishes, collapsed
+/// from concrete per-hole assignments to what the *runtime* can dispatch on:
+///
+///   kSymmetric     — {mfence, mfence}: the primary pays a real StoreLoad
+///                    fence on every announce; secondaries never serialize
+///                    remotely. Wins when the guarded location is contended
+///                    (steal-heavy phases) or remote trips are expensive.
+///   kAsymmetric    — the paper's mix: primary l-mfence (compiler fence +
+///                    remote serialization on demand), secondary mfence +
+///                    serialize. Wins when the primary:secondary frequency
+///                    ratio is high enough to amortize the round trips.
+///   kDoubleLmfence — both announces l-mfence. Only optimal when a remote
+///                    round trip costs a few tens of cycles (the proposed
+///                    LE/ST hardware); the software signal prototype never
+///                    gets there, so the runtime realizes this mode as
+///                    kAsymmetric and keeps the secondary's mfence (see
+///                    AdaptiveFence).
+enum class PolicyMode : std::uint8_t {
+  kSymmetric = 0,
+  kAsymmetric = 1,
+  kDoubleLmfence = 2,
+};
+
+const char* to_string(PolicyMode m) noexcept;
+std::optional<PolicyMode> mode_from_string(std::string_view s) noexcept;
+
+/// Collapse one sweep optimum (infer::to_string(Assignment), e.g.
+/// "{l-mfence, none, mfence, none}") to a runtime mode by looking at the
+/// victim's and the thief's *announce* holes. For the THE-deque litmus the
+/// holes are ordered {victim announce, victim retreat, thief announce,
+/// thief retreat}, hence the 0/2 defaults.
+PolicyMode mode_from_optimum(std::string_view optimum,
+                             std::size_t victim_site = 0,
+                             std::size_t thief_site = 2);
+
+/// The crossover frontier as a lookup grid: (primary:secondary frequency
+/// ratio × remote round-trip cycles) → PolicyMode. Axes are ascending;
+/// modes are row-major with the round-trip axis outer (matching the order
+/// infer::run_sweep emits grid points). Lookup snaps to the nearest grid
+/// point in log10 space and clamps outside the covered range, so a
+/// deployment measuring a 10⁴-cycle signal round trip still lands on the
+/// most-expensive-trip row of an LE/ST-era table.
+class PolicyTable {
+ public:
+  /// Aborts (LBMF_CHECK) unless modes.size() == ratios.size() *
+  /// roundtrips.size() and both axes are non-empty and ascending.
+  PolicyTable(std::vector<double> ratios, std::vector<double> roundtrips,
+              std::vector<PolicyMode> modes);
+
+  PolicyMode lookup(double freq_ratio, double roundtrip_cycles) const noexcept;
+
+  /// The frontier distilled from the shipped E17 sweep of the THE-deque
+  /// litmus (BENCH_sweep.json), extended past the LE/ST range with two
+  /// signal-prototype rows derived from the same site-cost arithmetic
+  /// (asymmetric wins once ratio · mfence_cycles outgrows the round trip).
+  static PolicyTable builtin_default();
+
+  /// Parse either the compact table form written by
+  /// infer::sweep_to_policy_json —
+  ///   {"policy_table":..., "ratios":[...], "roundtrips":[...],
+  ///    "modes":["symmetric",...]}
+  /// — or a full BENCH_sweep.json (detected by "bench":"sweep"), whose
+  /// per-point "optimum" strings are collapsed via mode_from_optimum.
+  /// Returns nullopt on malformed input.
+  static std::optional<PolicyTable> from_json(std::string_view json);
+
+  /// Single-line compact-form JSON (round-trips with from_json).
+  std::string to_json() const;
+
+  const std::vector<double>& ratios() const noexcept { return ratios_; }
+  const std::vector<double>& roundtrips() const noexcept {
+    return roundtrips_;
+  }
+  const std::vector<PolicyMode>& modes() const noexcept { return modes_; }
+
+  bool operator==(const PolicyTable&) const = default;
+
+ private:
+  std::vector<double> ratios_;
+  std::vector<double> roundtrips_;
+  std::vector<PolicyMode> modes_;  // roundtrips_.size() x ratios_.size()
+};
+
+}  // namespace lbmf::adapt

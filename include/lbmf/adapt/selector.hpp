@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "lbmf/adapt/monitor.hpp"
+#include "lbmf/adapt/policy_table.hpp"
+
+namespace lbmf::adapt {
+
+struct SelectorConfig {
+  MonitorConfig monitor;
+  /// Consecutive windows the table must propose the *same* non-current
+  /// mode before the selector adopts it. This is the hysteresis: an input
+  /// straddling a crossover boundary flip-flops the proposal and never
+  /// builds a streak, so the current mode sticks.
+  int confirm_windows = 3;
+  /// > 0: ignore the measured round trip and price serialization at this
+  /// many cycles (benchmarks and deployments that calibrated offline).
+  double fixed_roundtrip_cycles = 0.0;
+};
+
+/// monitor → table → hysteresis. One per primary/deque; not thread-safe —
+/// feed it from the owning worker (or a single controller thread).
+class PolicySelector {
+ public:
+  explicit PolicySelector(PolicyTable table, SelectorConfig cfg = {})
+      : table_(std::move(table)), cfg_(cfg), monitor_(cfg.monitor) {}
+  PolicySelector() : PolicySelector(PolicyTable::builtin_default()) {}
+
+  /// Feed one sampling window (cumulative counters, as WorkloadMonitor
+  /// expects) and return the selected mode after hysteresis.
+  PolicyMode update(std::uint64_t pops_total, std::uint64_t steals_total,
+                    double measured_roundtrip_cycles = 0.0) {
+    monitor_.sample(pops_total, steals_total, measured_roundtrip_cycles);
+    const double rt = cfg_.fixed_roundtrip_cycles > 0.0
+                          ? cfg_.fixed_roundtrip_cycles
+                          : monitor_.roundtrip_cycles();
+    const PolicyMode proposal = table_.lookup(monitor_.freq_ratio(), rt);
+    ++windows_;
+    if (proposal == current_) {
+      streak_ = 0;
+      return current_;
+    }
+    if (proposal == pending_) {
+      ++streak_;
+    } else {
+      pending_ = proposal;
+      streak_ = 1;
+    }
+    if (streak_ >= cfg_.confirm_windows) {
+      current_ = proposal;
+      streak_ = 0;
+      ++switches_;
+    }
+    return current_;
+  }
+
+  PolicyMode current() const noexcept { return current_; }
+  std::uint64_t switches() const noexcept { return switches_; }
+  std::uint64_t windows() const noexcept { return windows_; }
+  const WorkloadMonitor& monitor() const noexcept { return monitor_; }
+  const PolicyTable& table() const noexcept { return table_; }
+
+ private:
+  PolicyTable table_;
+  SelectorConfig cfg_;
+  WorkloadMonitor monitor_;
+  PolicyMode current_ = PolicyMode::kSymmetric;
+  PolicyMode pending_ = PolicyMode::kSymmetric;
+  int streak_ = 0;
+  std::uint64_t switches_ = 0;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace lbmf::adapt

@@ -149,6 +149,13 @@ class SerializerRegistry {
   /// delivery after unregistration cannot kill the process).
   static int signal_number() noexcept;
 
+  /// Decayed (EWMA, α = 1/8) estimate of the wall-clock serialize() round
+  /// trip in TSC cycles, measured across request-to-ack on every coalesced
+  /// serialize() call. 0.0 until the first measurement. The adaptation
+  /// layer feeds this to its workload monitor so the policy frontier is
+  /// priced with *this machine's* trip, not the paper's constant.
+  static double measured_roundtrip_cycles() noexcept;
+
  private:
   SerializerRegistry();
   SerializerRegistry(const SerializerRegistry&) = delete;
@@ -162,8 +169,15 @@ class SerializerRegistry {
   // Spin until ack_seq covers `my_req`, re-posting on a stalled wait.
   static void await_ack(Slot& slot, std::uint64_t my_req);
 
+  // Record one measured round trip into the process-wide EWMA. Racy
+  // read-modify-store on purpose: a dropped sample under contention only
+  // slows convergence of an estimate that is advisory to begin with.
+  static void record_roundtrip(std::uint64_t cycles) noexcept;
+
   CacheAligned<Slot> slots_[kMaxPrimaries];
   std::atomic<std::size_t> high_water_{0};
+  static std::atomic<std::uint64_t> rtt_ewma_cycles_;
+  static std::atomic<std::uint64_t> rtt_samples_;
 };
 
 /// RAII registration of the calling thread as an l-mfence primary.

@@ -78,4 +78,15 @@ SweepResult run_sweep(InferProblem problem, const SweepOptions& opts);
 /// accounting) — the payload of BENCH_sweep.json and --sweep --json.
 std::string sweep_to_json(const SweepResult& r, const std::string& workload);
 
+/// Collapse a sweep to the compact runtime policy table consumed by
+/// adapt::PolicyTable::from_json: per grid point, classify the optimum by
+/// its victim/thief *announce* sites (both l-mfence → "double-lmfence",
+/// victim only → "asymmetric", otherwise — including non-SAT points —
+/// "symmetric", the always-safe regime). Site indices default to the
+/// THE-deque litmus hole order {victim announce, victim retreat, thief
+/// announce, thief retreat}.
+std::string sweep_to_policy_json(const SweepResult& r,
+                                 std::size_t victim_site = 0,
+                                 std::size_t thief_site = 2);
+
 }  // namespace lbmf::infer

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "lbmf/adapt/adaptive_fence.hpp"
+#include "lbmf/adapt/selector.hpp"
 #include "lbmf/core/policies.hpp"
 #include "lbmf/util/check.hpp"
 #include "lbmf/util/rng.hpp"
@@ -29,6 +31,9 @@ struct SchedulerStats {
   std::uint64_t steal_attempts = 0;   // thief_fences
   std::uint64_t steals_success = 0;
   std::uint64_t serializations = 0;
+  /// Adaptive policies only: total quiescent-point mode switches adopted
+  /// across the pool (0 for the static policies).
+  std::uint64_t policy_switches = 0;
 
   double steal_success_ratio() const noexcept {
     return steal_attempts == 0
@@ -36,6 +41,18 @@ struct SchedulerStats {
                : static_cast<double>(steals_success) /
                      static_cast<double>(steal_attempts);
   }
+};
+
+/// Configuration for Scheduler::enable_adaptation (adaptive policies only).
+struct AdaptationOptions {
+  /// Crossover frontier consulted per worker; defaults to the frontier
+  /// distilled from the shipped E17 sweep.
+  adapt::PolicyTable table = adapt::PolicyTable::builtin_default();
+  adapt::SelectorConfig selector;
+  /// Scheduling-loop iterations between monitor samples. Each sample is one
+  /// selector window; the loop boundary doubles as the quiescent point where
+  /// a decided switch is adopted.
+  std::uint64_t sample_every = 1024;
 };
 
 /// A child-stealing work-stealing scheduler in the style of Cilk-5's
@@ -83,6 +100,20 @@ class Scheduler {
   SchedulerStats stats() const;
   void reset_stats();
 
+  /// Turn on online policy selection (adaptive policies only): every worker
+  /// starts sampling its own deque counters and the measured serialization
+  /// round trip, consults the table, and re-binds its fence regime at its
+  /// next scheduling-loop boundary once the selector's hysteresis confirms.
+  /// Call once, before or during a run; workers notice at their next tick.
+  void enable_adaptation(AdaptationOptions opts = {})
+    requires adapt::AdaptiveFencePolicy<P>
+  {
+    LBMF_CHECK_MSG(!adapt_enabled_.load(std::memory_order_acquire),
+                   "enable_adaptation may be called once");
+    adapt_options_ = std::move(opts);
+    adapt_enabled_.store(true, std::memory_order_release);
+  }
+
   // -------------------------------------------------------------------
   // Intra-task API
   // -------------------------------------------------------------------
@@ -127,6 +158,12 @@ class Scheduler {
     DequeT<P> deque;
     Xoshiro256 rng{0};
     std::thread thread;
+    /// This worker's primary registration (published before ready_, so
+    /// stats() may read switch counts through it while the pool runs).
+    typename P::Handle handle;
+    /// Adaptation state; touched only by the owning worker.
+    std::unique_ptr<adapt::PolicySelector> selector;
+    std::uint64_t adapt_ticks = 0;
   };
 
  private:
@@ -134,6 +171,7 @@ class Scheduler {
   void sync_help(Worker& w, TaskGroupBase& group);
   TaskBase* try_steal(Worker& w);
   TaskBase* next_task(Worker& w);
+  void maybe_adapt(Worker& w);
 
   static thread_local Worker* tls_worker_;
 
@@ -141,6 +179,9 @@ class Scheduler {
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> ready_{0};
   std::atomic<std::size_t> quiesced_{0};
+
+  AdaptationOptions adapt_options_;
+  std::atomic<bool> adapt_enabled_{false};
 
   // Root-task injection (callers are not workers).
   std::mutex inbox_mutex_;
@@ -187,12 +228,13 @@ void Scheduler<P, DequeT>::worker_main(Worker& w) {
   tls_worker_ = &w;
   // Register as a primary for the asymmetric policies; the deque hands the
   // handle to thieves.
-  typename P::Handle handle = P::register_primary();
-  w.deque.set_owner_handle(handle);
+  w.handle = P::register_primary();
+  w.deque.set_owner_handle(w.handle);
   ready_.fetch_add(1, std::memory_order_acq_rel);
 
   SpinWait idle;
   while (!stop_.load(std::memory_order_acquire)) {
+    maybe_adapt(w);
     if (TaskBase* t = next_task(w)) {
       t->run();
       idle.reset();
@@ -209,8 +251,33 @@ void Scheduler<P, DequeT>::worker_main(Worker& w) {
   while (quiesced_.load(std::memory_order_acquire) < workers_.size()) {
     sw.wait();
   }
-  P::unregister_primary(handle);
+  P::unregister_primary(w.handle);
   tls_worker_ = nullptr;
+}
+
+template <FencePolicy P, template <class> class DequeT>
+void Scheduler<P, DequeT>::maybe_adapt(Worker& w) {
+  if constexpr (adapt::AdaptiveFencePolicy<P>) {
+    if (!adapt_enabled_.load(std::memory_order_acquire)) return;
+    if (++w.adapt_ticks % adapt_options_.sample_every != 0) return;
+    if (!w.selector) {
+      w.selector = std::make_unique<adapt::PolicySelector>(
+          adapt_options_.table, adapt_options_.selector);
+    }
+    // One selector window per sample: this worker's own pop-announce and
+    // steal-attempt counters, plus the process-wide measured round trip.
+    const DequeStats d = w.deque.stats();
+    const adapt::PolicyMode m =
+        w.selector->update(d.victim_fences, d.thief_fences,
+                           SerializerRegistry::measured_roundtrip_cycles());
+    P::request_mode(w.handle, m);
+    // The scheduling-loop boundary is a quiescent point: the previous pop
+    // or steal has completed and the next announce has not been issued, so
+    // adopting the switch here satisfies quiescent_point()'s contract.
+    P::quiescent_point(w.handle);
+  } else {
+    (void)w;
+  }
 }
 
 template <FencePolicy P, template <class> class DequeT>
@@ -247,6 +314,9 @@ template <FencePolicy P, template <class> class DequeT>
 void Scheduler<P, DequeT>::sync_help(Worker& w, TaskGroupBase& group) {
   SpinWait idle;
   while (!group.done()) {
+    // Ticks here too: under a recursive workload a worker lives in nested
+    // sync_help frames and would otherwise never reach a sampling point.
+    maybe_adapt(w);
     if (!w.deque.looks_empty()) {
       if (TaskBase* t = w.deque.pop()) {
         t->run();
@@ -292,6 +362,9 @@ SchedulerStats Scheduler<P, DequeT>::stats() const {
     s.steal_attempts += d.thief_fences;
     s.steals_success += d.steals_success;
     s.serializations += d.serializations;
+    if constexpr (adapt::AdaptiveFencePolicy<P>) {
+      s.policy_switches += P::switch_count(w->handle);
+    }
   }
   return s;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Bench acceptance gates (the E-series criteria from DESIGN.md). Runs the
+# smoke benches, then every gating bench in --quick mode, then verifies
+# each gating bench left its JSON report behind — a missing or empty file
+# means a bench silently stopped emitting its report, which previously
+# went unnoticed until someone diffed the uploaded artifacts.
+#
+# Usage: scripts/ci/run_bench_gates.sh [build-dir]
+# Runs locally too; artifacts land in the current working directory.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR' does not look like a build tree (no bench/)" >&2
+  exit 2
+fi
+
+# Smoke runs: must exit 0, no gated artifact.
+"$BUILD_DIR"/bench/bench_sim_dekker
+"$BUILD_DIR"/bench/bench_sim_contention
+"$BUILD_DIR"/bench/bench_cilk_serial --test 1
+
+# Leaves BENCH_arw.json (E6/E7 sweep + E15 writer latency).
+"$BUILD_DIR"/bench/bench_arw --quick
+# Gates on the E15 acceptance ratios (exit 1 when the batched fan-out wave
+# is < 3x the sequential loop or coalesced throughput < 2x uncoalesced);
+# leaves BENCH_roundtrip.json.
+"$BUILD_DIR"/bench/bench_roundtrip --quick
+# Gates on the E14 acceptance ratios (exit 1 below 5x/4x); leaves
+# BENCH_explorer.json.
+"$BUILD_DIR"/bench/bench_explorer --quick
+# Gates on the E16 acceptance (guided == naive optimum, fresh recheck
+# SAFE, >= 4x fewer explorer runs); leaves BENCH_infer.json.
+"$BUILD_DIR"/bench/bench_infer --quick
+# Gates on the E17 acceptance (every grid point SAT+SAFE, >= 2 distinct
+# optima along the freq axis at the paper's 150-cycle round trip, three
+# hand-checked grid points reproduced); leaves BENCH_sweep.json.
+"$BUILD_DIR"/bench/bench_sweep --quick
+# Gates on the E18 acceptance (exactly 2 quiescent-point switches across
+# the phase change, adaptive within 1.10x of the best static policy at
+# both steady-state extremes, worst static >= 1.5x adaptive, live
+# scheduler checksum); leaves BENCH_adapt.json.
+"$BUILD_DIR"/bench/bench_adapt --quick
+
+missing=0
+for f in BENCH_arw.json BENCH_roundtrip.json BENCH_explorer.json \
+         BENCH_infer.json BENCH_sweep.json BENCH_adapt.json; do
+  if ! test -s "$f"; then
+    echo "::error::gated artifact $f is missing or empty"
+    missing=1
+  fi
+done
+exit $missing

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Litmus-test and fence-inference gates. Positive and negative controls
+# for the textual checker, then fence inference end-to-end on the holey
+# protocols, then the INFER_* report presence check.
+#
+# Usage: scripts/ci/run_litmus_gates.sh [build-dir]
+# Run from the repository root (litmus paths are repo-relative); artifacts
+# land in the current working directory.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+LITMUS=examples/litmus
+
+if [ ! -x "$BUILD_DIR/examples/litmus_runner" ]; then
+  echo "error: $BUILD_DIR/examples/litmus_runner not built" >&2
+  exit 2
+fi
+
+# Controls: the fence-free Dekker must violate (--expect-violation turns
+# that into exit 0), the paper's Fig. 3(a) must be safe.
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/broken_dekker.lit
+"$BUILD_DIR"/examples/litmus_runner "$LITMUS"/asymmetric_dekker.lit
+
+# THE-deque handshake: the concrete paper placement is safe; the
+# all-holes-open (fence-free) variants — one thief and two competing
+# thieves — both exhibit the lost/duplicated last-task schedule.
+"$BUILD_DIR"/examples/litmus_runner "$LITMUS"/the_deque.lit
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/the_deque_holes.lit
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/the_deque_two_thieves.lit
+
+# Fence inference end-to-end: the holey Dekker and both holey THE-deque
+# variants must solve to placements that pass the full-explorer recheck
+# (exit 0). The two-thief variant checks thief-count independence: the
+# victim placement must not change when a second thief joins.
+"$BUILD_DIR"/examples/fence_inferencer --json=INFER_dekker.json "$LITMUS"/dekker_holes.lit
+"$BUILD_DIR"/examples/fence_inferencer --json=INFER_deque.json "$LITMUS"/the_deque_holes.lit
+"$BUILD_DIR"/examples/fence_inferencer --json=INFER_deque2.json "$LITMUS"/the_deque_two_thieves.lit
+
+missing=0
+for f in INFER_dekker.json INFER_deque.json INFER_deque2.json; do
+  if ! test -s "$f"; then
+    echo "::error::gated artifact $f is missing or empty"
+    missing=1
+  fi
+done
+exit $missing

@@ -1,0 +1,188 @@
+#include "lbmf/adapt/adaptive_fence.hpp"
+
+#include <vector>
+
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::adapt {
+namespace {
+
+/// Hot-path dispatch target for primary_fence(): set at registration time on
+/// the registering thread, so the primary never chases a handle to find its
+/// own mode cell.
+thread_local AdaptiveFence::Slot* tls_mode_slot = nullptr;
+
+std::atomic<AsymmetricBackend> g_backend{AsymmetricBackend::kSignal};
+
+AdaptiveFence::Slot& pool_slot(std::size_t i) {
+  // Slot's first member carries the cache-line alignment; function-local
+  // static sidesteps cross-TU initialization order.
+  static AdaptiveFence::Slot pool[AdaptiveFence::kMaxPrimaries];
+  return pool[i];
+}
+
+bool membarrier_backend() noexcept {
+  return g_backend.load(std::memory_order_relaxed) ==
+             AsymmetricBackend::kMembarrier &&
+         membarrier::available();
+}
+
+bool is_asymmetric(PolicyMode m) noexcept {
+  return m != PolicyMode::kSymmetric;
+}
+
+}  // namespace
+
+AdaptiveFence::Handle AdaptiveFence::register_primary() {
+  LBMF_CHECK_MSG(tls_mode_slot == nullptr,
+                 "one adaptive registration per thread");
+  for (std::size_t i = 0; i < kMaxPrimaries; ++i) {
+    Slot& slot = pool_slot(i);
+    bool expected = false;
+    if (!slot.used.load(std::memory_order_relaxed) &&
+        slot.used.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      // Signal-path registration may fail (registry full); the slot is still
+      // usable — quiescent_point() refuses to leave kSymmetric while no
+      // remote-serialization path exists.
+      slot.sig = SerializerRegistry::instance().register_self();
+      slot.mode.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
+      slot.requested.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
+      tls_mode_slot = &slot;
+      // Publication edge: a secondary that acquires `live == true` sees the
+      // signal handle and the symmetric starting mode.
+      slot.live.store(true, std::memory_order_release);
+      return Handle(&slot);
+    }
+  }
+  return Handle{};
+}
+
+void AdaptiveFence::unregister_primary(Handle& h) {
+  if (!h.valid()) return;
+  Slot& slot = *h.slot_;
+  LBMF_CHECK_MSG(tls_mode_slot == &slot,
+                 "unregister_primary must run on the registered thread");
+  tls_mode_slot = nullptr;
+  slot.live.store(false, std::memory_order_release);
+  SerializerRegistry::instance().unregister_self(slot.sig);
+  // Next tenant of the slot starts over in the self-sufficient regime.
+  slot.mode.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
+  slot.requested.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
+  slot.used.store(false, std::memory_order_release);
+  h.slot_ = nullptr;
+}
+
+void AdaptiveFence::primary_fence() noexcept {
+  Slot* slot = tls_mode_slot;
+  // The mode cell is written only by this thread, so a relaxed load reads
+  // the current regime. Unregistered threads get the safe fence.
+  if (slot == nullptr ||
+      slot->mode.load(std::memory_order_relaxed) == PolicyMode::kSymmetric) {
+    store_load_fence();
+  } else {
+    compiler_fence();
+  }
+}
+
+bool AdaptiveFence::serialize(const Handle& h) {
+  Slot* slot = h.slot_;
+  if (slot == nullptr || !slot->live.load(std::memory_order_acquire)) {
+    return false;
+  }
+  // The caller's secondary_fence (mfence) ordered its announce before this
+  // load; see the switching proof sketch in the header for why acting on a
+  // stale mode here is safe.
+  const PolicyMode m = slot->mode.load(std::memory_order_seq_cst);
+  if (!is_asymmetric(m)) {
+    return true;  // the primary fences for itself; nothing remote to do
+  }
+  if (membarrier_backend()) {
+    membarrier::barrier();
+    return true;
+  }
+  return SerializerRegistry::instance().serialize(slot->sig);
+}
+
+std::size_t AdaptiveFence::serialize_many(std::span<const Handle> hs) {
+  std::size_t serialized = 0;
+  std::vector<SerializerRegistry::Handle> wave;
+  bool any_membarrier = false;
+  for (const Handle& h : hs) {
+    Slot* slot = h.slot_;
+    if (slot == nullptr || !slot->live.load(std::memory_order_acquire)) {
+      continue;
+    }
+    if (!is_asymmetric(slot->mode.load(std::memory_order_seq_cst))) {
+      ++serialized;  // symmetric primaries need no remote trip
+      continue;
+    }
+    if (membarrier_backend()) {
+      any_membarrier = true;
+      ++serialized;
+    } else {
+      wave.push_back(slot->sig);
+    }
+  }
+  if (any_membarrier) {
+    // One broadcast serializes every thread of the process — all the
+    // asymmetric primaries in the span share it.
+    membarrier::barrier();
+  }
+  if (!wave.empty()) {
+    serialized += SerializerRegistry::instance().serialize_many(wave);
+  }
+  return serialized;
+}
+
+bool AdaptiveFence::request_mode(const Handle& h, PolicyMode m) noexcept {
+  if (!h.valid()) return false;
+  h.slot_->requested.store(m, std::memory_order_release);
+  return true;
+}
+
+bool AdaptiveFence::quiescent_point(const Handle& h) {
+  Slot* slot = h.slot_;
+  if (slot == nullptr) return false;
+  LBMF_CHECK_MSG(tls_mode_slot == slot,
+                 "quiescent_point must run on the registered primary");
+  const PolicyMode req = slot->requested.load(std::memory_order_acquire);
+  const PolicyMode cur = slot->mode.load(std::memory_order_relaxed);
+  if (req == cur) return false;
+  if (is_asymmetric(req) && !slot->sig.valid() && !membarrier_backend()) {
+    // No remote-serialization path: dropping the primary's fence would leave
+    // secondaries with no way to force the drain. Stay symmetric.
+    return false;
+  }
+  // The locked RMW is the Def. 2 serialization point between the regimes
+  // (full proof sketch in the header): it drains every old-regime store
+  // before the new mode becomes visible, and orders the publication before
+  // any new-regime announce.
+  slot->mode.exchange(req, std::memory_order_seq_cst);
+  slot->switches.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+PolicyMode AdaptiveFence::current_mode(const Handle& h) noexcept {
+  return h.valid() ? h.slot_->mode.load(std::memory_order_acquire)
+                   : PolicyMode::kSymmetric;
+}
+
+PolicyMode AdaptiveFence::requested_mode(const Handle& h) noexcept {
+  return h.valid() ? h.slot_->requested.load(std::memory_order_acquire)
+                   : PolicyMode::kSymmetric;
+}
+
+std::uint64_t AdaptiveFence::switch_count(const Handle& h) noexcept {
+  return h.valid() ? h.slot_->switches.load(std::memory_order_relaxed) : 0;
+}
+
+void AdaptiveFence::set_backend(AsymmetricBackend b) noexcept {
+  g_backend.store(b, std::memory_order_relaxed);
+}
+
+AsymmetricBackend AdaptiveFence::backend() noexcept {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+}  // namespace lbmf::adapt

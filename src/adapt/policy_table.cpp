@@ -1,0 +1,324 @@
+#include "lbmf/adapt/policy_table.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::adapt {
+
+const char* to_string(PolicyMode m) noexcept {
+  switch (m) {
+    case PolicyMode::kSymmetric:
+      return "symmetric";
+    case PolicyMode::kAsymmetric:
+      return "asymmetric";
+    case PolicyMode::kDoubleLmfence:
+      return "double-lmfence";
+  }
+  return "?";
+}
+
+std::optional<PolicyMode> mode_from_string(std::string_view s) noexcept {
+  if (s == "symmetric") return PolicyMode::kSymmetric;
+  if (s == "asymmetric") return PolicyMode::kAsymmetric;
+  if (s == "double-lmfence") return PolicyMode::kDoubleLmfence;
+  return std::nullopt;
+}
+
+PolicyMode mode_from_optimum(std::string_view optimum, std::size_t victim_site,
+                             std::size_t thief_site) {
+  // Split "{a, b, c, d}" into per-site kind spellings.
+  std::vector<std::string_view> kinds;
+  std::size_t begin = optimum.find('{');
+  const std::size_t close = optimum.rfind('}');
+  if (begin == std::string_view::npos || close == std::string_view::npos ||
+      close <= begin) {
+    return PolicyMode::kSymmetric;  // unparseable: the always-safe regime
+  }
+  begin += 1;
+  while (begin < close) {
+    std::size_t end = optimum.find(',', begin);
+    if (end == std::string_view::npos || end > close) end = close;
+    std::string_view k = optimum.substr(begin, end - begin);
+    while (!k.empty() && k.front() == ' ') k.remove_prefix(1);
+    while (!k.empty() && k.back() == ' ') k.remove_suffix(1);
+    kinds.push_back(k);
+    begin = end + 1;
+  }
+  const auto lmfence_at = [&](std::size_t i) {
+    return i < kinds.size() && kinds[i] == "l-mfence";
+  };
+  if (lmfence_at(victim_site) && lmfence_at(thief_site)) {
+    return PolicyMode::kDoubleLmfence;
+  }
+  if (lmfence_at(victim_site)) return PolicyMode::kAsymmetric;
+  return PolicyMode::kSymmetric;
+}
+
+PolicyTable::PolicyTable(std::vector<double> ratios,
+                         std::vector<double> roundtrips,
+                         std::vector<PolicyMode> modes)
+    : ratios_(std::move(ratios)), roundtrips_(std::move(roundtrips)),
+      modes_(std::move(modes)) {
+  LBMF_CHECK_MSG(!ratios_.empty() && !roundtrips_.empty(),
+                 "PolicyTable axes must be non-empty");
+  LBMF_CHECK_MSG(modes_.size() == ratios_.size() * roundtrips_.size(),
+                 "PolicyTable modes must cover the full grid");
+  for (std::size_t i = 1; i < ratios_.size(); ++i) {
+    LBMF_CHECK_MSG(ratios_[i - 1] < ratios_[i],
+                   "PolicyTable ratio axis must ascend");
+  }
+  for (std::size_t i = 1; i < roundtrips_.size(); ++i) {
+    LBMF_CHECK_MSG(roundtrips_[i - 1] < roundtrips_[i],
+                   "PolicyTable roundtrip axis must ascend");
+  }
+}
+
+namespace {
+
+/// Index of the axis value nearest to `v` in log10 space (both the freq
+/// and the round-trip axes are decade-ish scales; clamps outside the
+/// range). Non-positive inputs clamp to the first entry.
+std::size_t nearest_log(const std::vector<double>& axis, double v) {
+  if (!(v > 0.0)) return 0;
+  const double lv = std::log10(v);
+  std::size_t best = 0;
+  double best_d = std::fabs(std::log10(axis[0]) - lv);
+  for (std::size_t i = 1; i < axis.size(); ++i) {
+    const double d = std::fabs(std::log10(axis[i]) - lv);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PolicyMode PolicyTable::lookup(double freq_ratio,
+                               double roundtrip_cycles) const noexcept {
+  const std::size_t r = nearest_log(ratios_, freq_ratio);
+  const std::size_t t = nearest_log(roundtrips_, roundtrip_cycles);
+  return modes_[t * ratios_.size() + r];
+}
+
+PolicyTable PolicyTable::builtin_default() {
+  constexpr PolicyMode S = PolicyMode::kSymmetric;
+  constexpr PolicyMode A = PolicyMode::kAsymmetric;
+  constexpr PolicyMode D = PolicyMode::kDoubleLmfence;
+  // Rows 10..1500 are the shipped E17 sweep of the THE-deque litmus
+  // (BENCH_sweep.json) collapsed via mode_from_optimum; rows 5000/15000
+  // extrapolate to signal-prototype territory with the same arithmetic the
+  // sweep priced sites with: the asymmetric mix wins once
+  // ratio · mfence_cycles(100) exceeds the serialization round trip.
+  return PolicyTable(
+      /*ratios=*/{1, 10, 100, 1'000, 10'000, 100'000},
+      /*roundtrips=*/{10, 50, 150, 500, 1'500, 5'000, 15'000},
+      {
+          D, A, A, A, A, A,  // rt 10
+          A, A, A, A, A, A,  // rt 50
+          S, A, A, A, A, A,  // rt 150
+          S, A, A, A, A, A,  // rt 500
+          S, S, A, A, A, A,  // rt 1500
+          S, S, A, A, A, A,  // rt 5000
+          S, S, S, A, A, A,  // rt 15000 (signal prototype + primary penalty)
+      });
+}
+
+namespace {
+
+/// Minimal scanners for the two fixed JSON shapes this table round-trips
+/// through. They tolerate whitespace but not reordered nesting: keys are
+/// located by their quoted spelling at any depth.
+
+std::string quoted(std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 2);
+  needle += '"';
+  needle += key;
+  needle += '"';
+  return needle;
+}
+
+std::size_t find_key(std::string_view j, std::string_view key) {
+  return j.find(quoted(key));
+}
+
+/// Parse `"key": [n, n, ...]` following `from`; empty on failure.
+std::vector<double> parse_number_array(std::string_view j,
+                                       std::string_view key) {
+  std::vector<double> out;
+  std::size_t p = find_key(j, key);
+  if (p == std::string_view::npos) return out;
+  p = j.find('[', p);
+  if (p == std::string_view::npos) return out;
+  const std::size_t end = j.find(']', p);
+  if (end == std::string_view::npos) return out;
+  ++p;
+  while (p < end) {
+    char* stop = nullptr;
+    const double v = std::strtod(j.data() + p, &stop);
+    if (stop == j.data() + p) break;
+    out.push_back(v);
+    p = static_cast<std::size_t>(stop - j.data());
+    const std::size_t comma = j.find(',', p);
+    if (comma == std::string_view::npos || comma > end) break;
+    p = comma + 1;
+  }
+  return out;
+}
+
+/// Parse `"key": ["s", "s", ...]`; empty on failure.
+std::vector<std::string> parse_string_array(std::string_view j,
+                                            std::string_view key) {
+  std::vector<std::string> out;
+  std::size_t p = find_key(j, key);
+  if (p == std::string_view::npos) return out;
+  p = j.find('[', p);
+  if (p == std::string_view::npos) return out;
+  const std::size_t end = j.find(']', p);
+  if (end == std::string_view::npos) return out;
+  while (true) {
+    const std::size_t open = j.find('"', p + 1);
+    if (open == std::string_view::npos || open > end) break;
+    const std::size_t close = j.find('"', open + 1);
+    if (close == std::string_view::npos || close > end) break;
+    out.emplace_back(j.substr(open + 1, close - open - 1));
+    p = close;
+  }
+  return out;
+}
+
+/// Value of `"key": <number>` scanning forward from `from`; NaN on failure.
+double parse_number_after(std::string_view j, std::size_t from,
+                          std::string_view key) {
+  std::size_t p = j.find(quoted(key), from);
+  if (p == std::string_view::npos) return std::nan("");
+  p = j.find(':', p);
+  if (p == std::string_view::npos) return std::nan("");
+  char* stop = nullptr;
+  const double v = std::strtod(j.data() + p + 1, &stop);
+  return stop == j.data() + p + 1 ? std::nan("") : v;
+}
+
+/// Value of `"key": "<string>"` scanning forward from `from`.
+std::string parse_string_after(std::string_view j, std::size_t from,
+                               std::string_view key) {
+  std::size_t p = j.find(quoted(key), from);
+  if (p == std::string_view::npos) return {};
+  p = j.find(':', p);
+  if (p == std::string_view::npos) return {};
+  const std::size_t open = j.find('"', p);
+  if (open == std::string_view::npos) return {};
+  const std::size_t close = j.find('"', open + 1);
+  if (close == std::string_view::npos) return {};
+  return std::string(j.substr(open + 1, close - open - 1));
+}
+
+std::optional<PolicyTable> from_sweep_json(std::string_view j) {
+  const std::vector<double> ratios = parse_number_array(j, "victim_freqs");
+  const std::vector<double> roundtrips = parse_number_array(j, "roundtrips");
+  if (ratios.empty() || roundtrips.empty()) return std::nullopt;
+  std::vector<PolicyMode> modes(ratios.size() * roundtrips.size(),
+                                PolicyMode::kSymmetric);
+  std::vector<bool> seen(modes.size(), false);
+  // Walk the points array object by object; each carries its own axis
+  // values, so out-of-order points still land in the right cell.
+  std::size_t p = find_key(j, "points");
+  if (p == std::string_view::npos) return std::nullopt;
+  p = j.find('[', p);
+  const std::size_t points_end = j.find(']', p);
+  if (p == std::string_view::npos || points_end == std::string_view::npos) {
+    return std::nullopt;
+  }
+  while (true) {
+    const std::size_t obj = j.find('{', p);
+    if (obj == std::string_view::npos || obj > points_end) break;
+    const std::size_t obj_end = j.find('}', obj);
+    if (obj_end == std::string_view::npos) break;
+    const double freq = parse_number_after(j, obj, "freq");
+    const double rt = parse_number_after(j, obj, "roundtrip");
+    const std::string opt = parse_string_after(j, obj, "optimum");
+    std::size_t ri = ratios.size(), ti = roundtrips.size();
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+      if (ratios[i] == freq) ri = i;
+    }
+    for (std::size_t i = 0; i < roundtrips.size(); ++i) {
+      if (roundtrips[i] == rt) ti = i;
+    }
+    if (ri < ratios.size() && ti < roundtrips.size() && !opt.empty()) {
+      const std::size_t cell = ti * ratios.size() + ri;
+      modes[cell] = mode_from_optimum(opt);
+      seen[cell] = true;
+    }
+    p = obj_end + 1;
+  }
+  for (bool s : seen) {
+    if (!s) return std::nullopt;  // a grid cell was never reported
+  }
+  return PolicyTable(ratios, roundtrips, std::move(modes));
+}
+
+std::optional<PolicyTable> from_compact_json(std::string_view j) {
+  const std::vector<double> ratios = parse_number_array(j, "ratios");
+  const std::vector<double> roundtrips = parse_number_array(j, "roundtrips");
+  const std::vector<std::string> mode_names = parse_string_array(j, "modes");
+  if (ratios.empty() || roundtrips.empty() ||
+      mode_names.size() != ratios.size() * roundtrips.size()) {
+    return std::nullopt;
+  }
+  std::vector<PolicyMode> modes;
+  modes.reserve(mode_names.size());
+  for (const std::string& n : mode_names) {
+    const std::optional<PolicyMode> m = mode_from_string(n);
+    if (!m) return std::nullopt;
+    modes.push_back(*m);
+  }
+  return PolicyTable(ratios, roundtrips, std::move(modes));
+}
+
+void append_num(std::string& s, double v) {
+  char buf[32];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", v);
+  }
+  s += buf;
+}
+
+}  // namespace
+
+std::optional<PolicyTable> PolicyTable::from_json(std::string_view json) {
+  if (json.find("\"bench\":\"sweep\"") != std::string_view::npos ||
+      json.find("\"bench\": \"sweep\"") != std::string_view::npos) {
+    return from_sweep_json(json);
+  }
+  return from_compact_json(json);
+}
+
+std::string PolicyTable::to_json() const {
+  std::string s = "{\"policy_table\":1,\"ratios\":[";
+  for (std::size_t i = 0; i < ratios_.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, ratios_[i]);
+  }
+  s += "],\"roundtrips\":[";
+  for (std::size_t i = 0; i < roundtrips_.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, roundtrips_[i]);
+  }
+  s += "],\"modes\":[";
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    if (i > 0) s += ',';
+    s += '"';
+    s += to_string(modes_[i]);
+    s += '"';
+  }
+  s += "]}";
+  return s;
+}
+
+}  // namespace lbmf::adapt

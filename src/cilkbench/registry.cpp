@@ -1,5 +1,7 @@
 #include "lbmf/cilkbench/registry.hpp"
 
+#include "lbmf/adapt/adaptive_fence.hpp"
+
 #include "lbmf/cilkbench/dense.hpp"
 #include "lbmf/cilkbench/fft.hpp"
 #include "lbmf/cilkbench/heat.hpp"
@@ -82,6 +84,7 @@ std::vector<Benchmark> all_benchmarks(Scale scale) {
   return v;
 }
 
+template std::vector<Benchmark> all_benchmarks<adapt::AdaptiveFence>(Scale);
 template std::vector<Benchmark> all_benchmarks<SymmetricFence>(Scale);
 template std::vector<Benchmark> all_benchmarks<AsymmetricSignalFence>(Scale);
 template std::vector<Benchmark> all_benchmarks<AsymmetricMembarrierFence>(

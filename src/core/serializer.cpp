@@ -16,6 +16,7 @@
 #include "lbmf/core/fence.hpp"
 #include "lbmf/util/check.hpp"
 #include "lbmf/util/spin.hpp"
+#include "lbmf/util/timing.hpp"
 
 namespace lbmf {
 namespace {
@@ -53,6 +54,24 @@ void ack_event_wake_all(std::atomic<std::uint32_t>*) {}
 }  // namespace
 
 int SerializerRegistry::signal_number() noexcept { return SIGURG; }
+
+std::atomic<std::uint64_t> SerializerRegistry::rtt_ewma_cycles_{0};
+std::atomic<std::uint64_t> SerializerRegistry::rtt_samples_{0};
+
+void SerializerRegistry::record_roundtrip(std::uint64_t cycles) noexcept {
+  const std::uint64_t old = rtt_ewma_cycles_.load(std::memory_order_relaxed);
+  // Fixed-point EWMA, α = 1/8; seeded with the first sample outright.
+  const std::uint64_t next = old == 0 ? cycles : old - old / 8 + cycles / 8;
+  rtt_ewma_cycles_.store(next, std::memory_order_relaxed);
+  rtt_samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double SerializerRegistry::measured_roundtrip_cycles() noexcept {
+  return rtt_samples_.load(std::memory_order_relaxed) > 0
+             ? static_cast<double>(
+                   rtt_ewma_cycles_.load(std::memory_order_relaxed))
+             : 0.0;
+}
 
 SerializerRegistry& SerializerRegistry::instance() {
   static SerializerRegistry registry;
@@ -209,9 +228,11 @@ bool SerializerRegistry::serialize(const Handle& h) {
     full_fence();
     return true;
   }
+  const std::uint64_t start = rdtsc();
   const std::uint64_t my_req = post_request(*slot);
   if (my_req == 0) return false;
   await_ack(*slot, my_req);
+  record_roundtrip(rdtsc() - start);
   return true;
 }
 

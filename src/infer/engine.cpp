@@ -200,7 +200,13 @@ std::string describe_clause(const InferProblem& p, const Clause& c) {
     const char* k = str <= 0 ? "none"
                   : str == 1 ? sim::to_string(FenceKind::kLmfence)
                              : sim::to_string(FenceKind::kMfence);
-    s += " " + p.describe_site(site) + " beyond " + k + ";";
+    // Appended piecewise: GCC 12's -Wrestrict false-positives on chained
+    // literal + temporary-string concatenations.
+    s += ' ';
+    s += p.describe_site(site);
+    s += " beyond ";
+    s += k;
+    s += ';';
   }
   if (!c.lits.empty()) s.pop_back();
   return s;

@@ -49,7 +49,13 @@ std::string InferProblem::location_name(Addr a) const {
   for (const auto& [name, addr] : symbols) {
     if (addr == a) return name;
   }
-  return "[" + std::to_string(a) + "]";
+  // Built by append (not operator+ on a literal): GCC 12's -Wrestrict
+  // false-positives on literal + temporary-string concatenations.
+  std::string out;
+  out += '[';
+  out += std::to_string(a);
+  out += ']';
+  return out;
 }
 
 std::string InferProblem::describe_site(std::size_t site) const {

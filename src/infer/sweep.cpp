@@ -152,4 +152,41 @@ std::string sweep_to_json(const SweepResult& r, const std::string& workload) {
   return s;
 }
 
+std::string sweep_to_policy_json(const SweepResult& r,
+                                 std::size_t victim_site,
+                                 std::size_t thief_site) {
+  const auto lmfence_at = [](const SweepPoint& p, std::size_t site) {
+    return p.status == InferStatus::kSat && site < p.best.kinds.size() &&
+           p.best.kinds[site] == FenceKind::kLmfence;
+  };
+  std::string s = "{\"policy_table\":1,\"ratios\":[";
+  for (std::size_t i = 0; i < r.victim_freqs.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, r.victim_freqs[i]);
+  }
+  s += "],\"roundtrips\":[";
+  for (std::size_t i = 0; i < r.roundtrips.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, r.roundtrips[i]);
+  }
+  s += "],\"modes\":[";
+  // points is row-major roundtrips × victim_freqs — exactly the cell order
+  // PolicyTable expects.
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    const SweepPoint& p = r.points[i];
+    if (i > 0) s += ',';
+    s += '"';
+    if (lmfence_at(p, victim_site) && lmfence_at(p, thief_site)) {
+      s += "double-lmfence";
+    } else if (lmfence_at(p, victim_site)) {
+      s += "asymmetric";
+    } else {
+      s += "symmetric";
+    }
+    s += '"';
+  }
+  s += "]}";
+  return s;
+}
+
 }  // namespace lbmf::infer

@@ -9,6 +9,7 @@ template class Scheduler<SymmetricFence>;
 template class Scheduler<AsymmetricSignalFence>;
 template class Scheduler<AsymmetricMembarrierFence>;
 template class Scheduler<UnsafeNoFence>;
+template class Scheduler<adapt::AdaptiveFence>;
 
 template class Scheduler<SymmetricFence, ChaseLevDeque>;
 template class Scheduler<AsymmetricSignalFence, ChaseLevDeque>;
@@ -21,5 +22,6 @@ template class TheDeque<SymmetricFence>;
 template class TheDeque<AsymmetricSignalFence>;
 template class TheDeque<AsymmetricMembarrierFence>;
 template class TheDeque<UnsafeNoFence>;
+template class TheDeque<adapt::AdaptiveFence>;
 
 }  // namespace lbmf::ws

@@ -423,6 +423,24 @@ TEST(InferExamples, TheDequeHolesRecoverThePaperPlacement) {
   EXPECT_TRUE(r.recheck_safe);
 }
 
+TEST(InferExamples, TwoThievesPlacementIsThiefCountIndependent) {
+  // Adding a second thief must not change the shape of the inferred
+  // protocol: the victim still pays exactly one l-mfence on its announce,
+  // each thief pays its own mfence, and no retreat is fenced — the thief
+  // placement is copied per thief, never strengthened.
+  const InferResult r = run_engine(
+      slurp(std::string(LBMF_LITMUS_DIR) + "/the_deque_two_thieves.lit"));
+  ASSERT_EQ(r.status, InferStatus::kSat);
+  const Assignment want{{FenceKind::kLmfence, FenceKind::kNone,
+                         FenceKind::kMfence, FenceKind::kNone,
+                         FenceKind::kMfence, FenceKind::kNone}};
+  EXPECT_EQ(r.best, want);
+  // Site A: f=1000 * lest_victim(3) + 2 remote loads * (150 + 10) = 3320;
+  // sites C and E: f=1 * mfence(100) each. Total 3520.
+  EXPECT_NEAR(r.best_cost, 3520.0, 0.5);
+  EXPECT_TRUE(r.recheck_safe);
+}
+
 // ------------------------------------------------------------------- sweep
 
 TEST(InferSweep, DequeFrontierMatchesHandCheckedGridPoints) {
@@ -461,6 +479,27 @@ TEST(InferSweep, DequeFrontierMatchesHandCheckedGridPoints) {
 
   EXPECT_GE(r.distinct_optima_at(150), 2u);
   ASSERT_FALSE(r.crossovers.empty());
+}
+
+TEST(InferSweep, PolicyJsonCollapsesOptimaToRuntimeModes) {
+  const InferProblem p =
+      parse(slurp(std::string(LBMF_LITMUS_DIR) + "/the_deque_holes.lit"));
+  SweepOptions so;
+  so.victim_freqs = {1, 1000};
+  so.roundtrips = {10, 150};
+  const SweepResult r = run_sweep(p, so);
+  ASSERT_TRUE(r.all_sat());
+  // Cells follow the hand-checked optima above: near-free trips put even
+  // the slow victim on l-mfence (both announces l-mfence = the double
+  // mode); at the paper's 150-cycle constant the slow victim is symmetric
+  // and the hot one asymmetric.
+  const std::string j = sweep_to_policy_json(r);
+  EXPECT_NE(j.find("\"ratios\":[1,1000]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"roundtrips\":[10,150]"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"modes\":[\"double-lmfence\",\"asymmetric\","
+                   "\"symmetric\",\"asymmetric\"]"),
+            std::string::npos)
+      << j;
 }
 
 TEST(InferSweep, GridSharesOneVerdictCacheAcrossPoints) {

@@ -1,0 +1,160 @@
+// ThreadSanitizer harness for the scheduler and rwlock paths the deque
+// harness does not reach: the run() inbox handoff and quiesce barrier, the
+// stats()/reset_stats() aggregation racing live workers, the BiasedRwLock
+// writer fan-out racing stats() readers, and the adaptation hook
+// (monitor → selector → quiescent-point switch) ticking inside worker
+// loops. All policies are symmetric so the binary has no signal/membarrier
+// dependency and runs anywhere TSan does; the adaptive leg still exercises
+// every adaptation code path because mode switching is policy-internal
+// bookkeeping. TSan makes any report fatal via halt_on_error.
+//
+// Plain main, no gtest: gtest + TSan needs a separately instrumented gtest
+// build, which the repo does not carry.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "lbmf/adapt/adaptive_fence.hpp"
+#include "lbmf/adapt/policy_table.hpp"
+#include "lbmf/core/policies.hpp"
+#include "lbmf/rwlock/rwlock.hpp"
+#include "lbmf/ws/scheduler.hpp"
+
+namespace {
+
+using namespace lbmf;
+
+// Spawn-recursive fib: the standard work-stealing smoke workload.
+template <typename P>
+void fib(long n, long* out) {
+  if (n < 2) {
+    *out = n;
+    return;
+  }
+  long a = 0, b = 0;
+  typename ws::Scheduler<P>::TaskGroup tg;
+  auto t = tg.capture([n, &a] { fib<P>(n - 1, &a); });
+  tg.spawn(t);
+  fib<P>(n - 2, &b);
+  tg.sync();
+  *out = a + b;
+}
+
+// Repeated run() cycles (inbox post, worker wake, quiesce barrier) with
+// stats() and reset_stats() hammered from outside while workers run.
+template <typename P>
+int drive_scheduler(const char* label, bool adaptive) {
+  ws::Scheduler<P> sched(2);
+  if constexpr (adapt::AdaptiveFencePolicy<P>) {
+    if (adaptive) {
+      ws::AdaptationOptions opts;
+      // Single-cell all-symmetric table: the monitor, selector, and
+      // quiescent-point plumbing all run every window, but no switch ever
+      // needs a serialization backend.
+      opts.table = adapt::PolicyTable({1.0}, {100.0},
+                                      {adapt::PolicyMode::kSymmetric});
+      opts.selector.confirm_windows = 1;
+      opts.sample_every = 16;
+      sched.enable_adaptation(opts);
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const ws::SchedulerStats s = sched.stats();
+      sink += s.spawns + s.steals_success + s.pops_fast + s.policy_switches;
+      std::this_thread::yield();
+    }
+    std::atomic_thread_fence(std::memory_order_relaxed);
+    (void)sink;
+  });
+  std::thread resetter([&] {
+    for (int i = 0; i < 50; ++i) {
+      sched.reset_stats();
+      std::this_thread::yield();
+    }
+  });
+
+  int rc = 0;
+  for (int round = 0; round < 3; ++round) {
+    long result = 0;
+    sched.run([&] { fib<P>(14, &result); });
+    if (result != 377) {
+      std::printf("FAIL %s: fib(14) = %ld, want 377\n", label, result);
+      rc = 1;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  resetter.join();
+  if (rc == 0) std::printf("ok %s: 3 runs, stats hammered\n", label);
+  return rc;
+}
+
+// BiasedRwLock writer fan-out (batched serialize_many wave over every
+// registered reader) racing reader fast paths and stats() aggregation.
+int drive_rwlock() {
+  BiasedRwLock<SymmetricFence> lock;
+  std::atomic<bool> stop{false};
+  std::atomic<long> shared{0};
+  std::atomic<long> observed{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      auto token = lock.register_reader();
+      while (!stop.load(std::memory_order_acquire)) {
+        token.read_lock();
+        observed.fetch_add(shared.load(std::memory_order_relaxed) >= 0,
+                           std::memory_order_relaxed);
+        token.read_unlock();
+      }
+    });
+  }
+  std::thread stats_reader([&] {
+    std::uint64_t sink = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const RwLockStats s = lock.stats();
+      sink += s.read_acquires + s.write_acquires + s.serializations;
+      std::this_thread::yield();
+    }
+    std::atomic_thread_fence(std::memory_order_relaxed);
+    (void)sink;
+  });
+
+  for (int i = 0; i < 200; ++i) {
+    lock.write_lock();
+    shared.fetch_add(1, std::memory_order_relaxed);
+    lock.write_unlock();
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  stats_reader.join();
+
+  const RwLockStats s = lock.stats();
+  if (s.write_acquires != 200) {
+    std::printf("FAIL rwlock: %llu write acquires, want 200\n",
+                static_cast<unsigned long long>(s.write_acquires));
+    return 1;
+  }
+  std::printf("ok rwlock: 200 writes, %llu reads, stats hammered\n",
+              static_cast<unsigned long long>(s.read_acquires));
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  int rc = 0;
+  rc |= drive_scheduler<SymmetricFence>("Scheduler<SymmetricFence>", false);
+  rc |= drive_scheduler<adapt::AdaptiveFence>("Scheduler<AdaptiveFence>",
+                                              true);
+  rc |= drive_rwlock();
+  std::printf("%s\n", rc == 0 ? "PASS" : "FAIL");
+  return rc;
+}
