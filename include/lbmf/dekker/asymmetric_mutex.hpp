@@ -1,6 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <mutex>
+#include <span>
+#include <vector>
 
 #include "lbmf/dekker/dekker.hpp"
 
@@ -46,6 +49,22 @@ class AsymmetricMutex {
     return true;
   }
 
+  // Wave phases (see lock_secondary_wave below): win the gate and post the
+  // Dekker intent with no fence and no serialization, then — after the
+  // caller has fenced once and serialized all primaries in one overlapped
+  // wave — run the per-pair wait.
+  void post_secondary_nofence() {
+    gate_.lock();
+    dekker_.post_secondary();
+  }
+  void finish_secondary_wave() {
+    dekker_.note_wave_serialization();
+    dekker_.await_secondary();
+  }
+  typename P::Handle primary_handle() const noexcept {
+    return dekker_.primary_handle();
+  }
+
   DekkerStats stats() const noexcept { return dekker_.stats(); }
   void reset_stats() noexcept { dekker_.reset_stats(); }
 
@@ -53,6 +72,38 @@ class AsymmetricMutex {
   AsymmetricDekker<P> dekker_;
   std::mutex gate_;
 };
+
+/// Acquire the secondary side of MANY AsymmetricMutexes with one hardware
+/// fence and one overlapped serialization wave (P::serialize_many) instead
+/// of a fence plus a full remote round trip per mutex — the cross-shard
+/// control-plane primitive of the serving tier (rule pushes, stats export,
+/// eviction sweeps). Cost model: sequential acquisition of N mutexes pays
+/// N × (mfence + round trip); the wave pays 1 × mfence + max(round trips),
+/// which is where bench_serve's E19 batched-vs-sequential gate comes from.
+///
+/// Contract: each mutex appears at most once, and concurrent wavers (or
+/// wavers racing plain lock_secondary loops over several of the same
+/// mutexes) must acquire in one consistent global order — pass the span
+/// pre-sorted (e.g. ascending shard index), exactly as with ordinary
+/// ordered lock acquisition. Returns the number of primaries serialized.
+template <FencePolicy P>
+std::size_t lock_secondary_wave(std::span<AsymmetricMutex<P>* const> ms) {
+  for (AsymmetricMutex<P>* m : ms) m->post_secondary_nofence();
+  P::secondary_fence();  // orders every intent store before every flag read
+  std::vector<typename P::Handle> handles;
+  handles.reserve(ms.size());
+  for (AsymmetricMutex<P>* m : ms) handles.push_back(m->primary_handle());
+  const std::size_t serialized =
+      P::serialize_many(std::span<const typename P::Handle>(handles));
+  for (AsymmetricMutex<P>* m : ms) m->finish_secondary_wave();
+  return serialized;
+}
+
+/// Release a wave in reverse acquisition order.
+template <FencePolicy P>
+void unlock_secondary_wave(std::span<AsymmetricMutex<P>* const> ms) {
+  for (std::size_t i = ms.size(); i-- > 0;) ms[i]->unlock_secondary();
+}
 
 /// RAII guards binding a role to a scope.
 template <typename Mutex>

@@ -123,6 +123,37 @@ class AsymmetricDekker {
   void lock_secondary() {
     announce_secondary();
     bump_relaxed(sstats_->acquires);
+    await_secondary();
+  }
+
+  // The three phases of lock_secondary() exposed separately so a caller
+  // acquiring MANY Dekker pairs at once (lock_secondary_wave in
+  // asymmetric_mutex.hpp) can post every intent store first, issue one
+  // hardware fence for the whole set, serialize every primary in one
+  // overlapped P::serialize_many wave, and only then run the per-pair
+  // waits. Splitting is sound because announce_secondary() is just
+  // {intent store; fence; serialize} and neither the fence nor the
+  // serialization reads per-pair state: one fence after all the intent
+  // stores orders each of them before every subsequent flag read, and the
+  // wave gives each primary the same flush serialize() would have.
+
+  /// Phase 1: publish the intent store only — no fence, no serialization.
+  void post_secondary() noexcept {
+    flag_[1]->store(1, std::memory_order_relaxed);
+    bump_relaxed(sstats_->acquires);
+  }
+
+  /// Phase 2 bookkeeping: the caller issued the collective fence and the
+  /// serialization wave; account them against this pair's counters so
+  /// stats() stays comparable with the sequential path.
+  void note_wave_serialization() noexcept {
+    bump_relaxed(sstats_->fences);
+    bump_relaxed(sstats_->serializations);
+  }
+
+  /// Phase 3: the mutual-exclusion wait. A retreat re-announces from
+  /// scratch (fresh fence + serialization), exactly as in lock_secondary.
+  void await_secondary() {
     SpinWait waiter;
     while (flag_[0]->load(std::memory_order_acquire) != 0) {
       if (turn_->load(std::memory_order_acquire) != 1) {
@@ -156,6 +187,11 @@ class AsymmetricDekker {
   /// Merged snapshot of both sides' counters. Exact once both threads have
   /// quiesced; approximate (but tear-free per field — relaxed atomic loads)
   /// while they run.
+  /// The registered primary's policy handle, for callers that batch
+  /// serializations across pairs (P::serialize_many). Valid only between
+  /// bind_primary() and unbind_primary().
+  typename P::Handle primary_handle() const noexcept { return handle_; }
+
   DekkerStats stats() const noexcept {
     DekkerStats s;
     s.primary_acquires = pstats_->acquires.load(std::memory_order_relaxed);

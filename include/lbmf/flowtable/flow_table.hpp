@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "lbmf/dekker/asymmetric_mutex.hpp"
@@ -19,6 +21,16 @@ struct FlowStats {
   std::uint32_t rule = 0;  // forwarding/action rule id
 };
 
+/// Capacity regime. kFixed is the original table: capacity is final and
+/// exhausting it is a hard error — the shape the sim-mapped litmus story
+/// and the E10 microbench reason about, where table size is part of the
+/// modelled state. kGrowable is the serving-tier regime: the owner rehashes
+/// incrementally into a table twice the size whenever load crosses 3/4,
+/// moving a bounded batch of entries per mutating operation so growth cost
+/// is amortized under the primary lock and the l-mfence fast path (no
+/// global pause, no hardware fence added) is preserved.
+enum class Growth : std::uint8_t { kFixed, kGrowable };
+
 /// The paper's fourth motivating application (Sec. 1): "in network package
 /// processing applications, each processing thread (primary) maintains its
 /// own data structures for its group of source addresses, but occasionally,
@@ -35,11 +47,21 @@ struct FlowStats {
 /// With P = SymmetricFence the same table becomes the conventional design
 /// (an mfence per packet), which is what the flow-table benchmark compares
 /// against.
+///
+/// During an incremental rehash two arrays are live: inserts go to the new
+/// (current) array; lookups probe current first, then the draining old
+/// array, whose vacated slots become kMoved tombstones so later entries of
+/// a probe chain stay reachable. Every mutating op migrates up to
+/// kMigrateBatch old entries, so a grow triggered at 3/4 load finishes
+/// well before the doubled array could itself reach the trigger.
 template <FencePolicy P>
 class FlowTable {
  public:
-  explicit FlowTable(std::size_t capacity_pow2 = 1u << 12)
-      : mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
+  static constexpr std::size_t kMigrateBatch = 8;
+
+  explicit FlowTable(std::size_t capacity_pow2 = 1u << 12,
+                     Growth growth = Growth::kFixed)
+      : growth_(growth), mask_(capacity_pow2 - 1), slots_(capacity_pow2) {
     LBMF_CHECK((capacity_pow2 & (capacity_pow2 - 1)) == 0);
   }
 
@@ -75,12 +97,16 @@ class FlowTable {
 
   // ------------------------------------------------------------- remote
 
-  /// Remote (secondary) path: install or change the rule for a flow. Any
-  /// thread other than the owner; serialized through the gate.
-  void update_rule(FlowKey key, std::uint32_t rule) {
+  /// Remote (secondary) path: install or change the rule for a flow,
+  /// inserting the flow if the owner has not seen it yet (a rule pushed
+  /// ahead of traffic). Returns whether the flow already existed, so
+  /// control planes can distinguish update from insert instead of
+  /// silently inflating flow_count().
+  bool update_rule(FlowKey key, std::uint32_t rule) {
     mutex_.lock_secondary();
-    find_or_insert(key).stats.rule = rule;
+    const bool existed = upsert_rule_locked(key, rule);
     mutex_.unlock_secondary();
+    return existed;
   }
 
   /// Remote read of a flow's statistics (e.g. an exporter thread).
@@ -95,21 +121,96 @@ class FlowTable {
   /// Total packets across all flows (remote path).
   std::uint64_t remote_total_packets() {
     mutex_.lock_secondary();
-    std::uint64_t total = 0;
-    for (const Slot& s : slots_) {
-      if (s.occupied) total += s.stats.packets;
-    }
+    const std::uint64_t total = total_packets_locked();
     mutex_.unlock_secondary();
     return total;
   }
 
-  std::size_t flow_count() const noexcept { return occupied_; }
+  /// Remote eviction sweep: drop every flow with fewer than `min_packets`
+  /// packets. Returns the number of flows evicted.
+  std::size_t remote_evict_below(std::uint64_t min_packets) {
+    mutex_.lock_secondary();
+    const std::size_t evicted = evict_below_locked(min_packets);
+    mutex_.unlock_secondary();
+    return evicted;
+  }
+
+  // ------------------------------------------- locked-context primitives
+  //
+  // For callers that already hold the table's mutex — in particular the
+  // serving tier's cross-shard control plane, which acquires many tables
+  // through one lock_secondary_wave instead of per-table lock_secondary.
+
+  /// The table's synchronization object, for wave acquisition.
+  AsymmetricMutex<P>& sync_mutex() noexcept { return mutex_; }
+
+  /// Insert-or-update a rule; caller holds the mutex (either side).
+  /// Returns whether the flow already existed.
+  bool upsert_rule_locked(FlowKey key, std::uint32_t rule) {
+    bool existed = true;
+    Slot& s = find_or_insert(key, &existed);
+    s.stats.rule = rule;
+    return existed;
+  }
+
+  std::uint64_t total_packets_locked() const noexcept {
+    std::uint64_t total = 0;
+    for (const Slot& s : slots_) {
+      if (s.state == SlotState::kOccupied) total += s.stats.packets;
+    }
+    for (const Slot& s : old_) {
+      if (s.state == SlotState::kOccupied) total += s.stats.packets;
+    }
+    return total;
+  }
+
+  /// Evict flows with packets < min_packets; caller holds the mutex. Any
+  /// in-flight incremental rehash is completed first, then the surviving
+  /// entries are rebuilt into a clean array (no tombstones left behind).
+  std::size_t evict_below_locked(std::uint64_t min_packets) {
+    finish_migration();
+    std::vector<Slot> survivors;
+    survivors.reserve(flow_count());
+    for (Slot& s : slots_) {
+      if (s.state == SlotState::kOccupied && s.stats.packets >= min_packets) {
+        survivors.push_back(s);
+      }
+    }
+    const std::size_t evicted = flow_count() - survivors.size();
+    for (Slot& s : slots_) s.state = SlotState::kEmpty;
+    for (const Slot& s : survivors) {
+      Slot& dst = insert_new(slots_, mask_, s.key);
+      dst.stats = s.stats;
+    }
+    store_occupied(survivors.size());
+    return evicted;
+  }
+
+  // -------------------------------------------------------------- stats
+
+  /// Live flows. Safe to read concurrently (momentary snapshot).
+  std::size_t flow_count() const noexcept {
+    return occupied_.load(std::memory_order_relaxed);
+  }
+  /// Completed table doublings. Safe to read concurrently.
+  std::size_t grow_count() const noexcept {
+    return grows_.load(std::memory_order_relaxed);
+  }
+  /// Capacity of the current (largest) array.
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
   DekkerStats sync_stats() const noexcept { return mutex_.stats(); }
 
  private:
+  enum class SlotState : std::uint8_t {
+    kEmpty = 0,
+    kOccupied,
+    kMoved,  // old-array tombstone: probe chains continue through it
+  };
+
   struct Slot {
     FlowKey key = 0;
-    bool occupied = false;
+    SlotState state = SlotState::kEmpty;
     FlowStats stats;
   };
 
@@ -120,39 +221,117 @@ class FlowTable {
     return static_cast<std::size_t>(k);
   }
 
-  Slot* find(FlowKey key) {
-    std::size_t i = hash(key) & mask_;
-    for (std::size_t probes = 0; probes <= mask_; ++probes) {
-      Slot& s = slots_[i];
-      if (!s.occupied) return nullptr;
-      if (s.key == key) return &s;
-      i = (i + 1) & mask_;
+  void store_occupied(std::size_t n) noexcept {
+    occupied_.store(n, std::memory_order_relaxed);
+  }
+  void add_occupied(std::ptrdiff_t d) noexcept {
+    occupied_.store(flow_count() + static_cast<std::size_t>(d),
+                    std::memory_order_relaxed);
+  }
+
+  static Slot* probe(std::vector<Slot>& arr, std::size_t mask, FlowKey key) {
+    std::size_t i = hash(key) & mask;
+    for (std::size_t probes = 0; probes <= mask; ++probes) {
+      Slot& s = arr[i];
+      if (s.state == SlotState::kEmpty) return nullptr;
+      if (s.state == SlotState::kOccupied && s.key == key) return &s;
+      i = (i + 1) & mask;
     }
     return nullptr;
   }
 
-  Slot& find_or_insert(FlowKey key) {
-    std::size_t i = hash(key) & mask_;
-    for (std::size_t probes = 0; probes <= mask_; ++probes) {
-      Slot& s = slots_[i];
-      if (!s.occupied) {
-        LBMF_CHECK_MSG(occupied_ < slots_.size() - 1, "flow table full");
-        s.occupied = true;
+  /// Insert a key known to be absent into `arr`; never grows.
+  static Slot& insert_new(std::vector<Slot>& arr, std::size_t mask,
+                          FlowKey key) {
+    std::size_t i = hash(key) & mask;
+    for (std::size_t probes = 0; probes <= mask; ++probes) {
+      Slot& s = arr[i];
+      if (s.state != SlotState::kOccupied) {
+        s.state = SlotState::kOccupied;
         s.key = key;
-        ++occupied_;
+        s.stats = FlowStats{};
         return s;
       }
-      if (s.key == key) return s;
-      i = (i + 1) & mask_;
+      i = (i + 1) & mask;
     }
     LBMF_CHECK_MSG(false, "flow table probe loop exhausted");
-    return slots_[0];  // unreachable
+    return arr[0];  // unreachable
+  }
+
+  Slot* find(FlowKey key) {
+    if (Slot* s = probe(slots_, mask_, key)) return s;
+    if (!old_.empty()) return probe(old_, old_mask_, key);
+    return nullptr;
+  }
+
+  Slot& find_or_insert(FlowKey key, bool* existed = nullptr) {
+    if (growth_ == Growth::kGrowable) {
+      if (!old_.empty()) {
+        migrate_step(kMigrateBatch);
+      } else if ((flow_count() + 1) * 4 > capacity() * 3) {
+        start_grow();
+      }
+    }
+    if (Slot* s = probe(slots_, mask_, key)) return *s;
+    if (!old_.empty()) {
+      if (Slot* s = probe(old_, old_mask_, key)) {
+        // Promote the entry to the current array so the caller's mutation
+        // lands where future lookups probe first.
+        Slot& dst = insert_new(slots_, mask_, key);
+        dst.stats = s->stats;
+        s->state = SlotState::kMoved;
+        return dst;
+      }
+    }
+    if (growth_ == Growth::kFixed) {
+      LBMF_CHECK_MSG(flow_count() < slots_.size() - 1, "flow table full");
+    }
+    if (existed != nullptr) *existed = false;
+    Slot& s = insert_new(slots_, mask_, key);
+    add_occupied(+1);
+    return s;
+  }
+
+  void start_grow() {
+    old_ = std::move(slots_);
+    old_mask_ = mask_;
+    mask_ = (old_mask_ + 1) * 2 - 1;
+    slots_.assign(mask_ + 1, Slot{});
+    migrate_pos_ = 0;
+  }
+
+  void migrate_step(std::size_t budget) {
+    while (budget > 0 && migrate_pos_ < old_.size()) {
+      Slot& s = old_[migrate_pos_++];
+      if (s.state == SlotState::kOccupied) {
+        Slot& dst = insert_new(slots_, mask_, s.key);
+        dst.stats = s.stats;
+        s.state = SlotState::kMoved;
+        --budget;
+      }
+    }
+    if (migrate_pos_ >= old_.size()) {
+      old_.clear();
+      old_.shrink_to_fit();
+      grows_.store(grow_count() + 1, std::memory_order_relaxed);
+    }
+  }
+
+  void finish_migration() {
+    while (!old_.empty()) migrate_step(old_.size());
   }
 
   AsymmetricMutex<P> mutex_;
+  Growth growth_;
   std::size_t mask_;
-  std::size_t occupied_ = 0;
+  std::size_t old_mask_ = 0;
+  std::size_t migrate_pos_ = 0;
+  // Single writer (whoever holds the mutex); read lock-free by stats
+  // exporters, hence relaxed atomics rather than plain fields.
+  std::atomic<std::size_t> occupied_{0};
+  std::atomic<std::size_t> grows_{0};
   std::vector<Slot> slots_;
+  std::vector<Slot> old_;  // non-empty exactly while a rehash is draining
 };
 
 }  // namespace lbmf::flowtable

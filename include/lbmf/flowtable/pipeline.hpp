@@ -50,6 +50,8 @@ struct PipelineResult {
   std::uint64_t packets_processed = 0;
   std::uint64_t remote_updates = 0;
   double seconds = 0;
+  std::size_t flows_seen = 0;    // live flows at the end of the run
+  std::size_t table_grows = 0;   // completed doublings (growable tables)
   DekkerStats sync;
 
   double packets_per_second() const noexcept {
@@ -65,16 +67,27 @@ struct PipelineResult {
 ///
 /// `update_interval_us`: mean microseconds between remote rule updates
 /// (0 = no updaters).
+///
+/// `capacity_pow2` sizes the table explicitly; 0 (the default) keeps the
+/// historical auto-sizing of 4x the flow population. Pass a small capacity
+/// with Growth::kGrowable to exercise owner-side incremental rehash under
+/// live traffic — with Growth::kFixed an undersized table still dies with
+/// "flow table full", which is the sim-mapped litmus configuration.
 template <FencePolicy P>
 PipelineResult run_pipeline(double duration_s, std::size_t updaters,
                             std::uint64_t update_interval_us,
                             std::uint32_t flows = 4096,
-                            std::uint64_t seed = 0xf10u) {
-  // Size the table at 4x the flow population (next power of two) so load
-  // factor stays low even when every flow appears.
-  std::size_t cap = 1;
-  while (cap < static_cast<std::size_t>(flows) * 4) cap <<= 1;
-  FlowTable<P> table(cap);
+                            std::uint64_t seed = 0xf10u,
+                            std::size_t capacity_pow2 = 0,
+                            Growth growth = Growth::kFixed) {
+  // Auto-size at 4x the flow population (next power of two) so load factor
+  // stays low even when every flow appears.
+  std::size_t cap = capacity_pow2;
+  if (cap == 0) {
+    cap = 1;
+    while (cap < static_cast<std::size_t>(flows) * 4) cap <<= 1;
+  }
+  FlowTable<P> table(cap, growth);
   std::atomic<bool> stop{false};
   std::atomic<bool> owner_ready{false};
   std::atomic<std::size_t> updaters_done{0};
@@ -128,6 +141,8 @@ PipelineResult run_pipeline(double duration_s, std::size_t updaters,
   owner.join();
 
   result.remote_updates = updates.load();
+  result.flows_seen = table.flow_count();
+  result.table_grows = table.grow_count();
   result.sync = table.sync_stats();
   return result;
 }

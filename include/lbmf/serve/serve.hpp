@@ -1,0 +1,8 @@
+#pragma once
+
+/// lbmf::serve — the sharded flow-serving tier (see server.hpp for the
+/// architecture note). One include for the whole subsystem.
+
+#include "lbmf/serve/server.hpp"
+#include "lbmf/serve/shard.hpp"
+#include "lbmf/serve/spsc_ring.hpp"

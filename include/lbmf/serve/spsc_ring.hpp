@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::serve {
+
+/// Bounded single-producer/single-consumer ring: the ingress/egress lanes
+/// between one client thread and one shard owner. Lock-free with exactly
+/// two shared atomics (head and tail) on separate cache lines; each side
+/// additionally keeps a local cache of the *other* side's index so the
+/// common case touches one shared line per batch, not per element.
+///
+/// No fence policy parameter on purpose: the ring is classic
+/// release/acquire message passing (the indices carry the happens-before
+/// edge for the payload), not a Dekker duality — there is no StoreLoad
+/// decision for l-mfence to optimize here.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity_pow2)
+      : mask_(capacity_pow2 - 1), buf_(capacity_pow2) {
+    LBMF_CHECK((capacity_pow2 & (capacity_pow2 - 1)) == 0);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(const T& v) noexcept {
+    const std::uint64_t t = tail_->load(std::memory_order_relaxed);
+    if (t - *cached_head_ > mask_) {
+      *cached_head_ = head_->load(std::memory_order_acquire);
+      if (t - *cached_head_ > mask_) return false;
+    }
+    buf_[t & mask_] = v;
+    tail_->store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: drain up to `max` elements into `out`. Returns the
+  /// number popped (0 when empty).
+  std::size_t pop_some(T* out, std::size_t max) noexcept {
+    const std::uint64_t h = head_->load(std::memory_order_relaxed);
+    std::uint64_t avail = *cached_tail_ - h;
+    if (avail == 0) {
+      *cached_tail_ = tail_->load(std::memory_order_acquire);
+      avail = *cached_tail_ - h;
+      if (avail == 0) return 0;
+    }
+    const std::size_t n =
+        avail < static_cast<std::uint64_t>(max) ? static_cast<std::size_t>(avail)
+                                                : max;
+    for (std::size_t i = 0; i < n; ++i) out[i] = buf_[(h + i) & mask_];
+    head_->store(h + n, std::memory_order_release);
+    return n;
+  }
+
+  bool try_pop(T* out) noexcept { return pop_some(out, 1) == 1; }
+
+  /// Approximate occupancy (either side, diagnostics).
+  std::size_t size() const noexcept {
+    const std::uint64_t t = tail_->load(std::memory_order_acquire);
+    const std::uint64_t h = head_->load(std::memory_order_acquire);
+    return static_cast<std::size_t>(t - h);
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<T> buf_;
+  CacheAligned<std::atomic<std::uint64_t>> head_{};  // consumer index
+  CacheAligned<std::atomic<std::uint64_t>> tail_{};  // producer index
+  CacheAligned<std::uint64_t> cached_head_{};  // producer's view of head_
+  CacheAligned<std::uint64_t> cached_tail_{};  // consumer's view of tail_
+};
+
+}  // namespace lbmf::serve

@@ -42,10 +42,19 @@ fi
 # both steady-state extremes, worst static >= 1.5x adaptive, live
 # scheduler checksum); leaves BENCH_adapt.json.
 "$BUILD_DIR"/bench/bench_adapt --quick
+# Gates on the E10 acceptance (asym/sym >= 1 at the rare-update point,
+# 1 updater / 10ms); leaves BENCH_flowtable.json.
+"$BUILD_DIR"/bench/bench_flowtable --quick
+# Gates on the E19 acceptance (>= 1M live flows across >= 8 growable
+# shards, asym >= 1.3x sym on p99 sojourn and flows/sec at the
+# rare-update point, cross-shard wave >= 2x sequential rule push,
+# >= 1 adaptive policy switch per shard); leaves BENCH_serve.json.
+"$BUILD_DIR"/bench/bench_serve --quick
 
 missing=0
 for f in BENCH_arw.json BENCH_roundtrip.json BENCH_explorer.json \
-         BENCH_infer.json BENCH_sweep.json BENCH_adapt.json; do
+         BENCH_infer.json BENCH_sweep.json BENCH_adapt.json \
+         BENCH_flowtable.json BENCH_serve.json; do
   if ! test -s "$f"; then
     echo "::error::gated artifact $f is missing or empty"
     missing=1

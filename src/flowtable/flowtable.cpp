@@ -11,11 +11,10 @@ template class FlowTable<AsymmetricMembarrierFence>;
 template PipelineResult run_pipeline<SymmetricFence>(double, std::size_t,
                                                      std::uint64_t,
                                                      std::uint32_t,
-                                                     std::uint64_t);
-template PipelineResult run_pipeline<AsymmetricSignalFence>(double,
-                                                            std::size_t,
-                                                            std::uint64_t,
-                                                            std::uint32_t,
-                                                            std::uint64_t);
+                                                     std::uint64_t,
+                                                     std::size_t, Growth);
+template PipelineResult run_pipeline<AsymmetricSignalFence>(
+    double, std::size_t, std::uint64_t, std::uint32_t, std::uint64_t,
+    std::size_t, Growth);
 
 }  // namespace lbmf::flowtable

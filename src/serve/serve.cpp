@@ -1,0 +1,21 @@
+#include "lbmf/serve/serve.hpp"
+
+#include "lbmf/adapt/adaptive_fence.hpp"
+
+namespace lbmf::serve {
+
+// Explicit instantiations over the shipped fence policies (including the
+// adaptive one — the serving tier is where per-shard live regime switching
+// is exercised). FlowTable<AdaptiveFence> is instantiated here rather than
+// in flowtable.cpp so lbmf::flowtable keeps not depending on lbmf::adapt.
+template class Shard<SymmetricFence>;
+template class Shard<AsymmetricSignalFence>;
+template class Shard<AsymmetricMembarrierFence>;
+template class Shard<adapt::AdaptiveFence>;
+
+template class Server<SymmetricFence>;
+template class Server<AsymmetricSignalFence>;
+template class Server<AsymmetricMembarrierFence>;
+template class Server<adapt::AdaptiveFence>;
+
+}  // namespace lbmf::serve

@@ -117,6 +117,104 @@ TYPED_TEST(FlowTableTest, RemoteReaderSeesConsistentTotals) {
   owner.join();
 }
 
+TYPED_TEST(FlowTableTest, UpdateRuleReportsInsertVsUpdate) {
+  FlowTable<TypeParam> t(1u << 6);
+  t.bind_owner();
+  t.record_packet(7, 100);
+  // Existing flow: update, no new entry, stats preserved.
+  EXPECT_TRUE(t.update_rule(7, 3));
+  EXPECT_EQ(t.flow_count(), 1u);
+  auto s7 = t.owner_peek(7);
+  ASSERT_TRUE(s7.has_value());
+  EXPECT_EQ(s7->rule, 3u);
+  EXPECT_EQ(s7->packets, 1u);
+  // Missing flow: explicit insert of a zero-packet flow, reported as such.
+  EXPECT_FALSE(t.update_rule(8, 4));
+  EXPECT_EQ(t.flow_count(), 2u);
+  auto s8 = t.owner_peek(8);
+  ASSERT_TRUE(s8.has_value());
+  EXPECT_EQ(s8->rule, 4u);
+  EXPECT_EQ(s8->packets, 0u);
+  // Traffic arriving after the pre-installed rule sees it immediately.
+  EXPECT_EQ(t.record_packet(8, 64), 4u);
+  t.unbind_owner();
+}
+
+TYPED_TEST(FlowTableTest, GrowableTableRehashesIncrementally) {
+  // Start tiny and push three orders of magnitude more flows through:
+  // every doubling runs the incremental old->new migration under live
+  // mutation, and nothing may be lost or double-counted.
+  FlowTable<TypeParam> t(1u << 4, Growth::kGrowable);
+  t.bind_owner();
+  constexpr FlowKey kFlows = 20000;
+  for (int round = 0; round < 2; ++round) {
+    for (FlowKey k = 1; k <= kFlows; ++k) t.record_packet(k, 10);
+  }
+  EXPECT_EQ(t.flow_count(), kFlows);
+  EXPECT_GE(t.grow_count(), 10u);  // 16 -> 32768 is 11 doublings
+  EXPECT_GE(t.capacity(), kFlows * 4 / 3);
+  for (FlowKey k = 1; k <= kFlows; ++k) {
+    auto s = t.owner_peek(k);
+    ASSERT_TRUE(s.has_value()) << k;
+    EXPECT_EQ(s->packets, 2u) << k;
+    EXPECT_EQ(s->bytes, 20u) << k;
+  }
+  t.unbind_owner();
+}
+
+TYPED_TEST(FlowTableTest, RulesSurviveMigration) {
+  FlowTable<TypeParam> t(1u << 4, Growth::kGrowable);
+  t.bind_owner();
+  // Install rules early, then force several growths; rules must follow the
+  // entries across the rehash.
+  for (FlowKey k = 1; k <= 10; ++k) {
+    t.record_packet(k, 1);
+    t.update_rule(k, static_cast<std::uint32_t>(k * 7));
+  }
+  for (FlowKey k = 11; k <= 4000; ++k) t.record_packet(k, 1);
+  for (FlowKey k = 1; k <= 10; ++k) {
+    EXPECT_EQ(t.record_packet(k, 1), k * 7) << k;
+  }
+  t.unbind_owner();
+}
+
+TYPED_TEST(FlowTableTest, EvictBelowDropsColdFlows) {
+  FlowTable<TypeParam> t(1u << 4, Growth::kGrowable);
+  t.bind_owner();
+  for (FlowKey k = 1; k <= 100; ++k) {
+    const int reps = (k % 10 == 0) ? 5 : 1;  // every 10th flow is hot
+    for (int r = 0; r < reps; ++r) t.record_packet(k, 8);
+  }
+  EXPECT_EQ(t.flow_count(), 100u);
+  EXPECT_EQ(t.remote_evict_below(5), 90u);
+  EXPECT_EQ(t.flow_count(), 10u);
+  for (FlowKey k = 1; k <= 100; ++k) {
+    auto s = t.owner_peek(k);
+    if (k % 10 == 0) {
+      ASSERT_TRUE(s.has_value()) << k;
+      EXPECT_EQ(s->packets, 5u) << k;
+    } else {
+      EXPECT_FALSE(s.has_value()) << k;
+    }
+  }
+  // The table remains fully usable after the rebuild.
+  t.record_packet(3, 8);
+  EXPECT_EQ(t.flow_count(), 11u);
+  t.unbind_owner();
+}
+
+TEST(FlowTableDeath, FixedCapacityTableDiesWhenFull) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FlowTable<SymmetricFence> t(1u << 3, Growth::kFixed);
+        t.bind_owner();
+        for (FlowKey k = 1; k <= 8; ++k) t.record_packet(k, 1);
+        t.unbind_owner();
+      },
+      "flow table full");
+}
+
 TEST(PacketGenerator, DeterministicAndBounded) {
   PacketGenerator a(7, 100), b(7, 100);
   std::set<FlowKey> keys;
@@ -154,6 +252,20 @@ TEST(Pipeline, EndToEndRunProcessesPacketsAndUpdates) {
   EXPECT_EQ(r.sync.secondary_acquires, r.remote_updates);
   // The owner paid one primary announce per packet.
   EXPECT_GE(r.sync.primary_acquires, r.packets_processed);
+}
+
+TEST(Pipeline, GrowableTableAbsorbsUndersizedCapacity) {
+  // A 64-slot growable table under a 20k-flow population: the owner grows
+  // the table live (with updaters poking the secondary side) instead of
+  // dying with "flow table full" as the fixed path would.
+  const PipelineResult r = run_pipeline<AsymmetricSignalFence>(
+      /*duration_s=*/0.1, /*updaters=*/1, /*update_interval_us=*/500,
+      /*flows=*/20000, /*seed=*/0xf10u, /*capacity_pow2=*/1u << 6,
+      Growth::kGrowable);
+  EXPECT_GT(r.packets_processed, 1000u);
+  EXPECT_GT(r.flows_seen, 1000u);
+  EXPECT_GE(r.table_grows, 5u);
+  EXPECT_EQ(r.sync.secondary_acquires, r.remote_updates);
 }
 
 TEST(Pipeline, NoUpdatersMeansNoSerializations) {

@@ -8,6 +8,7 @@
 #include "lbmf/util/affinity.hpp"
 #include "lbmf/util/cacheline.hpp"
 #include "lbmf/util/check.hpp"
+#include "lbmf/util/histogram.hpp"
 #include "lbmf/util/rng.hpp"
 #include "lbmf/util/spin.hpp"
 #include "lbmf/util/stats.hpp"
@@ -203,6 +204,89 @@ TEST(Affinity, PinWrapsModuloCpuCount) {
   // Pinning to an index beyond the CPU count must still succeed (wraps).
   EXPECT_TRUE(pin_to_cpu(0));
   EXPECT_TRUE(pin_to_cpu(online_cpus() + 3));
+}
+
+// ---------------------------------------------------------------- histogram
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  LogHistogram h;
+  for (std::uint64_t v = 0; v < LogHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_floor(LogHistogram::bucket_of(v)), v);
+  }
+}
+
+TEST(LogHistogram, BucketFloorIsTightLowerBound) {
+  // For any value, the bucket floor is <= the value and within the
+  // advertised relative error (1/16 for kSubBits = 4).
+  for (std::uint64_t v : {17ull, 100ull, 1000ull, 123456ull, 99999999ull,
+                          (1ull << 40) + 12345, ~0ull - 5}) {
+    const std::uint64_t floor =
+        LogHistogram::bucket_floor(LogHistogram::bucket_of(v));
+    EXPECT_LE(floor, v);
+    EXPECT_GE(floor, v - v / LogHistogram::kSubBuckets - 1);
+    // Floors map back to their own bucket (canonical representative).
+    EXPECT_EQ(LogHistogram::bucket_of(floor), LogHistogram::bucket_of(v));
+  }
+}
+
+TEST(LogHistogram, EmptyHistogram) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogram, PercentilesOnUniformRamp) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 10000u);
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 5000.0, 5000.0 / 16 + 1);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 9900.0, 9900.0 / 16 + 1);
+  EXPECT_EQ(h.percentile(100), 10000u);
+  EXPECT_NEAR(h.mean(), 5000.5, 0.001);
+  // Percentiles are monotone in pct.
+  std::uint64_t prev = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t q = h.percentile(p);
+    EXPECT_GE(q, prev) << p;
+    prev = q;
+  }
+}
+
+TEST(LogHistogram, SingleValueAllPercentiles) {
+  LogHistogram h;
+  h.record(777);
+  for (double p : {0.1, 50.0, 99.0, 100.0}) EXPECT_EQ(h.percentile(p), 777u);
+}
+
+TEST(LogHistogram, MergeMatchesCombinedRecording) {
+  LogHistogram a, b, combined;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    (v % 2 ? a : b).record(v * 3);
+    combined.record(v * 3);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {10.0, 50.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p)) << p;
+  }
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+  h.record(9);
+  EXPECT_EQ(h.percentile(50), 9u);
 }
 
 }  // namespace
