@@ -18,11 +18,28 @@
 // legitimately occupy their critical sections concurrently); coherence
 // checking stays on in both.
 //
+// E20 — explorer scale-up: the same binary also measures the three
+// reductions that make the big-protocol inferences tractable.
+//   symmetry    — three byte-identical Dekker sides; the canonical graph
+//                 (states modulo CPU permutation) vs the exact graph, with
+//                 equal verdicts (gate: >= 1.3x fewer states).
+//   spill       — the exact run re-done under a 64 KiB visited-set budget:
+//                 identical state/transition counts, but the cold
+//                 fingerprints frozen into mmap'd segments (gate: >= 1
+//                 segment, counters unchanged).
+//   incremental — a holey Dekker swept over a freq x roundtrip grid, cold
+//                 (every verification from the initial state) vs warm
+//                 (verifications resume from the persisted hole-independent
+//                 prefix region), with bit-identical optima (gate: warm
+//                 total explorer work, prefix included, strictly below
+//                 cold).
+//
 //   bench_explorer            # full measurement (120k-state budget)
 //   bench_explorer --quick    # CI smoke mode (60k-state budget)
 //
-// Emits BENCH_explorer.json (states/sec of the default engine plus the
-// speedup and memory ratios vs the seed baseline) in the working directory.
+// Emits BENCH_explorer.json (states/sec and peak RSS of the default engine,
+// the speedup and memory ratios vs the seed baseline, plus the E20
+// symmetry/spill/incremental section) in the working directory.
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +50,12 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define LBMF_BENCH_HAVE_RUSAGE 1
+#endif
+
+#include "lbmf/infer/infer.hpp"
 #include "lbmf/sim/explorer.hpp"
 #include "lbmf/sim/litmus.hpp"
 #include "seed_baseline.hpp"
@@ -129,7 +152,25 @@ struct Row {
   std::uint64_t states = 0;
   std::uint64_t visited_bytes = 0;
   double states_per_sec = 0;
+  std::uint64_t peak_rss_kib = 0;  // process high-water mark after the row
 };
+
+// Process peak resident set size in KiB (monotone: each row reports the
+// high-water mark up to and including itself). 0 where getrusage is
+// unavailable.
+std::uint64_t peak_rss_kib() {
+#ifdef LBMF_BENCH_HAVE_RUSAGE
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss) / 1024;  // bytes there
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss);  // already KiB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
 
 SimConfig workload_config() {
   SimConfig cfg;
@@ -172,8 +213,58 @@ Row measure(const char* label, double min_seconds, Run run) {
     elapsed = std::chrono::duration<double>(r1 - t0).count();
   } while (elapsed < min_seconds);
   row.states_per_sec = best;
+  row.peak_rss_kib = peak_rss_kib();
   return row;
 }
+
+// E20 symmetry/spill workload: three byte-identical copies of the hot
+// (l-mfence) Dekker side contending on one flag pair. auto_symmetry()
+// groups all three, so the canonical graph identifies states up to any of
+// the 3! CPU permutations — and the exact graph stays small enough to
+// enumerate fully in CI.
+Machine symmetric_workload() {
+  SimConfig cfg = workload_config();
+  cfg.num_cpus = 3;
+  Machine m(cfg);
+  for (std::size_t cpu = 0; cpu < 3; ++cpu) {
+    m.load_program(cpu,
+                   dekker_side(addr::kFlag0, addr::kFlag1, FenceKind::kLmfence));
+  }
+  return m;
+}
+
+// E20 incremental workload: a holey Dekker behind a hole-independent
+// warm-up prefix (the private [V]/[W] traffic), so the persisted prefix
+// region — which every verification of every candidate re-explores when
+// run cold — is a substantial share of each check.
+constexpr const char* kHoleyDekker = R"(cpu 0:
+  freq 1000
+  store [V], 1
+  store [V], 2
+  load r2, [V]
+  store [V], 3
+  ?fence [A], 1
+  load r0, [B]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  store [A], 0
+  halt
+cpu 1:
+  store [W], 1
+  store [W], 2
+  load r2, [W]
+  store [W], 3
+  ?fence [B], 1
+  load r0, [A]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  store [B], 0
+  halt
+)";
 
 }  // namespace
 
@@ -221,13 +312,14 @@ int main(int argc, char** argv) {
       "two independent asymmetric-Dekker pairs (l-mfence/mfence), 4 CPUs,\n"
       "max_states=%llu for every engine, %s measurement\n\n",
       static_cast<unsigned long long>(max_states), quick ? "quick" : "full");
-  std::printf("%-34s %8s %12s %14s\n", "engine", "states", "visited-B",
-              "states/sec");
+  std::printf("%-34s %8s %12s %14s %12s\n", "engine", "states", "visited-B",
+              "states/sec", "peak-RSS-KiB");
   for (const Row& r : rows) {
-    std::printf("%-34s %8llu %12llu %14.0f\n", r.label,
+    std::printf("%-34s %8llu %12llu %14.0f %12llu\n", r.label,
                 static_cast<unsigned long long>(r.states),
                 static_cast<unsigned long long>(r.visited_bytes),
-                r.states_per_sec);
+                r.states_per_sec,
+                static_cast<unsigned long long>(r.peak_rss_kib));
   }
 
   const Row& base = rows[0];
@@ -245,19 +337,139 @@ int main(int argc, char** argv) {
               "(%llu states)\n",
               static_cast<unsigned long long>(def.states));
 
+  // ---- E20: symmetry reduction, spillable visited set, incremental ----
+
+  // Symmetry: the exact graph vs the canonical (mod CPU permutation) graph
+  // of four byte-identical Dekker sides. Equal verdicts, fewer states.
+  Explorer::Options e20;
+  e20.max_states = 2'000'000;
+  e20.check_mutual_exclusion = false;  // all four sides share one CS
+  const ExploreResult sym_off = explore_all(symmetric_workload(), e20);
+  Machine sym_m = symmetric_workload();
+  sym_m.auto_symmetry();
+  const ExploreResult sym_on = explore_all(sym_m, e20);
+  const double sym_ratio =
+      sym_on.states_explored == 0
+          ? 0.0
+          : static_cast<double>(sym_off.states_explored) /
+                static_cast<double>(sym_on.states_explored);
+  const bool sym_ok = !sym_off.hit_limit && !sym_on.hit_limit &&
+                      sym_off.violation.has_value() ==
+                          sym_on.violation.has_value() &&
+                      sym_ratio >= 1.3;
+  std::printf("\nE20 symmetry (3 identical Dekker sides, orbit %llu):\n"
+              "  exact %llu states vs canonical %llu states: %.1fx fewer "
+              "(target >= 1.3x), verdicts %s\n",
+              static_cast<unsigned long long>(sym_on.symmetry_orbit),
+              static_cast<unsigned long long>(sym_off.states_explored),
+              static_cast<unsigned long long>(sym_on.states_explored),
+              sym_ratio,
+              sym_off.violation.has_value() == sym_on.violation.has_value()
+                  ? "equal"
+                  : "DIFFER");
+
+  // Spill: the exact run again under a 64 KiB visited-set budget. Same
+  // graph, same counters; the cold fingerprints land in mmap'd segments.
+  Explorer::Options spill_opts = e20;
+  spill_opts.visited_budget_bytes = 64 * 1024;
+  const ExploreResult spilled = explore_all(symmetric_workload(), spill_opts);
+  const bool spill_ok = spilled.states_explored == sym_off.states_explored &&
+                        spilled.transitions == sym_off.transitions &&
+                        spilled.spill_segments >= 1;
+  std::printf("E20 spill (64 KiB budget): %llu states (%s), %.1f KiB in %u "
+              "segment(s), %.1f KiB resident\n",
+              static_cast<unsigned long long>(spilled.states_explored),
+              spilled.states_explored == sym_off.states_explored
+                  ? "counters unchanged"
+                  : "COUNTERS CHANGED",
+              static_cast<double>(spilled.spill_bytes) / 1024.0,
+              spilled.spill_segments,
+              static_cast<double>(spilled.visited_bytes) / 1024.0);
+
+  // Incremental: sweep the holey Dekker over a freq x roundtrip grid, cold
+  // vs warm. Warm verifications resume from the one-time prefix region;
+  // the optima must be bit-identical.
+  namespace infer = lbmf::infer;
+  const infer::ProblemParse parsed = infer::problem_from_source(kHoleyDekker);
+  std::uint64_t inc_cold = 0, inc_warm = 0;
+  bool inc_ok = false;
+  double inc_ratio = 0.0;
+  if (parsed.ok()) {
+    infer::SweepOptions so;
+    so.victim_freqs = {1, 1'000, 100'000};
+    so.roundtrips = {150, 1'500};
+    so.engine.incremental = false;
+    const infer::SweepResult cold = infer::run_sweep(*parsed.problem, so);
+    so.engine.incremental = true;
+    const infer::SweepResult warm = infer::run_sweep(*parsed.problem, so);
+    inc_cold = cold.states_total;
+    // Total explorer work including the one-time prefix build, so the
+    // comparison cannot hide the region cost.
+    inc_warm = warm.states_total + warm.prefix_states;
+    bool same_optima = cold.points.size() == warm.points.size();
+    for (std::size_t i = 0; same_optima && i < cold.points.size(); ++i) {
+      same_optima = cold.points[i].status == warm.points[i].status &&
+                    cold.points[i].best.kinds == warm.points[i].best.kinds &&
+                    cold.points[i].best_cost == warm.points[i].best_cost;
+    }
+    inc_ratio = inc_warm == 0 ? 0.0
+                              : static_cast<double>(inc_cold) /
+                                    static_cast<double>(inc_warm);
+    inc_ok = same_optima && warm.incremental_reuses > 0 && inc_warm < inc_cold;
+    std::printf("E20 incremental (6-point sweep): cold %llu states vs warm "
+                "%llu (+%llu-state prefix, %llu reuses): %.2fx less work, "
+                "optima %s\n",
+                static_cast<unsigned long long>(inc_cold),
+                static_cast<unsigned long long>(warm.states_total),
+                static_cast<unsigned long long>(warm.prefix_states),
+                static_cast<unsigned long long>(warm.incremental_reuses),
+                inc_ratio, same_optima ? "bit-identical" : "DIFFER");
+  } else {
+    std::printf("E20 incremental: holey workload failed to parse\n");
+  }
+  const std::uint64_t rss_kib = peak_rss_kib();
+
   if (std::FILE* f = std::fopen("BENCH_explorer.json", "w")) {
     std::fprintf(f,
                  "{\"bench\":\"explorer\",\"workload\":\"asymmetric_dekker_x2\","
                  "\"max_states\":%llu,\"states_per_sec\":%.0f,"
-                 "\"speedup_vs_seed\":%.2f,\"memory_ratio_vs_seed\":%.2f,"
-                 "\"quick\":%s}\n",
+                 "\"peak_rss_kib\":%llu,"
+                 "\"speedup_vs_seed\":%.2f,\"memory_ratio_vs_seed\":%.2f,",
                  static_cast<unsigned long long>(max_states),
-                 def.states_per_sec, speedup, mem_ratio,
-                 quick ? "true" : "false");
+                 def.states_per_sec,
+                 static_cast<unsigned long long>(rss_kib), speedup, mem_ratio);
+    std::fprintf(f,
+                 "\"symmetry\":{\"orbit\":%llu,\"states_exact\":%llu,"
+                 "\"states_canonical\":%llu,\"ratio\":%.2f},",
+                 static_cast<unsigned long long>(sym_on.symmetry_orbit),
+                 static_cast<unsigned long long>(sym_off.states_explored),
+                 static_cast<unsigned long long>(sym_on.states_explored),
+                 sym_ratio);
+    std::fprintf(f,
+                 "\"spill\":{\"segments\":%u,\"spill_bytes\":%llu,"
+                 "\"counters_unchanged\":%s},",
+                 spilled.spill_segments,
+                 static_cast<unsigned long long>(spilled.spill_bytes),
+                 spill_ok ? "true" : "false");
+    std::fprintf(f,
+                 "\"incremental\":{\"states_cold\":%llu,\"states_warm\":%llu,"
+                 "\"ratio\":%.2f,\"optima_equal\":%s},"
+                 "\"quick\":%s}\n",
+                 static_cast<unsigned long long>(inc_cold),
+                 static_cast<unsigned long long>(inc_warm), inc_ratio,
+                 inc_ok ? "true" : "false", quick ? "true" : "false");
     std::fclose(f);
     std::printf("\nwrote BENCH_explorer.json\n");
   }
-  const bool pass = speedup >= 5.0 && mem_ratio >= 4.0;
-  std::printf("%s\n", pass ? "PASS" : "FAIL: below target ratios");
+  const bool pass =
+      speedup >= 5.0 && mem_ratio >= 4.0 && sym_ok && spill_ok && inc_ok;
+  if (!pass) {
+    std::printf("FAIL:%s%s%s%s\n",
+                speedup >= 5.0 && mem_ratio >= 4.0 ? "" : " seed-ratios",
+                sym_ok ? "" : " symmetry", spill_ok ? "" : " spill",
+                inc_ok ? "" : " incremental");
+  } else {
+    std::printf("PASS\n");
+  }
   return pass ? 0 : 1;
 }

@@ -13,6 +13,14 @@
 //   fence_inferencer test.lit --json=out.json # also write the JSON report
 //   fence_inferencer test.lit --exhaustive    # naive 3^k enumeration
 //   fence_inferencer test.lit --no-minimality # skip the minimality sweep
+//   fence_inferencer test.lit --no-symmetry   # no orbit canonicalization /
+//                                             # machine state symmetry
+//   fence_inferencer test.lit --no-incremental # cold explorer run per
+//                                             # candidate (no prefix reuse)
+//   fence_inferencer test.lit --graph-cache=g.bin # persist the reached-state
+//                                             # prefix graph: loaded when the
+//                                             # key matches, rebuilt + saved
+//                                             # otherwise
 //   fence_inferencer test.lit --max-states=N --batch=K --threads=T
 //   fence_inferencer test.lit --sweep        # Fig. 6-style cost frontier:
 //                                            # re-solve over a (victim freq
@@ -45,6 +53,7 @@ struct CliOptions {
   infer::InferenceEngine::Options engine;
   std::string json_path;
   std::string policy_json_path;
+  std::string graph_cache_path;
   bool sweep = false;
 };
 
@@ -85,6 +94,9 @@ CliOptions parse_flags(int argc, char** argv) {
     } else if (a.rfind("--policy-json=", 0) == 0) {
       cli.policy_json_path = a.substr(14);
       if (cli.policy_json_path.empty()) bad_flag(a);
+    } else if (a.rfind("--graph-cache=", 0) == 0) {
+      cli.graph_cache_path = a.substr(14);
+      if (cli.graph_cache_path.empty()) bad_flag(a);
     } else if (a == "--sweep") {
       cli.sweep = true;
     } else if (a == "--exhaustive") {
@@ -93,6 +105,10 @@ CliOptions parse_flags(int argc, char** argv) {
       cli.engine.learn_clauses = false;
     } else if (a == "--no-minimality") {
       cli.engine.minimality_pass = false;
+    } else if (a == "--no-symmetry") {
+      cli.engine.symmetry = false;
+    } else if (a == "--no-incremental") {
+      cli.engine.incremental = false;
     } else if (a == "--no-por") {
       cli.engine.por = false;
     } else {
@@ -195,6 +211,9 @@ std::string json_report(const infer::InferProblem& p,
   j << "  \"candidates_verified\": " << r.candidates_verified << ",\n";
   j << "  \"candidates_pruned\": " << r.candidates_pruned << ",\n";
   j << "  \"states_total\": " << r.states_total << ",\n";
+  j << "  \"prefix_states\": " << r.prefix_states << ",\n";
+  j << "  \"incremental_reuses\": " << r.incremental_reuses << ",\n";
+  j << "  \"cache_hits\": " << r.cache_hits << ",\n";
   if (r.status == infer::InferStatus::kSat) {
     j << "  \"best_cost\": " << r.best_cost << ",\n";
     j << "  \"recheck_safe\": " << (r.recheck_safe ? "true" : "false")
@@ -258,10 +277,13 @@ int run_sweep_mode(const infer::InferProblem& p, const CliOptions& cli) {
                 x.lest_roundtrip, x.from.c_str(), x.to.c_str(), x.freq_before,
                 x.freq_after);
   }
-  std::printf("explorer runs %llu, verdict-cache hits %llu, states %llu\n",
+  std::printf("explorer runs %llu, verdict-cache hits %llu, states %llu, "
+              "prefix region %llu states reused %llu times\n",
               static_cast<unsigned long long>(sr.explorer_runs),
               static_cast<unsigned long long>(sr.cache_hits),
-              static_cast<unsigned long long>(sr.states_total));
+              static_cast<unsigned long long>(sr.states_total),
+              static_cast<unsigned long long>(sr.prefix_states),
+              static_cast<unsigned long long>(sr.incremental_reuses));
 
   if (!cli.json_path.empty()) {
     std::ofstream jf(cli.json_path);
@@ -291,7 +313,7 @@ int run_sweep_mode(const infer::InferProblem& p, const CliOptions& cli) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const CliOptions cli = parse_flags(argc, argv);
+  CliOptions cli = parse_flags(argc, argv);
   const std::string source = read_source(argc, argv);
 
   infer::ProblemParse parsed = infer::problem_from_source(source);
@@ -311,6 +333,48 @@ int main(int argc, char** argv) {
     std::printf(" cpu%zu=%g", c, p.cpu_freq(c));
   }
   std::printf("\n");
+  if (!p.symmetric_groups.empty() && cli.engine.symmetry) {
+    std::printf("symmetric groups:");
+    for (const auto& g : p.symmetric_groups) {
+      std::printf(" {");
+      for (std::size_t k = 0; k < g.size(); ++k) {
+        std::printf("%scpu%u", k ? "," : "", g[k]);
+      }
+      std::printf("}");
+    }
+    std::printf(" — searching per placement orbit\n");
+  }
+
+  // The persisted reached-state prefix graph: reuse it when its key still
+  // matches this problem (programs/sites/config/property — not costs),
+  // otherwise rebuild under the engine's explorer options and save.
+  infer::PrefixGraph cached_graph;
+  if (!cli.graph_cache_path.empty() && cli.engine.incremental &&
+      !p.sites.empty()) {
+    const lbmf::Hash128 key = infer::problem_graph_key(p);
+    if (infer::load_prefix_graph(cached_graph, cli.graph_cache_path, key)) {
+      std::printf("prefix cache: hit — %s (%llu region states, %zu seeds)\n",
+                  cli.graph_cache_path.c_str(),
+                  static_cast<unsigned long long>(
+                      cached_graph.base.states_explored),
+                  cached_graph.seeds.size());
+    } else {
+      cached_graph = infer::build_prefix_graph(
+          p, infer::InferenceEngine::explorer_options_for(p, cli.engine));
+      if (cached_graph.valid &&
+          infer::save_prefix_graph(cached_graph, cli.graph_cache_path)) {
+        std::printf(
+            "prefix cache: miss — built %llu region states, %zu seeds, "
+            "saved to %s\n",
+            static_cast<unsigned long long>(cached_graph.base.states_explored),
+            cached_graph.seeds.size(), cli.graph_cache_path.c_str());
+      } else {
+        std::printf("prefix cache: unusable (region over budget or "
+                    "unwritable path)\n");
+      }
+    }
+    if (cached_graph.valid) cli.engine.prefix_graph = &cached_graph;
+  }
 
   if (cli.sweep) return run_sweep_mode(p, cli);
 
@@ -325,6 +389,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.candidates_pruned),
               r.clauses.size(),
               static_cast<unsigned long long>(r.states_total));
+  if (r.incremental_reuses > 0) {
+    std::printf("incremental: %llu checks resumed from a %llu-state prefix "
+                "region\n",
+                static_cast<unsigned long long>(r.incremental_reuses),
+                static_cast<unsigned long long>(r.prefix_states));
+  }
   for (const std::string& c : r.clauses) {
     std::printf("  clause: %s\n", c.c_str());
   }

@@ -11,7 +11,14 @@
 //   litmus_runner test.lit --max-states=1000000   # state budget
 //   litmus_runner test.lit --no-por         # disable partial-order reduction
 //   litmus_runner test.lit --threads=8      # parallel exploration
-//   litmus_runner test.lit --stats          # dedup hit rate, states/sec, ...
+//   litmus_runner test.lit --stats          # dedup hit rate, states/sec,
+//                                           # symmetry orbit, spill bytes, ...
+//   litmus_runner test.lit --no-symmetry    # disable thread-symmetry state
+//                                           # canonicalization (see LITMUS.md
+//                                           # `symmetric`; identical programs
+//                                           # are also auto-detected)
+//   litmus_runner test.lit --visited-budget=BYTES  # spill the visited set to
+//                                           # mmap'd cold segments past BYTES
 //   litmus_runner test.lit --expect-violation  # negative test: fail if SAFE
 //   echo "..." | litmus_runner -            # read the test from stdin
 //
@@ -23,12 +30,14 @@
 // examples/litmus/.
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "lbmf/sim/assembler.hpp"
 #include "lbmf/sim/explorer.hpp"
@@ -67,6 +76,12 @@ struct CliOptions {
   bool por = true;
   std::size_t threads = 1;
   bool stats = false;
+  /// Thread-symmetry reduction: canonicalize states under permutations of
+  /// CPUs running byte-identical programs (`symmetric` directive groups
+  /// plus auto-detection). --no-symmetry is the exact-search escape hatch.
+  bool symmetry = true;
+  /// Visited-set memory budget in bytes; 0 = unbounded (never spill).
+  std::uint64_t visited_budget = 0;
   /// Negative tests (broken_*.lit): succeed only if a violation is found.
   bool expect_violation = false;
 };
@@ -102,6 +117,14 @@ CliOptions parse_flags(int argc, char** argv) {
       }
     } else if (a == "--stats") {
       cli.stats = true;
+    } else if (a == "--no-symmetry") {
+      cli.symmetry = false;
+    } else if (a.rfind("--visited-budget=", 0) == 0) {
+      char* end = nullptr;
+      cli.visited_budget = std::strtoull(a.c_str() + 17, &end, 10);
+      if (end == nullptr || *end != '\0' || cli.visited_budget == 0) {
+        bad_flag(a);
+      }
     } else if (a == "--expect-violation") {
       cli.expect_violation = true;
     } else {
@@ -166,11 +189,28 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < assembled.programs.size(); ++i) {
     machine.load_program(i, assembled.programs[i]);
   }
+  if (cli.symmetry) {
+    // Declared `symmetric` groups were validated at assemble time;
+    // auto_symmetry then groups any remaining byte-identical programs.
+    std::vector<std::vector<std::uint8_t>> declared;
+    for (const auto& g : assembled.symmetric_groups) {
+      declared.emplace_back(g.begin(), g.end());
+    }
+    if (!declared.empty()) machine.set_symmetric_groups(std::move(declared));
+    machine.auto_symmetry();
+    if (machine.symmetry_orbit() > 1) {
+      std::printf("thread symmetry: %zu group(s), orbit %llu "
+                  "(--no-symmetry for the exact search)\n",
+                  machine.symmetric_groups().size(),
+                  static_cast<unsigned long long>(machine.symmetry_orbit()));
+    }
+  }
 
   Explorer::Options opts;
   opts.max_states = cli.max_states;
   opts.por = cli.por;
   opts.threads = cli.threads;
+  opts.visited_budget_bytes = cli.visited_budget;
   // Terminal-state property: `final` directives (if any) plus deadlock
   // detection for tests using `lock`/`unlock`. A no-op for tests without
   // either construct.
@@ -197,12 +237,17 @@ int main(int argc, char** argv) {
             : 100.0 * static_cast<double>(r.dedup_hits) /
                   static_cast<double>(r.transitions);
     std::printf("stats: %.0f states/sec, dedup hit rate %.1f%% "
-                "(%llu of %llu), visited set %.1f KiB\n",
+                "(%llu of %llu), visited set %.1f KiB resident\n",
                 seconds > 0 ? static_cast<double>(r.states_explored) / seconds
                             : 0.0,
                 hit_rate, static_cast<unsigned long long>(r.dedup_hits),
                 static_cast<unsigned long long>(r.transitions),
                 static_cast<double>(r.visited_bytes) / 1024.0);
+    std::printf("stats: symmetry orbit %llu, spilled %.1f KiB in %u "
+                "segment(s)\n",
+                static_cast<unsigned long long>(r.symmetry_orbit),
+                static_cast<double>(r.spill_bytes) / 1024.0,
+                r.spill_segments);
   }
   if (r.hit_limit) {
     std::printf("STATE LIMIT HIT — result inconclusive "

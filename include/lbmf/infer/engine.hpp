@@ -14,6 +14,8 @@
 
 namespace lbmf::infer {
 
+struct PrefixGraph;
+
 enum class InferStatus : std::uint8_t {
   kSat,    // a SAFE placement exists; `best` holds the cheapest one found
   kUnsat,  // no placement makes the program safe (fence-independent bug)
@@ -24,7 +26,11 @@ const char* to_string(InferStatus s) noexcept;
 
 /// One entry of the minimality certificate: what happened when `site` was
 /// weakened (to = kNone) or swapped to the other fence kind, starting from
-/// the winning assignment.
+/// the winning assignment. Strengthenings are certified SAFE by lattice
+/// monotonicity without a run; weakenings are answered by the verdict
+/// cache, by a learned counterexample clause, or by a fresh exploration
+/// when the mutation would actually be cheaper. Mutations that are both
+/// pricier and undecidable without a run are omitted from the certificate.
 struct MinimalityNote {
   std::size_t site = 0;
   FenceKind from = FenceKind::kNone;
@@ -90,8 +96,16 @@ struct InferResult {
   /// Full lattice size Π per-site kind counts (3^holes minus the l-mfence
   /// option at register-store sites) — what naive enumeration verifies.
   std::uint64_t lattice_size = 0;
-  /// Σ states_explored over every explorer invocation.
+  /// Σ states_explored over every explorer invocation. Candidate checks
+  /// that resumed from the prefix graph contribute only their *new* suffix
+  /// states here; the shared region is counted once in prefix_states.
   std::uint64_t states_total = 0;
+  /// States in the hole-independent prefix region (0 when incremental mode
+  /// is off or the region alone blew the per-check budget).
+  std::uint64_t prefix_states = 0;
+  /// Candidate checks that resumed from the prefix graph instead of
+  /// re-exploring from the root.
+  std::uint64_t incremental_reuses = 0;
 
   /// Final fresh explorer run over `best` (not counted above): the
   /// end-to-end certificate that the emitted placement is SAFE.
@@ -146,11 +160,39 @@ class InferenceEngine {
     /// engine). The final recheck always bypasses it, so the emitted
     /// certificate is a fresh exploration even on a fully cached run.
     VerdictCache* verdict_cache = nullptr;
+    /// Thread-symmetry reduction: candidate assignments are canonicalized
+    /// per orbit of the problem's symmetric_groups (one run stands for
+    /// every within-group permutation of a placement), learned clauses
+    /// prune across those permutations, and every explored machine gets
+    /// Machine-level state symmetry via auto_symmetry(). Off = the exact
+    /// search, one run per lattice point reached.
+    bool symmetry = true;
+    /// Incremental re-exploration: explore the hole-independent prefix
+    /// region once (see infer/reach.hpp) and resume every candidate check
+    /// from its frontier instead of from the root. Verdict-equivalent to
+    /// cold checks; falls back to cold runs when the region alone exceeds
+    /// max_states_per_check.
+    bool incremental = true;
+    /// Externally built or loaded prefix graph (not owned; must outlive
+    /// the engine). Used only when valid and its key matches this
+    /// problem's problem_graph_key; otherwise the engine builds its own
+    /// when `incremental` is set. run_sweep shares one graph this way
+    /// across a whole cost grid.
+    const PrefixGraph* prefix_graph = nullptr;
   };
 
   InferenceEngine(InferProblem problem, Options opts);
 
   InferResult run();
+
+  /// The explorer configuration `o` implies for checking candidates of `p`
+  /// (coherence + mutual-exclusion checks, the problem's final-state
+  /// property, state budget, POR, threads). Shared by the engine itself,
+  /// run_sweep's grid-wide prefix-graph build and the CLI's --graph-cache
+  /// path, so every prefix graph is built under the exact checks it will
+  /// later answer for.
+  static sim::Explorer::Options explorer_options_for(const InferProblem& p,
+                                                     const Options& o);
 
  private:
   InferProblem p_;

@@ -72,6 +72,13 @@ struct InferProblem {
   /// sim::final_state_check. Empty = deadlock detection only.
   std::vector<std::vector<std::pair<sim::Addr, sim::Word>>> final_allowed;
   sim::SimConfig config;
+  /// Groups of interchangeable CPUs (byte-identical programs, equal freqs,
+  /// aligned sites), auto-detected by problem_from_source. The engine uses
+  /// them two ways: candidate assignments are canonicalized per orbit (one
+  /// explorer run stands for every within-group permutation of a
+  /// placement), and uniform-within-group candidates explore with
+  /// Machine-level state symmetry on. Empty = no reduction.
+  std::vector<std::vector<std::uint8_t>> symmetric_groups;
 
   /// Uniform assignment over all sites (e.g. the all-kNone lattice bottom).
   Assignment uniform(FenceKind k) const;
@@ -114,6 +121,10 @@ std::vector<FenceSite> discover_sites(
 struct Instantiation {
   std::vector<sim::Program> programs;
   std::vector<std::size_t> site_pos;
+  /// Per CPU: old instruction index -> instantiated index (one extra entry
+  /// mapping old end to new end). The incremental explorer uses this to
+  /// remap saved prefix-state pcs into candidate coordinates.
+  std::vector<std::vector<std::uint32_t>> pc_map;
 };
 
 /// Materialize an assignment: per site, nothing (kNone), an mfence
@@ -125,6 +136,27 @@ Instantiation instantiate(const InferProblem& p, const Assignment& a);
 /// instantiate() loaded into a machine with the problem's config and
 /// initial memory — ready for the explorer.
 sim::Machine instantiate_machine(const InferProblem& p, const Assignment& a);
+
+/// Detect interchangeable CPUs of a problem: byte-identical base programs,
+/// equal freqs, and fence sites aligned by (instr_index, addr, value).
+/// Groups of size >= 2 only; used by problem_from_source.
+std::vector<std::vector<std::uint8_t>> detect_symmetric_groups(
+    const InferProblem& p);
+
+/// Site indices per group member, ordered by instr_index:
+/// result[g][k] lists the sites of p.symmetric_groups[g]'s k-th member.
+/// Aligned across members by construction, so permuting the per-member
+/// kind tuples of an Assignment along these lists realizes the CPU
+/// permutation at the placement level.
+std::vector<std::vector<std::vector<std::size_t>>> group_sites(
+    const InferProblem& p);
+
+/// Orbit representative of `a` under the problem's symmetric groups: the
+/// per-member kind tuples of each group, sorted. Sound as a search-space
+/// quotient because within-group CPU permutation is a transition-system
+/// automorphism (same verdict) and site costs are group-invariant (equal
+/// freqs and identical peer load profiles => equal cost).
+Assignment canonicalize_assignment(const InferProblem& p, const Assignment& a);
 
 /// Cost of choosing `k` at one site, in expected cycles per unit time:
 ///   kNone     0

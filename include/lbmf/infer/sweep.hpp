@@ -62,6 +62,13 @@ struct SweepResult {
   std::uint64_t explorer_runs = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t states_total = 0;
+  /// Incremental re-exploration across the grid: the hole-independent
+  /// prefix region is built once (its key excludes freqs and costs, so one
+  /// graph serves every grid point) and each fresh verification resumes
+  /// from it. prefix_states is that one-time region size;
+  /// incremental_reuses counts the verifications that resumed from it.
+  std::uint64_t prefix_states = 0;
+  std::uint64_t incremental_reuses = 0;
 
   /// All grid points solved to kSat with a SAFE recheck.
   bool all_sat() const noexcept;

@@ -47,6 +47,12 @@ struct AssembleResult {
   /// disjunction. Empty means "no terminal-state property". Checked against
   /// coherent values once no CPU can step (see sim::final_state_check).
   std::vector<std::vector<std::pair<Addr, Word>>> final_allowed;
+  /// `symmetric cpu N, M[, ...]` directives: groups of CPUs the author
+  /// declares interchangeable. Validated at assemble time (byte-identical
+  /// programs, equal freqs, aligned `?fence` holes) so the declaration
+  /// fails loudly when the programs drift apart, then consumed by
+  /// Machine::set_symmetric_groups for state canonicalization.
+  std::vector<std::vector<std::size_t>> symmetric_groups;
   std::optional<AssembleError> error;
 
   bool ok() const noexcept { return !error.has_value(); }
@@ -58,6 +64,7 @@ struct AssembleResult {
 ///
 ///   init [flag], 0       # optional initial memory, before any cpu section
 ///   final [t0], 1, [t1], 0   # allowed terminal state (repeat = disjunction)
+///   symmetric cpu 1, 2   # declare CPUs interchangeable (validated)
 ///   cpu 0:
 ///     freq  1000           # relative execution frequency (fence inference)
 ///     mov   r2, 5          # registers r0..r7

@@ -18,10 +18,17 @@ struct ExploreResult {
   std::uint64_t terminal_states = 0;
   /// Transitions that landed on an already-visited state (memoization hits).
   std::uint64_t dedup_hits = 0;
-  /// Approximate footprint of the visited-state structure at the end of the
-  /// run (fingerprint slots, or canonical keys + node overhead in
-  /// exact_dedup mode).
+  /// Approximate *resident* footprint of the visited-state structure at the
+  /// end of the run (fingerprint slots, or canonical keys + node overhead
+  /// in exact_dedup mode). Spilled segments are excluded.
   std::uint64_t visited_bytes = 0;
+  /// Bytes of visited-set state frozen into file-backed spill segments
+  /// (see Options::visited_budget_bytes), and how many segments.
+  std::uint64_t spill_bytes = 0;
+  std::uint32_t spill_segments = 0;
+  /// Machine::symmetry_orbit() of the explored machine: how many raw states
+  /// each canonical representative stands for (1 = no reduction).
+  std::uint64_t symmetry_orbit = 1;
   bool hit_limit = false;
 
   /// First invariant violation found, with the schedule reaching it.
@@ -82,6 +89,12 @@ class Explorer {
     /// Slower and ~15x more memory, but dedup is exact by construction —
     /// the audit mode tests use it to show fingerprinting loses nothing.
     bool exact_dedup = false;
+    /// In-RAM budget for the visited set; 0 = unbounded. When a shard of
+    /// the set outgrows its slice, its live fingerprints freeze into a
+    /// file-backed mmap'd segment and a fresh live set takes over, so deep
+    /// explorations degrade to probing disk-backed pages instead of
+    /// OOMing. Ignored in exact_dedup mode.
+    std::uint64_t visited_budget_bytes = 0;
     /// Number of lbmf::ws workers to fan the exploration out over; 0 or 1
     /// explores sequentially. Parallel runs visit the same states and
     /// produce the same outcomes/verdicts, but states_explored can differ
@@ -113,5 +126,30 @@ ExploreResult explore_all(Machine machine, Explorer::Options opts);
 /// view of a counterexample.
 std::string annotate_schedule(Machine initial,
                               const std::vector<Choice>& schedule);
+
+/// One start state for a seeded (incremental) run: a machine inside the
+/// frontier of a pre-explored prefix region, the schedule that reaches it
+/// from the true root, and the subset of its enabled choices still to take
+/// (its remaining edges were already explored inside the prefix region, so
+/// the seed frame counts as fully expanded for the POR cycle proviso).
+struct SeedState {
+  Machine m;
+  std::vector<Choice> prefix;
+  std::vector<Choice> agenda;
+};
+
+/// Resume an exploration from pre-explored seeds instead of a root:
+/// `visited` preloads the dedup set with the prefix region's fingerprints
+/// (so suffix paths re-entering the region dedup exactly as a cold run
+/// would) and `base` carries the region's counters/outcomes, which the
+/// returned result includes. Seeds must already be deduped, counted (in
+/// `base.states_explored`) and safety-checked. If `base` already holds a
+/// violation or hit its limit, it is returned unchanged. This is the
+/// engine behind lbmf::infer's incremental re-exploration: the hole-free
+/// prefix region is explored once and reused across candidate placements.
+ExploreResult explore_seeded(std::vector<SeedState> seeds,
+                             const std::vector<Fingerprint>& visited,
+                             const ExploreResult& base,
+                             const Explorer::Options& opts);
 
 }  // namespace lbmf::sim

@@ -46,6 +46,7 @@ class FlatMemory {
   std::size_t size() const noexcept { return v_.size(); }
   auto begin() const noexcept { return v_.begin(); }
   auto end() const noexcept { return v_.end(); }
+  void clear() noexcept { v_.clear(); }  // Machine::restore_arch rebuilds
 
  private:
   std::vector<std::pair<Addr, Word>>::iterator find(Addr a) noexcept {
@@ -199,6 +200,68 @@ class Machine {
   /// recording changes no behaviour.
   void set_trace(TraceRecorder* t) noexcept { trace_ = t; }
 
+  // --- Thread-symmetry reduction ------------------------------------------
+  //
+  // Soundness. Let G = {i_1, ..., i_k} be a group of CPUs with
+  // byte-identical programs. All CPUs start from the same private state
+  // (pc 0, zero registers, empty store buffer, empty cache, link clear), so
+  // any permutation pi of G induces an automorphism of the transition
+  // system: relabel each grouped CPU's private state by pi and leave shared
+  // memory fixed. action_enabled/step consult only the acting CPU's program
+  // and private state plus *location-indexed* (never CPU-indexed) shared
+  // state, so s --(cpu,a)--> t implies pi(s) --(pi(cpu),a)--> pi(t), and
+  // conversely via pi^-1 — orbits map onto orbits edge for edge. Every
+  // property the explorer checks is permutation-invariant: the coherence
+  // invariants quantify over all caches, cpus_in_cs() is a count, and
+  // `final` properties read only coherent memory. Hence exploring one
+  // representative per orbit reaches a violation iff the full space does,
+  // and the terminal outcome set is unchanged. canonical_state() picks the
+  // representative by serializing each grouped CPU's state block and
+  // emitting the blocks in sorted order within the group; Explorer's
+  // exact_dedup audit mode keys on this same canonical string, so the
+  // fingerprint-vs-exact parity check continues to cover the reduction.
+
+  /// Declare groups of interchangeable CPUs, canonicalized over by
+  /// canonical_state()/fingerprint(). Every group must name >= 2 distinct
+  /// in-range CPUs whose loaded programs are byte-identical (checked).
+  /// Call after load_program. Copies of the machine share the (immutable)
+  /// group table, so snapshots stay cheap.
+  void set_symmetric_groups(std::vector<std::vector<std::uint8_t>> groups);
+
+  /// Auto-detect symmetry: group CPUs whose programs are byte-identical.
+  /// Returns the number of CPUs that ended up in a group of size >= 2
+  /// (0 means no reduction; any existing groups are replaced).
+  std::size_t auto_symmetry();
+
+  /// Active symmetry groups (empty when reduction is off).
+  const std::vector<std::vector<std::uint8_t>>& symmetric_groups() const;
+
+  void clear_symmetric_groups() noexcept { sym_groups_.reset(); }
+
+  /// Product of |g|! over the active groups: the (maximum) number of raw
+  /// states each canonical representative stands for.
+  std::uint64_t symmetry_orbit() const noexcept;
+
+  // --- Architectural state persistence ------------------------------------
+
+  /// Append a byte-serialization of the full architectural state (pcs,
+  /// registers, store buffers, cache lines with LRU ranks, LE links,
+  /// cs/halt flags, shared memory) to `out`. Counters, programs and config
+  /// are NOT serialized: restore_arch() requires a machine already carrying
+  /// the same config and (equivalent) programs. Used by the incremental
+  /// explorer to persist reached-state-graph seeds across runs.
+  void save_arch(std::string& out) const;
+
+  /// Restore state saved by save_arch(). Returns false (machine
+  /// unspecified) on a malformed or truncated buffer.
+  bool restore_arch(std::string_view in);
+
+  /// Overwrite one CPU's program counter. Restore-path helper: a saved
+  /// state resumed into a program whose instruction indices shifted (fence
+  /// holes instantiated) needs its pcs remapped. The new pc must be in
+  /// range for the loaded program.
+  void set_pc(std::size_t cpu, std::int32_t pc);
+
  private:
   CpuState& mut_cpu(std::size_t i) { return cpus_[i]; }
 
@@ -227,10 +290,17 @@ class Machine {
   void trace(const CpuState& c, int kind_int, Addr a = kInvalidAddr,
              Word v = 0, std::string detail = {}) const;
 
+  /// Serialize one CPU's canonical block into `s` (shared tail excluded).
+  void append_cpu_block(const CpuState& c, std::string& s) const;
+
   SimConfig cfg_;
   std::vector<CpuState> cpus_;
   FlatMemory mem_;
   TraceRecorder* trace_ = nullptr;
+  /// Interchangeable-CPU groups (see set_symmetric_groups). Shared across
+  /// machine copies: the table is immutable and snapshot copies are on the
+  /// explorer's hot path.
+  std::shared_ptr<const std::vector<std::vector<std::uint8_t>>> sym_groups_;
 };
 
 }  // namespace lbmf::sim

@@ -43,6 +43,10 @@ struct Instr {
   Addr addr = kInvalidAddr;
   Word imm = 0;
   std::int32_t target = -1;  // branch destination (instruction index)
+
+  /// Field-wise equality. Thread-symmetry reduction treats CPUs as
+  /// interchangeable only when their instruction sequences compare equal.
+  bool operator==(const Instr&) const = default;
 };
 
 std::string to_string(const Instr& i);

@@ -27,8 +27,11 @@ fi
 # is < 3x the sequential loop or coalesced throughput < 2x uncoalesced);
 # leaves BENCH_roundtrip.json.
 "$BUILD_DIR"/bench/bench_roundtrip --quick
-# Gates on the E14 acceptance ratios (exit 1 below 5x/4x); leaves
-# BENCH_explorer.json.
+# Gates on the E14 acceptance ratios (exit 1 below 5x/4x) and the E20
+# scale-up section (symmetry >= 1.3x fewer states with equal verdicts,
+# spill segments >= 1 with unchanged counters, incremental sweep strictly
+# cheaper than cold with bit-identical optima); leaves BENCH_explorer.json
+# with the symmetry/spill/incremental section and peak RSS.
 "$BUILD_DIR"/bench/bench_explorer --quick
 # Gates on the E16 acceptance (guided == naive optimum, fresh recheck
 # SAFE, >= 4x fewer explorer runs); leaves BENCH_infer.json.

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Litmus-test and fence-inference gates. Positive and negative controls
 # for the textual checker, then fence inference end-to-end on the holey
-# protocols, then the INFER_* report presence check.
+# protocols, then hard checks on the gated INFER_* reports: run counts,
+# optimum costs, and the exact inferred placements. A run-count
+# regression (the engine needing more explorer checks than the gate
+# allows) fails loudly here rather than drifting silently.
 #
 # Usage: scripts/ci/run_litmus_gates.sh [build-dir]
 # Run from the repository root (litmus paths are repo-relative); artifacts
-# land in the current working directory.
+# (INFER_*.json reports and GRAPH_*.bin prefix-region caches) land in the
+# current working directory.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -16,6 +20,32 @@ if [ ! -x "$BUILD_DIR/examples/litmus_runner" ]; then
   exit 2
 fi
 
+# Require an exact substring in a gated report; print the report on miss so
+# the failure is diagnosable straight from the CI log.
+expect_in() {
+  local file="$1" pattern="$2"
+  if ! grep -qF -- "$pattern" "$file"; then
+    echo "::error::$file: expected \`$pattern\`"
+    echo "--- $file ---"
+    cat "$file"
+    return 1
+  fi
+}
+
+# Explorer-run-count gate: candidates_verified in [1, max]. More runs than
+# the gate means the symmetry/clause machinery regressed.
+expect_runs_at_most() {
+  local file="$1" max="$2"
+  local runs
+  runs=$(sed -n 's/.*"candidates_verified": \([0-9]*\),.*/\1/p' "$file")
+  if [ -z "$runs" ] || [ "$runs" -lt 1 ] || [ "$runs" -gt "$max" ]; then
+    echo "::error::$file: candidates_verified='$runs', gate allows 1..$max"
+    cat "$file"
+    return 1
+  fi
+  echo "$file: $runs explorer run(s) (gate: <= $max)"
+}
+
 # Controls: the fence-free Dekker must violate (--expect-violation turns
 # that into exit 0), the paper's Fig. 3(a) must be safe.
 "$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/broken_dekker.lit
@@ -23,21 +53,72 @@ fi
 
 # THE-deque handshake: the concrete paper placement is safe; the
 # all-holes-open (fence-free) variants — one thief and two competing
-# thieves — both exhibit the lost/duplicated last-task schedule.
+# thieves — both exhibit the lost/duplicated last-task schedule. The
+# two-thief, Chase-Lev, and rwlock protocols declare `symmetric` groups;
+# --no-symmetry re-runs one of them as the exact-search control.
 "$BUILD_DIR"/examples/litmus_runner "$LITMUS"/the_deque.lit
 "$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/the_deque_holes.lit
 "$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/the_deque_two_thieves.lit
+"$BUILD_DIR"/examples/litmus_runner --expect-violation --no-symmetry "$LITMUS"/the_deque_two_thieves.lit
 
-# Fence inference end-to-end: the holey Dekker and both holey THE-deque
-# variants must solve to placements that pass the full-explorer recheck
-# (exit 0). The two-thief variant checks thief-count independence: the
-# victim placement must not change when a second thief joins.
+# Chase-Lev double-take and the biased rwlock: both fence-free versions
+# must exhibit their races (the owner/reader announce left buffered).
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/chase_lev.lit
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/biased_rwlock.lit
+
+# Fence inference end-to-end: every holey protocol must solve to a
+# placement that passes the full-explorer recheck (exit 0). The big
+# symmetric protocols persist their prefix-region graphs (GRAPH_*.bin).
 "$BUILD_DIR"/examples/fence_inferencer --json=INFER_dekker.json "$LITMUS"/dekker_holes.lit
 "$BUILD_DIR"/examples/fence_inferencer --json=INFER_deque.json "$LITMUS"/the_deque_holes.lit
-"$BUILD_DIR"/examples/fence_inferencer --json=INFER_deque2.json "$LITMUS"/the_deque_two_thieves.lit
+"$BUILD_DIR"/examples/fence_inferencer --graph-cache=GRAPH_deque2.bin \
+    --json=INFER_deque2.json "$LITMUS"/the_deque_two_thieves.lit
+"$BUILD_DIR"/examples/fence_inferencer --graph-cache=GRAPH_chase_lev.bin \
+    --json=INFER_chase_lev.json "$LITMUS"/chase_lev.lit
+"$BUILD_DIR"/examples/fence_inferencer --graph-cache=GRAPH_rwlock.bin \
+    --json=INFER_rwlock.json "$LITMUS"/biased_rwlock.lit
+
+# Incremental re-exploration across processes: a second solve against the
+# persisted graph must report a prefix-cache hit and reproduce the report
+# (modulo nothing — the verdicts are deterministic).
+"$BUILD_DIR"/examples/fence_inferencer --graph-cache=GRAPH_deque2.bin \
+    --json=INFER_deque2_rerun.json "$LITMUS"/the_deque_two_thieves.lit \
+    | tee /dev/stderr | grep -q "prefix cache: hit"
+cmp INFER_deque2.json INFER_deque2_rerun.json
+rm -f INFER_deque2_rerun.json
+
+# Two-thief gate, tightened by symmetry + incremental re-exploration: the
+# pre-symmetry engine needed 12 explorer runs for this lattice; the gate
+# is <= 4 with the exact cost-3520 asymmetric placement of PR 5.
+expect_runs_at_most INFER_deque2.json 4
+expect_in INFER_deque2.json '"best_cost": 3520,'
+expect_in INFER_deque2.json '"recheck_safe": true,'
+expect_in INFER_deque2.json '{"site": "cpu0@0[T]=0", "line": 39, "fence": "l-mfence"}'
+expect_in INFER_deque2.json '{"site": "cpu1@3[H]=1", "line": 60, "fence": "mfence"}'
+expect_in INFER_deque2.json '{"site": "cpu2@3[H]=1", "line": 77, "fence": "mfence"}'
+
+# Chase-Lev: the CGO'13 repair — one l-mfence on the owner's bottom
+# publish, nothing on the thieves (their CAS is a locked RMW).
+expect_runs_at_most INFER_chase_lev.json 4
+expect_in INFER_chase_lev.json '"best_cost": 3320,'
+expect_in INFER_chase_lev.json '"recheck_safe": true,'
+expect_in INFER_chase_lev.json '{"site": "cpu0@0[B]=1", "line": 36, "fence": "l-mfence"}'
+expect_in INFER_chase_lev.json '{"site": "cpu1@8[S]=2", "line": 65, "fence": "none"}'
+expect_in INFER_chase_lev.json '{"site": "cpu2@8[S]=2", "line": 89, "fence": "none"}'
+
+# Biased rwlock: the asymmetric Dekker placement per reader/writer pair —
+# l-mfence on the hot reader announce, mfence on each writer announce.
+expect_runs_at_most INFER_rwlock.json 4
+expect_in INFER_rwlock.json '"best_cost": 3520,'
+expect_in INFER_rwlock.json '"recheck_safe": true,'
+expect_in INFER_rwlock.json '{"site": "cpu0@0[R]=1", "line": 31, "fence": "l-mfence"}'
+expect_in INFER_rwlock.json '{"site": "cpu1@1[I]=1", "line": 43, "fence": "mfence"}'
+expect_in INFER_rwlock.json '{"site": "cpu2@1[I]=1", "line": 59, "fence": "mfence"}'
 
 missing=0
-for f in INFER_dekker.json INFER_deque.json INFER_deque2.json; do
+for f in INFER_dekker.json INFER_deque.json INFER_deque2.json \
+         INFER_chase_lev.json INFER_rwlock.json \
+         GRAPH_deque2.bin GRAPH_chase_lev.bin GRAPH_rwlock.bin; do
   if ! test -s "$f"; then
     echo "::error::gated artifact $f is missing or empty"
     missing=1

@@ -4,10 +4,12 @@
 #include <deque>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <set>
 #include <thread>
 #include <utility>
 
+#include "lbmf/infer/reach.hpp"
 #include "lbmf/util/check.hpp"
 
 namespace lbmf::infer {
@@ -48,7 +50,8 @@ std::vector<FenceKind> valid_kinds(const FenceSite& s) {
   return {FenceKind::kNone, FenceKind::kLmfence, FenceKind::kMfence};
 }
 
-sim::Machine machine_for(const InferProblem& p, const Instantiation& inst) {
+sim::Machine machine_for(const InferProblem& p, const Instantiation& inst,
+                         bool symmetry = false) {
   sim::SimConfig cfg = p.config;
   cfg.num_cpus = inst.programs.size();
   sim::Machine m(cfg);
@@ -56,18 +59,11 @@ sim::Machine machine_for(const InferProblem& p, const Instantiation& inst) {
   for (std::size_t i = 0; i < inst.programs.size(); ++i) {
     m.load_program(i, inst.programs[i]);
   }
+  // State symmetry is per *instantiated* candidate: auto_symmetry groups
+  // only byte-identical programs, so a candidate that fences the group
+  // members differently simply explores without the reduction.
+  if (symmetry) m.auto_symmetry();
   return m;
-}
-
-sim::Explorer::Options explorer_options(const InferenceEngine::Options& o) {
-  sim::Explorer::Options e;
-  e.check_coherence = true;
-  e.check_mutual_exclusion = true;
-  e.max_states = o.max_states_per_check;
-  e.stop_at_violation = true;
-  e.por = o.por;
-  e.threads = o.explorer_threads;
-  return e;
 }
 
 /// Replay a violating schedule of assignment `a` and return the *culprit
@@ -151,44 +147,55 @@ struct Checked {
   Instantiation inst;
   sim::ExploreResult r;
   bool cached = false;  // answered from Options::verdict_cache
+  bool reused = false;  // resumed from the prefix graph
 };
 
-Checked check_one(const InferProblem& p, const InferenceEngine::Options& o,
-                  const Assignment& a, bool allow_cache = true) {
+/// Everything one candidate check needs: the problem, the options and —
+/// when incremental mode has a trusted reached-state graph — the graph.
+struct CheckCtx {
+  const InferProblem& p;
+  const InferenceEngine::Options& o;
+  const PrefixGraph* graph = nullptr;  // null => cold exploration
+};
+
+Checked check_one(const CheckCtx& x, const Assignment& a,
+                  bool allow_cache = true) {
   Checked c;
-  c.inst = instantiate(p, a);
-  if (allow_cache && o.verdict_cache != nullptr) {
-    if (auto hit = o.verdict_cache->lookup(a.kinds)) {
+  c.inst = instantiate(x.p, a);
+  if (allow_cache && x.o.verdict_cache != nullptr) {
+    if (auto hit = x.o.verdict_cache->lookup(a.kinds)) {
       c.r = std::move(*hit);
       c.cached = true;
       return c;
     }
   }
-  sim::Explorer::Options eo = explorer_options(o);
-  // Terminal-state property: `final` directives plus deadlock detection
-  // (a no-op scan for problems without either construct).
-  eo.check = sim::final_state_check(p.final_allowed);
-  sim::Explorer ex(machine_for(p, c.inst), eo);
-  c.r = ex.run();
-  if (allow_cache && o.verdict_cache != nullptr && !c.r.hit_limit) {
-    o.verdict_cache->store(a.kinds, c.r);
+  const sim::Explorer::Options eo =
+      InferenceEngine::explorer_options_for(x.p, x.o);
+  if (x.graph != nullptr) {
+    c.r = explore_with_prefix(x.p, c.inst, *x.graph, eo, x.o.symmetry);
+    c.reused = true;
+  } else {
+    sim::Explorer ex(machine_for(x.p, c.inst, x.o.symmetry), eo);
+    c.r = ex.run();
+  }
+  if (allow_cache && x.o.verdict_cache != nullptr && !c.r.hit_limit) {
+    x.o.verdict_cache->store(a.kinds, c.r);
   }
   return c;
 }
 
 /// Verify a wave of candidates, one explorer per thread when batch > 1.
-std::vector<Checked> check_wave(const InferProblem& p,
-                                const InferenceEngine::Options& o,
+std::vector<Checked> check_wave(const CheckCtx& x,
                                 const std::vector<Assignment>& wave) {
   std::vector<Checked> out(wave.size());
   if (wave.size() <= 1) {
-    for (std::size_t i = 0; i < wave.size(); ++i) out[i] = check_one(p, o, wave[i]);
+    for (std::size_t i = 0; i < wave.size(); ++i) out[i] = check_one(x, wave[i]);
     return out;
   }
   std::vector<std::thread> ts;
   ts.reserve(wave.size());
   for (std::size_t i = 0; i < wave.size(); ++i) {
-    ts.emplace_back([&, i] { out[i] = check_one(p, o, wave[i]); });
+    ts.emplace_back([&, i] { out[i] = check_one(x, wave[i]); });
   }
   for (auto& t : ts) t.join();
   return out;
@@ -217,6 +224,21 @@ std::string describe_clause(const InferProblem& p, const Clause& c) {
 InferenceEngine::InferenceEngine(InferProblem problem, Options opts)
     : p_(std::move(problem)), o_(std::move(opts)) {}
 
+sim::Explorer::Options InferenceEngine::explorer_options_for(
+    const InferProblem& p, const Options& o) {
+  sim::Explorer::Options e;
+  e.check_coherence = true;
+  e.check_mutual_exclusion = true;
+  e.max_states = o.max_states_per_check;
+  e.stop_at_violation = true;
+  e.por = o.por;
+  e.threads = o.explorer_threads;
+  // Terminal-state property: `final` directives plus deadlock detection
+  // (a no-op scan for problems without either construct).
+  e.check = sim::final_state_check(p.final_allowed);
+  return e;
+}
+
 InferResult InferenceEngine::run() {
   InferResult res;
   const std::size_t nsites = p_.sites.size();
@@ -224,6 +246,70 @@ InferResult InferenceEngine::run() {
   for (const FenceSite& s : p_.sites) {
     res.lattice_size *= valid_kinds(s).size();
   }
+
+  // --- Thread-symmetry setup. One explorer run per *orbit* of the
+  // assignment lattice under the problem's symmetric groups: candidates
+  // are canonicalized before dedup/frontier/cache, and clause coverage is
+  // tested against every within-group permutation of a candidate (a clause
+  // that kills any image kills the candidate, because the permutation is a
+  // transition-system automorphism). Exhaustive mode never canonicalizes —
+  // it is the one-run-per-lattice-point baseline the benches compare to.
+  const bool sym = o_.symmetry && !p_.symmetric_groups.empty();
+  const std::vector<std::vector<std::vector<std::size_t>>> gsites =
+      sym ? group_sites(p_)
+          : std::vector<std::vector<std::vector<std::size_t>>>{};
+  std::uint64_t orbit_bound = 1;
+  for (const auto& g : p_.symmetric_groups) {
+    for (std::size_t k = 2; k <= g.size() && orbit_bound <= 64; ++k) {
+      orbit_bound *= k;
+    }
+  }
+  const auto canon = [&](Assignment a) {
+    return sym ? canonicalize_assignment(p_, a) : std::move(a);
+  };
+  // All within-group permutation images of `a` (identity included); just
+  // {a} when symmetry is off or the orbit is unreasonably large.
+  const auto sym_images = [&](const Assignment& a) {
+    std::vector<Assignment> images{a};
+    if (!sym || orbit_bound > 64) return images;
+    for (const auto& members : gsites) {
+      std::vector<std::size_t> perm(members.size());
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      std::vector<Assignment> next;
+      do {
+        for (const Assignment& base : images) {
+          Assignment img = base;
+          for (std::size_t k = 0; k < members.size(); ++k) {
+            for (std::size_t j = 0; j < members[k].size(); ++j) {
+              img.kinds[members[perm[k]][j]] = base.kinds[members[k][j]];
+            }
+          }
+          next.push_back(std::move(img));
+        }
+      } while (std::next_permutation(perm.begin(), perm.end()));
+      images = std::move(next);
+    }
+    return images;
+  };
+
+  // --- Incremental setup. Build (or adopt) the hole-independent prefix
+  // graph; every candidate check then resumes from its frontier. A region
+  // that alone blows the state budget leaves `graph` null and the engine
+  // degrades to cold per-candidate runs.
+  PrefixGraph local_graph;
+  const PrefixGraph* graph = nullptr;
+  if (o_.incremental && nsites > 0) {
+    const Hash128 key = problem_graph_key(p_);
+    if (o_.prefix_graph != nullptr && o_.prefix_graph->valid &&
+        o_.prefix_graph->key == key) {
+      graph = o_.prefix_graph;
+    } else {
+      local_graph = build_prefix_graph(p_, explorer_options_for(p_, o_));
+      if (local_graph.valid) graph = &local_graph;
+    }
+    if (graph != nullptr) res.prefix_states = graph->base.states_explored;
+  }
+  const CheckCtx ctx{p_, o_, graph};
 
   struct Node {
     double bound;
@@ -245,6 +331,11 @@ InferResult InferenceEngine::run() {
   std::set<Node> frontier;
   std::set<std::vector<FenceKind>> seen;
   const auto enqueue = [&](Assignment a) {
+    // Orbit quotient: only the canonical representative is ever enqueued.
+    // Costs are group-invariant, so the representative prices its whole
+    // orbit; the one-step bump edges from representatives still reach a
+    // member of every orbit (bump the canonical predecessor's sites).
+    a = canon(std::move(a));
     if (!seen.insert(a.kinds).second) return;
     ++res.candidates_generated;
     Node n;
@@ -272,7 +363,27 @@ InferResult InferenceEngine::run() {
       return;
     }
     ++res.candidates_verified;
-    res.states_total += c.r.states_explored;
+    std::uint64_t states = c.r.states_explored;
+    if (c.reused && graph != nullptr) {
+      // A resumed check's counters include the preloaded region (that is
+      // its verdict coverage); the region's cost was paid once and lives
+      // in prefix_states, so states_total only charges the new suffix.
+      ++res.incremental_reuses;
+      states -= std::min<std::uint64_t>(states, graph->base.states_explored);
+    }
+    res.states_total += states;
+  };
+  // A candidate is refuted by a learned clause if the clause covers any of
+  // its within-group permutation images (same verdict by automorphism).
+  const auto covered = [&](const Assignment& a) {
+    if (clauses.empty()) return false;
+    const std::vector<Assignment> images = sym_images(a);
+    for (const Clause& c : clauses) {
+      for (const Assignment& img : images) {
+        if (covers(c, img)) return true;
+      }
+    }
+    return false;
   };
   // Learn from a counterexample; returns false on the empty clause (the
   // violation involves no store→load crossing, so no placement helps).
@@ -309,7 +420,7 @@ InferResult InferenceEngine::run() {
         break;
       }
       ++res.candidates_generated;
-      Checked c = check_one(p_, o_, cur);
+      Checked c = check_one(ctx, cur);
       account(c);
       if (c.r.hit_limit) {
         saw_limit = true;
@@ -358,10 +469,7 @@ InferResult InferenceEngine::run() {
           break;
         }
         expand(n.a);
-        const bool pruned =
-            o_.learn_clauses &&
-            std::any_of(clauses.begin(), clauses.end(),
-                        [&](const Clause& c) { return covers(c, n.a); });
+        const bool pruned = o_.learn_clauses && covered(n.a);
         if (pruned) {
           ++res.candidates_pruned;
           continue;
@@ -369,7 +477,7 @@ InferResult InferenceEngine::run() {
         wave.push_back(std::move(n.a));
       }
       if (wave.empty()) continue;
-      const std::vector<Checked> checked = check_wave(p_, o_, wave);
+      const std::vector<Checked> checked = check_wave(ctx, wave);
       for (std::size_t i = 0; i < wave.size(); ++i) {
         account(checked[i]);
         if (checked[i].r.violation) {
@@ -392,7 +500,7 @@ InferResult InferenceEngine::run() {
       // a fresh check of the strongest placement (it may only have been
       // ruled out by counterexample reasoning, never explored directly).
       const Assignment top = p_.uniform(FenceKind::kMfence);
-      Checked c = check_one(p_, o_, top);
+      Checked c = check_one(ctx, top);
       account(c);
       if (c.r.violation) {
         res.status = InferStatus::kUnsat;
@@ -419,9 +527,14 @@ InferResult InferenceEngine::run() {
   res.status = InferStatus::kSat;
 
   if (o_.minimality_pass && nsites > 0) {
-    // Weaken or swap each placed fence and re-verify: a per-site
-    // certificate that the winner is locally minimal, and a repair pass if
-    // counterexample pruning ever skipped a cheaper safe point.
+    // Weaken or swap each placed fence: a per-site certificate that the
+    // winner is locally minimal, and a repair pass if counterexample
+    // pruning ever skipped a cheaper safe point. Most mutations are
+    // decided without an explorer run — strengthenings by monotonicity
+    // (SAFE is upward-closed in the strength lattice), weakenings by the
+    // verdict cache or a learned clause; only a mutation that would
+    // actually be *cheaper* and is undecided earns a fresh exploration.
+    // Pricier undecided mutations are skipped without a note.
     bool improved = true;
     while (improved && res.candidates_verified < o_.max_candidates) {
       improved = false;
@@ -431,18 +544,40 @@ InferResult InferenceEngine::run() {
           if (alt == best->kinds[s]) continue;
           Assignment mut = *best;
           mut.kinds[s] = alt;
-          Checked c = check_one(p_, o_, mut);
-          account(c);
+          const double cost = assignment_cost(p_, mut, o_.costs);
           MinimalityNote note;
           note.site = s;
           note.from = best->kinds[s];
           note.to = alt;
-          note.hit_limit = c.r.hit_limit;
-          note.safe = !c.r.violation && !c.r.hit_limit;
-          const double cost = assignment_cost(p_, mut, o_.costs);
           note.cost_delta = cost - best_cost;
-          res.minimality.push_back(note);
-          if (note.safe && cost < best_cost) {
+          if (strength(alt) > strength(best->kinds[s])) {
+            note.safe = true;  // strengthening a SAFE placement stays SAFE
+            res.minimality.push_back(note);
+          } else {
+            const Assignment mc = canon(mut);
+            bool decided = false;
+            if (o_.verdict_cache != nullptr) {
+              if (auto hit = o_.verdict_cache->lookup(mc.kinds)) {
+                note.safe = !hit->violation;  // hit_limit is never stored
+                ++res.cache_hits;
+                decided = true;
+              }
+            }
+            if (!decided && o_.learn_clauses && covered(mc)) {
+              note.safe = false;  // a search counterexample still applies
+              ++res.candidates_pruned;
+              decided = true;
+            }
+            if (!decided) {
+              if (cost >= best_cost) continue;  // can't improve: skip
+              Checked c = check_one(ctx, mc);
+              account(c);
+              note.hit_limit = c.r.hit_limit;
+              note.safe = !c.r.violation && !c.r.hit_limit;
+            }
+            res.minimality.push_back(note);
+          }
+          if (note.safe && !note.hit_limit && cost < best_cost) {
             best_cost = cost;
             best = std::move(mut);
             improved = true;  // restart the sweep from the new winner
@@ -456,10 +591,13 @@ InferResult InferenceEngine::run() {
   res.best = *best;
   res.best_cost = best_cost;
 
-  // End-to-end certificate: one fresh exploration of the emitted placement
-  // (never served from the verdict cache).
+  // End-to-end certificate: one fresh *cold* exploration of the emitted
+  // placement — never served from the verdict cache and never resumed from
+  // the prefix graph, so on incremental runs it independently cross-checks
+  // the resumed verdict for the winner.
   {
-    Checked c = check_one(p_, o_, res.best, /*allow_cache=*/false);
+    const CheckCtx cold{p_, o_, nullptr};
+    Checked c = check_one(cold, res.best, /*allow_cache=*/false);
     res.states_total += c.r.states_explored;
     res.recheck_safe = !c.r.violation && !c.r.hit_limit;
   }

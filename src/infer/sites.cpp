@@ -1,6 +1,7 @@
 #include "lbmf/infer/sites.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "lbmf/util/check.hpp"
 
@@ -91,7 +92,83 @@ ProblemParse problem_from_source(std::string_view source, sim::SimConfig cfg) {
     s.src_line = h.line;
     p.sites.push_back(std::move(s));
   }
+  p.symmetric_groups = detect_symmetric_groups(p);
   out.problem = std::move(p);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> detect_symmetric_groups(
+    const InferProblem& p) {
+  auto sites_of = [&p](std::size_t cpu) {
+    std::vector<std::tuple<std::size_t, Addr, Word, bool>> v;
+    for (const FenceSite& s : p.sites) {
+      if (s.cpu == cpu) {
+        v.emplace_back(s.instr_index, s.addr, s.value, s.is_reg_store);
+      }
+    }
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  std::vector<std::vector<std::uint8_t>> groups;
+  std::vector<bool> used(p.programs.size(), false);
+  for (std::size_t i = 0; i < p.programs.size(); ++i) {
+    if (used[i]) continue;
+    std::vector<std::uint8_t> g{static_cast<std::uint8_t>(i)};
+    const auto lead_sites = sites_of(i);
+    for (std::size_t j = i + 1; j < p.programs.size(); ++j) {
+      if (used[j]) continue;
+      if (p.programs[j].code == p.programs[i].code &&
+          p.cpu_freq(j) == p.cpu_freq(i) && sites_of(j) == lead_sites) {
+        g.push_back(static_cast<std::uint8_t>(j));
+        used[j] = true;
+      }
+    }
+    if (g.size() >= 2) groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<std::vector<std::vector<std::size_t>>> group_sites(
+    const InferProblem& p) {
+  std::vector<std::vector<std::vector<std::size_t>>> out;
+  out.reserve(p.symmetric_groups.size());
+  for (const auto& g : p.symmetric_groups) {
+    std::vector<std::vector<std::size_t>> members;
+    for (const std::uint8_t cpu : g) {
+      std::vector<std::size_t> sites;
+      for (std::size_t s = 0; s < p.sites.size(); ++s) {
+        if (p.sites[s].cpu == cpu) sites.push_back(s);
+      }
+      std::sort(sites.begin(), sites.end(),
+                [&p](std::size_t a, std::size_t b) {
+                  return p.sites[a].instr_index < p.sites[b].instr_index;
+                });
+      members.push_back(std::move(sites));
+    }
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+Assignment canonicalize_assignment(const InferProblem& p,
+                                   const Assignment& a) {
+  if (p.symmetric_groups.empty()) return a;
+  Assignment out = a;
+  for (const auto& members : group_sites(p)) {
+    std::vector<std::vector<FenceKind>> tuples;
+    tuples.reserve(members.size());
+    for (const auto& sites : members) {
+      std::vector<FenceKind> t;
+      for (const std::size_t s : sites) t.push_back(a.kinds[s]);
+      tuples.push_back(std::move(t));
+    }
+    std::sort(tuples.begin(), tuples.end());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      for (std::size_t j = 0; j < members[k].size(); ++j) {
+        out.kinds[members[k][j]] = tuples[k][j];
+      }
+    }
+  }
   return out;
 }
 
@@ -210,6 +287,7 @@ Instantiation instantiate(const InferProblem& p, const Assignment& a) {
     prog.code = std::move(code);
     prog.name = p.programs[cpu].name;
     out.programs.push_back(std::move(prog));
+    out.pc_map.emplace_back(new_start.begin(), new_start.end());
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "lbmf/infer/reach.hpp"
 #include "lbmf/util/check.hpp"
 
 namespace lbmf::infer {
@@ -52,6 +53,21 @@ SweepResult run_sweep(InferProblem problem, const SweepOptions& opts) {
                             ? opts.engine.verdict_cache
                             : &local_cache;
 
+  // One prefix graph for the whole grid: problem_graph_key excludes freqs
+  // and costs, so the hole-independent region built here matches every
+  // grid point's problem and each engine adopts it instead of rebuilding.
+  PrefixGraph grid_graph;
+  const PrefixGraph* grid_graph_ptr = opts.engine.prefix_graph;
+  if (opts.engine.incremental && grid_graph_ptr == nullptr &&
+      !problem.sites.empty()) {
+    grid_graph = build_prefix_graph(
+        problem, InferenceEngine::explorer_options_for(problem, opts.engine));
+    if (grid_graph.valid) grid_graph_ptr = &grid_graph;
+  }
+  if (grid_graph_ptr != nullptr) {
+    out.prefix_states = grid_graph_ptr->base.states_explored;
+  }
+
   for (double rt : opts.roundtrips) {
     const SweepPoint* prev = nullptr;
     for (double f : opts.victim_freqs) {
@@ -60,6 +76,7 @@ SweepResult run_sweep(InferProblem problem, const SweepOptions& opts) {
       InferenceEngine::Options eo = opts.engine;
       eo.costs.lest_roundtrip_cycles = rt;
       eo.verdict_cache = cache;
+      eo.prefix_graph = grid_graph_ptr;
       InferenceEngine engine(std::move(p), eo);
       const InferResult r = engine.run();
 
@@ -73,6 +90,7 @@ SweepResult run_sweep(InferProblem problem, const SweepOptions& opts) {
       out.explorer_runs += r.candidates_verified;
       out.cache_hits += r.cache_hits;
       out.states_total += r.states_total;
+      out.incremental_reuses += r.incremental_reuses;
 
       if (prev != nullptr && prev->status == InferStatus::kSat &&
           pt.status == InferStatus::kSat && !(prev->best == pt.best)) {
@@ -148,6 +166,8 @@ std::string sweep_to_json(const SweepResult& r, const std::string& workload) {
   s += "],\"explorer_runs\":" + std::to_string(r.explorer_runs);
   s += ",\"cache_hits\":" + std::to_string(r.cache_hits);
   s += ",\"states_total\":" + std::to_string(r.states_total);
+  s += ",\"prefix_states\":" + std::to_string(r.prefix_states);
+  s += ",\"incremental_reuses\":" + std::to_string(r.incremental_reuses);
   s += '}';
   return s;
 }

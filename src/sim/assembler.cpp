@@ -72,6 +72,10 @@ struct Assembler {
   std::vector<std::pair<Addr, Word>> initials;
   std::vector<double> freqs;     // one per cpu section, default 1.0
   std::vector<bool> freq_seen;   // duplicate-`freq` detection
+  // `symmetric cpu ...` declarations, with the source line for late
+  // validation errors (the groups are checked after every cpu section has
+  // been built, so forward declarations are legal).
+  std::vector<std::pair<std::vector<std::size_t>, std::size_t>> sym_decls;
 
   bool fail(std::string message) {
     result.error = AssembleError{line_no, std::move(message)};
@@ -143,6 +147,53 @@ struct Assembler {
     return true;
   }
 
+  /// Post-assembly check of every `symmetric cpu` declaration. A group is
+  /// legal when the member CPUs are genuinely interchangeable: same
+  /// instruction sequence, same relative frequency, and `?fence` holes at
+  /// the same instruction indices over the same (addr, value) stores.
+  bool validate_symmetry() {
+    std::vector<bool> grouped(result.programs.size(), false);
+    for (auto& [members, decl_line] : sym_decls) {
+      line_no = decl_line;
+      const std::size_t lead = members[0];
+      for (const std::size_t m : members) {
+        if (m >= result.programs.size()) {
+          return fail("'symmetric' names cpu " + std::to_string(m) +
+                      " but only " + std::to_string(result.programs.size()) +
+                      " cpu sections exist");
+        }
+        if (grouped[m]) {
+          return fail("cpu " + std::to_string(m) +
+                      " appears in more than one 'symmetric' group");
+        }
+        grouped[m] = true;
+        if (m == lead) continue;
+        if (result.programs[m].code != result.programs[lead].code) {
+          return fail("'symmetric' cpus " + std::to_string(lead) + " and " +
+                      std::to_string(m) + " have different programs");
+        }
+        if (result.cpu_freqs[m] != result.cpu_freqs[lead]) {
+          return fail("'symmetric' cpus " + std::to_string(lead) + " and " +
+                      std::to_string(m) + " have different freqs");
+        }
+        auto holes_of = [this](std::size_t cpu) {
+          std::vector<std::tuple<std::size_t, Addr, Word>> h;
+          for (const LitHole& hole : result.holes) {
+            if (hole.cpu == cpu) h.emplace_back(hole.instr_index, hole.addr,
+                                                hole.value);
+          }
+          return h;  // source order == ascending instr_index per cpu
+        };
+        if (holes_of(m) != holes_of(lead)) {
+          return fail("'symmetric' cpus " + std::to_string(lead) + " and " +
+                      std::to_string(m) + " have misaligned ?fence holes");
+        }
+      }
+      result.symmetric_groups.push_back(std::move(members));
+    }
+    return true;
+  }
+
   bool handle_line(std::string_view raw) {
     // Strip comments.
     std::string_view line = raw;
@@ -185,6 +236,28 @@ struct Assembler {
       }
       if (conj.empty()) return fail("'final' needs at least one [loc], value");
       result.final_allowed.push_back(std::move(conj));
+      return true;
+    }
+
+    // `symmetric cpu N, M[, ...]` — declare a group of interchangeable
+    // CPUs. Legal anywhere (like `final`); membership is validated once the
+    // whole file has assembled: the named programs must be byte-identical,
+    // their freqs equal, and their `?fence` holes aligned, so the
+    // declaration fails loudly the moment the programs drift apart.
+    if (head == "symmetric") {
+      const std::string_view kw = lex.token();
+      if (kw != "cpu") return fail("expected 'symmetric cpu N, M, ...'");
+      std::vector<std::size_t> members;
+      while (!lex.at_end()) {
+        Word v = 0;
+        if (!parse_imm(lex, &v)) return false;
+        if (v < 0) return fail("negative cpu index in 'symmetric'");
+        members.push_back(static_cast<std::size_t>(v));
+      }
+      if (members.size() < 2) {
+        return fail("'symmetric cpu' needs at least two cpu indices");
+      }
+      sym_decls.emplace_back(std::move(members), line_no);
       return true;
     }
 
@@ -341,9 +414,10 @@ AssembleResult assemble(std::string_view source) {
     as.fail("no 'cpu N:' sections found");
     return std::move(as.result);
   }
-  as.finish_current();
+  if (!as.finish_current()) return std::move(as.result);
   as.result.initial_memory = std::move(as.initials);
   as.result.cpu_freqs = std::move(as.freqs);
+  if (!as.validate_symmetry()) return std::move(as.result);
   return std::move(as.result);
 }
 
@@ -355,6 +429,13 @@ Machine assemble_machine(std::string_view source, SimConfig cfg) {
   for (const auto& [a, v] : r.initial_memory) m.set_memory(a, v);
   for (std::size_t i = 0; i < r.programs.size(); ++i) {
     m.load_program(i, std::move(r.programs[i]));
+  }
+  if (!r.symmetric_groups.empty()) {
+    std::vector<std::vector<std::uint8_t>> groups;
+    for (const auto& g : r.symmetric_groups) {
+      groups.emplace_back(g.begin(), g.end());
+    }
+    m.set_symmetric_groups(std::move(groups));
   }
   return m;
 }

@@ -10,119 +10,15 @@
 #include <vector>
 
 #include "lbmf/sim/trace.hpp"
+#include "lbmf/sim/visited.hpp"
 #include "lbmf/util/check.hpp"
 #include "lbmf/ws/algorithms.hpp"
 
 namespace lbmf::sim {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Visited-state storage
-// ---------------------------------------------------------------------------
-
-/// Open-addressing flat set of 128-bit fingerprints: 16 bytes per slot,
-/// linear probing, grown at 70% load. {0,0} is the empty-slot marker (a
-/// real fingerprint hashing to exactly zero is remapped to {1,0}).
-class FingerprintSet {
- public:
-  FingerprintSet() { slots_.assign(kInitialCapacity, Fingerprint{}); }
-
-  bool insert(Fingerprint fp) {
-    if (fp.lo == 0 && fp.hi == 0) fp.lo = 1;
-    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
-    const std::size_t mask = slots_.size() - 1;
-    std::size_t i = static_cast<std::size_t>(fp.hi) & mask;
-    while (true) {
-      Fingerprint& slot = slots_[i];
-      if (slot.lo == 0 && slot.hi == 0) {
-        slot = fp;
-        ++size_;
-        return true;
-      }
-      if (slot == fp) return false;
-      i = (i + 1) & mask;
-    }
-  }
-
-  std::size_t size() const noexcept { return size_; }
-  std::uint64_t bytes() const noexcept {
-    return slots_.size() * sizeof(Fingerprint);
-  }
-
- private:
-  static constexpr std::size_t kInitialCapacity = 1024;  // power of two
-
-  void grow() {
-    std::vector<Fingerprint> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Fingerprint{});
-    size_ = 0;
-    for (const Fingerprint& fp : old) {
-      if (fp.lo != 0 || fp.hi != 0) insert(fp);
-    }
-  }
-
-  std::size_t size_ = 0;
-  std::vector<Fingerprint> slots_;
-};
-
-/// The dedup set behind the explorer: sharded so parallel workers contend
-/// on 1/64th of the key space, with an exact mode that keys on the full
-/// canonical bytes (collision-free by construction) for audit runs.
-class VisitedSet {
- public:
-  VisitedSet(bool exact, bool concurrent)
-      : exact_(exact), concurrent_(concurrent),
-        shards_(concurrent ? kShards : 1) {}
-
-  /// Returns true if the state was not seen before. `canonical` must hold
-  /// the serialized state `fp` was computed from (used in exact mode).
-  bool insert(const Fingerprint& fp, const std::string& canonical) {
-    Shard& s = shards_[shard_of(fp)];
-    if (!concurrent_) return insert_into(s, fp, canonical);
-    std::lock_guard<std::mutex> g(s.mu);
-    return insert_into(s, fp, canonical);
-  }
-
-  std::uint64_t bytes() const {
-    std::uint64_t total = 0;
-    for (const Shard& s : shards_) {
-      if (exact_) {
-        // Approximate unordered_set<string> footprint: key bytes + string
-        // header + node and bucket overhead.
-        for (const std::string& k : s.exact) {
-          total += k.capacity() + sizeof(std::string) + 24;
-        }
-        total += s.exact.bucket_count() * sizeof(void*);
-      } else {
-        total += s.fps.bytes();
-      }
-    }
-    return total;
-  }
-
- private:
-  static constexpr std::size_t kShards = 64;
-
-  struct Shard {
-    std::mutex mu;
-    FingerprintSet fps;
-    std::unordered_set<std::string> exact;
-  };
-
-  std::size_t shard_of(const Fingerprint& fp) const noexcept {
-    return concurrent_ ? static_cast<std::size_t>(fp.hi >> 58) : 0;
-  }
-
-  bool insert_into(Shard& s, const Fingerprint& fp,
-                   const std::string& canonical) {
-    if (exact_) return s.exact.insert(canonical).second;
-    return s.fps.insert(fp);
-  }
-
-  bool exact_;
-  bool concurrent_;
-  std::vector<Shard> shards_;
-};
+// The visited-state storage (FingerprintSet / VisitedSet, with the
+// spill-to-mmap machinery) lives in lbmf/sim/visited.hpp.
 
 // ---------------------------------------------------------------------------
 // Exploration engine
@@ -185,7 +81,8 @@ void choose_actions(const Machine& m, bool por, ChoiceList& out) {
 /// State shared by every worker of one run() (trivially so when sequential).
 struct Shared {
   explicit Shared(const Explorer::Options& o)
-      : opts(o), visited(o.exact_dedup, o.threads > 1) {}
+      : opts(o),
+        visited(o.exact_dedup, o.threads > 1, o.visited_budget_bytes) {}
 
   const Explorer::Options& opts;
   VisitedSet visited;
@@ -240,12 +137,19 @@ class Worker {
 
   /// Explore from `start`, which the caller has already deduped, counted,
   /// and safety-checked. `prefix` is the schedule from the true root to
-  /// `start` (empty when `start` is the root).
+  /// `start` (empty when `start` is the root). A non-null `agenda`
+  /// restricts the root frame to those choices (the incremental path: the
+  /// omitted edges were already explored in the prefix region, so the
+  /// frame still counts as fully expanded for the cycle proviso).
   void explore(Machine&& start, Fingerprint start_fp,
-               std::vector<Choice> prefix) {
+               std::vector<Choice> prefix, const ChoiceList* agenda = nullptr) {
     trace_ = std::move(prefix);
     ChoiceList cl;
-    choose_actions(start, sh_.opts.por, cl);
+    if (agenda != nullptr) {
+      cl = *agenda;
+    } else {
+      choose_actions(start, sh_.opts.por, cl);
+    }
     if (cl.n == 0) {
       note_terminal(start);
       merge();
@@ -491,6 +395,66 @@ ExploreResult Explorer::run() {
   result.states_explored = sh.states.load(std::memory_order_relaxed);
   result.hit_limit = sh.hit_limit.load(std::memory_order_relaxed);
   result.visited_bytes = sh.visited.bytes();
+  result.spill_bytes = sh.visited.spill_bytes();
+  result.spill_segments = sh.visited.spill_segments();
+  result.symmetry_orbit = initial_.symmetry_orbit();
+  return result;
+}
+
+ExploreResult explore_seeded(std::vector<SeedState> seeds,
+                             const std::vector<Fingerprint>& visited,
+                             const ExploreResult& base,
+                             const Explorer::Options& opts) {
+  if (base.violation || base.hit_limit) return base;
+
+  Shared sh(opts);
+  sh.visited.preload(visited);
+  sh.states.store(base.states_explored, std::memory_order_relaxed);
+  sh.merged.transitions = base.transitions;
+  sh.merged.terminal_states = base.terminal_states;
+  sh.merged.dedup_hits = base.dedup_hits;
+  sh.merged.outcomes = base.outcomes;
+
+  const std::uint64_t orbit =
+      seeds.empty() ? 1 : seeds.front().m.symmetry_orbit();
+
+  auto run_seed = [&sh](SeedState& seed, bool parallel) {
+    LBMF_CHECK(!seed.agenda.empty() && seed.agenda.size() <= kMaxChoices);
+    ChoiceList cl;
+    for (const Choice& c : seed.agenda) cl.add(c.cpu, c.action);
+    std::string scratch;
+    const Fingerprint fp = seed.m.fingerprint(scratch);
+    Worker w(sh, parallel);
+    w.explore(std::move(seed.m), fp, std::move(seed.prefix), &cl);
+  };
+
+  if (opts.threads <= 1) {
+    for (SeedState& seed : seeds) {
+      if (sh.done.load(std::memory_order_relaxed)) break;
+      run_seed(seed, /*parallel=*/false);
+    }
+  } else {
+    ws::Scheduler<AsymmetricSignalFence> sched(opts.threads);
+    sched.run([&] {
+      ws::parallel_for<AsymmetricSignalFence>(
+          0, seeds.size(), 1, [&](std::size_t i) {
+            if (sh.done.load(std::memory_order_relaxed)) return;
+            run_seed(seeds[i], /*parallel=*/true);
+          });
+    });
+  }
+
+  ExploreResult result;
+  {
+    std::lock_guard<std::mutex> g(sh.result_mu);
+    result = std::move(sh.merged);
+  }
+  result.states_explored = sh.states.load(std::memory_order_relaxed);
+  result.hit_limit = sh.hit_limit.load(std::memory_order_relaxed);
+  result.visited_bytes = sh.visited.bytes();
+  result.spill_bytes = sh.visited.spill_bytes();
+  result.spill_segments = sh.visited.spill_segments();
+  result.symmetry_orbit = orbit;
   return result;
 }
 

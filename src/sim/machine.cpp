@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "lbmf/sim/trace.hpp"
 
@@ -756,49 +757,199 @@ bool Machine::action_is_local(std::size_t cpu, Action a) const {
   return false;
 }
 
-void Machine::append_canonical(std::string& s) const {
+void Machine::append_cpu_block(const CpuState& c, std::string& s) const {
   auto put32 = [&s](std::uint32_t v) {
     s.append(reinterpret_cast<const char*>(&v), sizeof(v));
   };
   auto put64 = [&s](std::uint64_t v) {
     s.append(reinterpret_cast<const char*>(&v), sizeof(v));
   };
-  for (const auto& c : cpus_) {
-    put32(static_cast<std::uint32_t>(c.pc));
-    // Only the registers the loaded program can write (regs_written_mask):
-    // the rest are zero in every reachable state and would just dilute the
-    // encoding this runs once per explored transition.
-    for (std::uint8_t m = c.regs_written_mask, i = 0; m != 0; m >>= 1, ++i) {
-      if (m & 1u) put64(static_cast<std::uint64_t>(c.regs[i]));
+  put32(static_cast<std::uint32_t>(c.pc));
+  // Only the registers the loaded program can write (regs_written_mask):
+  // the rest are zero in every reachable state and would just dilute the
+  // encoding this runs once per explored transition.
+  for (std::uint8_t m = c.regs_written_mask, i = 0; m != 0; m >>= 1, ++i) {
+    if (m & 1u) put64(static_cast<std::uint64_t>(c.regs[i]));
+  }
+  s.push_back(static_cast<char>((c.halted ? 1 : 0) | (c.in_cs ? 2 : 0) |
+                                (c.le_bit ? 4 : 0)));
+  put32(c.le_addr);
+  put32(static_cast<std::uint32_t>(c.sb.size()));
+  for (const StoreEntry& e : c.sb.entries()) {
+    put32(e.addr);
+    put64(static_cast<std::uint64_t>(e.value));
+    s.push_back(e.guarded ? 1 : 0);
+  }
+  // Cache lines in base order (a Cache invariant — no sorting here), with
+  // LRU encoded as eviction *rank* (the fine-grained stamp values differ
+  // between equivalent histories). Ranks come from counting smaller
+  // stamps: quadratic in residency, but branch-free and allocation-free,
+  // which beats sorting a scratch array for every serialized state.
+  const std::vector<CacheLine>& lines = c.cache.lines();
+  const std::size_t n = lines.size();
+  put32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    const CacheLine& l = lines[i];
+    put32(l.base);
+    s.push_back(static_cast<char>(l.state));
+    s.append(reinterpret_cast<const char*>(l.data.data()),
+             l.data.size() * sizeof(Word));
+    std::uint32_t rank = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      rank += lines[j].lru < l.lru ? 1u : 0u;
     }
-    s.push_back(static_cast<char>((c.halted ? 1 : 0) | (c.in_cs ? 2 : 0) |
-                                  (c.le_bit ? 4 : 0)));
+    put32(rank);
+  }
+}
+
+void Machine::append_canonical(std::string& s) const {
+  if (sym_groups_ == nullptr) {
+    for (const auto& c : cpus_) append_cpu_block(c, s);
+  } else {
+    // Thread-symmetry canonicalization: serialize each grouped CPU's block,
+    // sort the blocks lexicographically within the group, and emit the
+    // sorted blocks at the group members' positions. A CPU block is fully
+    // self-contained (pc through cache lines), so sorting blocks realizes
+    // exactly the private-state relabeling of the automorphism argued in
+    // the header — and handles non-contiguous groups for free. Ungrouped
+    // CPUs serialize in place. The scratch buffers are thread_local: this
+    // runs once per explored transition on every parallel worker.
+    const auto& groups = *sym_groups_;
+    thread_local std::vector<int> gid;
+    thread_local std::vector<std::vector<std::string>> sorted;
+    thread_local std::vector<std::size_t> next;
+    gid.assign(cpus_.size(), -1);
+    if (sorted.size() < groups.size()) sorted.resize(groups.size());
+    next.assign(groups.size(), 0);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      std::vector<std::string>& blocks = sorted[g];
+      blocks.resize(groups[g].size());
+      for (std::size_t j = 0; j < groups[g].size(); ++j) {
+        const std::uint8_t cpu = groups[g][j];
+        gid[cpu] = static_cast<int>(g);
+        blocks[j].clear();
+        append_cpu_block(cpus_[cpu], blocks[j]);
+      }
+      std::sort(blocks.begin(), blocks.end());
+    }
+    for (std::size_t i = 0; i < cpus_.size(); ++i) {
+      if (gid[i] < 0) {
+        append_cpu_block(cpus_[i], s);
+      } else {
+        s += sorted[static_cast<std::size_t>(gid[i])][next[gid[i]]++];
+      }
+    }
+  }
+  auto put32 = [&s](std::uint32_t v) {
+    s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put64 = [&s](std::uint64_t v) {
+    s.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put32(static_cast<std::uint32_t>(mem_.size()));
+  for (const auto& [a, v] : mem_) {
+    put32(a);
+    put64(static_cast<std::uint64_t>(v));
+  }
+}
+
+void Machine::set_symmetric_groups(
+    std::vector<std::vector<std::uint8_t>> groups) {
+  std::vector<bool> used(cpus_.size(), false);
+  for (const auto& g : groups) {
+    LBMF_CHECK_MSG(g.size() >= 2, "symmetric group needs >= 2 CPUs");
+    for (const std::uint8_t m : g) {
+      LBMF_CHECK_MSG(m < cpus_.size(), "symmetric group CPU out of range");
+      LBMF_CHECK_MSG(!used[m], "CPU in more than one symmetric group");
+      used[m] = true;
+      LBMF_CHECK_MSG(cpus_[m].program != nullptr &&
+                         cpus_[g[0]].program != nullptr &&
+                         cpus_[m].program->code == cpus_[g[0]].program->code,
+                     "symmetric group CPUs must run identical programs");
+    }
+  }
+  if (groups.empty()) {
+    sym_groups_.reset();
+  } else {
+    sym_groups_ = std::make_shared<const std::vector<std::vector<std::uint8_t>>>(
+        std::move(groups));
+  }
+}
+
+std::size_t Machine::auto_symmetry() {
+  std::vector<std::vector<std::uint8_t>> groups;
+  std::vector<bool> used(cpus_.size(), false);
+  std::size_t grouped = 0;
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    if (used[i] || cpus_[i].program == nullptr) continue;
+    std::vector<std::uint8_t> g{static_cast<std::uint8_t>(i)};
+    for (std::size_t j = i + 1; j < cpus_.size(); ++j) {
+      if (used[j] || cpus_[j].program == nullptr) continue;
+      if (cpus_[j].program->code == cpus_[i].program->code) {
+        g.push_back(static_cast<std::uint8_t>(j));
+        used[j] = true;
+      }
+    }
+    if (g.size() >= 2) {
+      grouped += g.size();
+      groups.push_back(std::move(g));
+    }
+  }
+  set_symmetric_groups(std::move(groups));
+  return grouped;
+}
+
+const std::vector<std::vector<std::uint8_t>>& Machine::symmetric_groups()
+    const {
+  static const std::vector<std::vector<std::uint8_t>> kEmpty;
+  return sym_groups_ == nullptr ? kEmpty : *sym_groups_;
+}
+
+std::uint64_t Machine::symmetry_orbit() const noexcept {
+  std::uint64_t orbit = 1;
+  if (sym_groups_ == nullptr) return orbit;
+  for (const auto& g : *sym_groups_) {
+    for (std::uint64_t k = 2; k <= g.size(); ++k) orbit *= k;
+  }
+  return orbit;
+}
+
+namespace {
+constexpr std::uint32_t kArchMagic = 0x4C42'4152u;  // "LBAR"
+}  // namespace
+
+void Machine::save_arch(std::string& out) const {
+  auto put32 = [&out](std::uint32_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto put64 = [&out](std::uint64_t v) {
+    out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put32(kArchMagic);
+  put32(static_cast<std::uint32_t>(cpus_.size()));
+  for (const CpuState& c : cpus_) {
+    put32(static_cast<std::uint32_t>(c.pc));
+    for (const Word r : c.regs) put64(static_cast<std::uint64_t>(r));
+    out.push_back(static_cast<char>((c.halted ? 1 : 0) | (c.in_cs ? 2 : 0) |
+                                    (c.le_bit ? 4 : 0) |
+                                    (c.flushing ? 8 : 0)));
     put32(c.le_addr);
     put32(static_cast<std::uint32_t>(c.sb.size()));
     for (const StoreEntry& e : c.sb.entries()) {
       put32(e.addr);
       put64(static_cast<std::uint64_t>(e.value));
-      s.push_back(e.guarded ? 1 : 0);
+      out.push_back(e.guarded ? 1 : 0);
     }
-    // Cache lines in base order (a Cache invariant — no sorting here), with
-    // LRU encoded as eviction *rank* (the fine-grained stamp values differ
-    // between equivalent histories). Ranks come from counting smaller
-    // stamps: quadratic in residency, but branch-free and allocation-free,
-    // which beats sorting a scratch array for every serialized state.
     const std::vector<CacheLine>& lines = c.cache.lines();
-    const std::size_t n = lines.size();
-    put32(static_cast<std::uint32_t>(n));
-    for (std::size_t i = 0; i < n; ++i) {
-      const CacheLine& l = lines[i];
+    put32(static_cast<std::uint32_t>(lines.size()));
+    for (const CacheLine& l : lines) {
       put32(l.base);
-      s.push_back(static_cast<char>(l.state));
-      s.append(reinterpret_cast<const char*>(l.data.data()),
-               l.data.size() * sizeof(Word));
-      std::uint32_t rank = 0;
-      for (std::size_t j = 0; j < n; ++j) {
-        rank += lines[j].lru < l.lru ? 1u : 0u;
+      out.push_back(static_cast<char>(l.state));
+      put32(static_cast<std::uint32_t>(l.data.size()));
+      for (std::size_t w = 0; w < l.data.size(); ++w) {
+        put64(static_cast<std::uint64_t>(l.data[w]));
       }
-      put32(rank);
+      put64(l.lru);
     }
   }
   put32(static_cast<std::uint32_t>(mem_.size()));
@@ -806,6 +957,102 @@ void Machine::append_canonical(std::string& s) const {
     put32(a);
     put64(static_cast<std::uint64_t>(v));
   }
+}
+
+bool Machine::restore_arch(std::string_view in) {
+  std::size_t pos = 0;
+  auto get32 = [&in, &pos](std::uint32_t* v) {
+    if (pos + sizeof(*v) > in.size()) return false;
+    std::memcpy(v, in.data() + pos, sizeof(*v));
+    pos += sizeof(*v);
+    return true;
+  };
+  auto get64 = [&in, &pos](std::uint64_t* v) {
+    if (pos + sizeof(*v) > in.size()) return false;
+    std::memcpy(v, in.data() + pos, sizeof(*v));
+    pos += sizeof(*v);
+    return true;
+  };
+  auto get8 = [&in, &pos](std::uint8_t* v) {
+    if (pos >= in.size()) return false;
+    *v = static_cast<std::uint8_t>(in[pos++]);
+    return true;
+  };
+  std::uint32_t magic = 0, ncpus = 0;
+  if (!get32(&magic) || magic != kArchMagic) return false;
+  if (!get32(&ncpus) || ncpus != cpus_.size()) return false;
+  for (CpuState& c : cpus_) {
+    std::uint32_t pc = 0;
+    if (!get32(&pc)) return false;
+    c.pc = static_cast<std::int32_t>(pc);
+    for (Word& r : c.regs) {
+      std::uint64_t v = 0;
+      if (!get64(&v)) return false;
+      r = static_cast<Word>(v);
+    }
+    std::uint8_t flags = 0;
+    if (!get8(&flags)) return false;
+    c.halted = (flags & 1) != 0;
+    c.in_cs = (flags & 2) != 0;
+    c.le_bit = (flags & 4) != 0;
+    c.flushing = (flags & 8) != 0;
+    if (!get32(&c.le_addr)) return false;
+    std::uint32_t nsb = 0;
+    if (!get32(&nsb)) return false;
+    c.sb.clear();
+    for (std::uint32_t i = 0; i < nsb; ++i) {
+      StoreEntry e;
+      std::uint64_t v = 0;
+      std::uint8_t g = 0;
+      if (!get32(&e.addr) || !get64(&v) || !get8(&g)) return false;
+      e.value = static_cast<Word>(v);
+      e.guarded = g != 0;
+      if (c.sb.full()) return false;
+      c.sb.push(e);
+    }
+    std::uint32_t nlines = 0;
+    if (!get32(&nlines)) return false;
+    if (nlines > c.cache.capacity()) return false;
+    std::vector<CacheLine> lines(nlines);
+    for (CacheLine& l : lines) {
+      std::uint8_t state = 0;
+      std::uint32_t nwords = 0;
+      if (!get32(&l.base) || !get8(&state) || !get32(&nwords)) return false;
+      if (nwords != cfg_.line_words) return false;
+      l.state = static_cast<Mesi>(state);
+      l.data = LineData(nwords);
+      for (std::uint32_t w = 0; w < nwords; ++w) {
+        std::uint64_t v = 0;
+        if (!get64(&v)) return false;
+        l.data[w] = static_cast<Word>(v);
+      }
+      if (!get64(&l.lru)) return false;
+    }
+    if (!std::is_sorted(lines.begin(), lines.end(),
+                        [](const CacheLine& a, const CacheLine& b) {
+                          return a.base < b.base;
+                        })) {
+      return false;
+    }
+    c.cache.restore_lines(std::move(lines));
+  }
+  std::uint32_t nmem = 0;
+  if (!get32(&nmem)) return false;
+  mem_.clear();
+  for (std::uint32_t i = 0; i < nmem; ++i) {
+    std::uint32_t a = 0;
+    std::uint64_t v = 0;
+    if (!get32(&a) || !get64(&v)) return false;
+    mem_.set(a, static_cast<Word>(v));
+  }
+  return pos == in.size();
+}
+
+void Machine::set_pc(std::size_t cpu, std::int32_t pc) {
+  LBMF_CHECK(cpu < cpus_.size());
+  LBMF_CHECK(cpus_[cpu].program != nullptr && pc >= 0 &&
+             static_cast<std::size_t>(pc) <= cpus_[cpu].program->code.size());
+  cpus_[cpu].pc = pc;
 }
 
 }  // namespace lbmf::sim
