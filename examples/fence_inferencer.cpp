@@ -226,6 +226,23 @@ std::string json_report(const infer::InferProblem& p,
         << (s + 1 < p.sites.size() ? "," : "") << "\n";
     }
     j << "  ],\n";
+    // Runtime-source map, present only when the litmus text carries `#@`
+    // provenance comments (machine-extracted files) — hand-written tests
+    // keep the report byte-identical to what it always was.
+    bool any_prov = false;
+    for (const infer::FenceSite& s : p.sites) {
+      any_prov = any_prov || !s.provenance.empty();
+    }
+    if (any_prov) {
+      j << "  \"source_map\": [\n";
+      for (std::size_t s = 0; s < p.sites.size(); ++s) {
+        j << "    {\"site\": \"" << json_escape(p.describe_site(s))
+          << "\", \"fence\": \"" << sim::to_string(r.best.kinds[s])
+          << "\", \"source\": \"" << json_escape(p.sites[s].provenance)
+          << "\"}" << (s + 1 < p.sites.size() ? "," : "") << "\n";
+      }
+      j << "  ],\n";
+    }
   }
   if (r.unsat_violation) {
     j << "  \"violation\": \"" << json_escape(*r.unsat_violation) << "\",\n";
@@ -318,8 +335,7 @@ int main(int argc, char** argv) {
 
   infer::ProblemParse parsed = infer::problem_from_source(source);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "line %zu: %s\n", parsed.error->line,
-                 parsed.error->message.c_str());
+    std::fprintf(stderr, "%s\n", parsed.error->to_string().c_str());
     return 2;
   }
   infer::InferProblem& p = *parsed.problem;
@@ -425,8 +441,12 @@ int main(int argc, char** argv) {
   std::printf("minimum-cost placement (cost %.0f, re-check %s):\n",
               r.best_cost, r.recheck_safe ? "SAFE" : "FAILED");
   for (std::size_t s = 0; s < p.sites.size(); ++s) {
-    std::printf("  line %zu %s -> %s\n", p.sites[s].src_line,
+    std::printf("  line %zu %s -> %s", p.sites[s].src_line,
                 p.describe_site(s).c_str(), sim::to_string(r.best.kinds[s]));
+    if (!p.sites[s].provenance.empty()) {
+      std::printf("  (%s)", p.sites[s].provenance.c_str());
+    }
+    std::printf("\n");
   }
   for (const infer::MinimalityNote& n : r.minimality) {
     std::printf("  minimality: site %zu %s -> %s is %s (cost %+.0f)\n", n.site,

@@ -165,8 +165,7 @@ int main(int argc, char** argv) {
   const std::string source = read_source(argc, argv);
   const AssembleResult assembled = assemble(source);
   if (!assembled.ok()) {
-    std::fprintf(stderr, "line %zu: %s\n", assembled.error->line,
-                 assembled.error->message.c_str());
+    std::fprintf(stderr, "%s\n", assembled.error->to_string().c_str());
     return 2;
   }
 

@@ -1,0 +1,120 @@
+#pragma once
+
+/// The lbmf::extract annotation layer: the macros a lightly annotated C++
+/// subset uses to describe its fence protocol next to the real code.
+///
+/// Compiled with -DLBMF_EXTRACT=1, each macro appends one instruction to
+/// a recording (trace.hpp), tagged with the annotation's own __FILE__ and
+/// __LINE__ — the provenance that flows through the generated `.lit`
+/// (`#@ file:line` comments), into lbmf::infer's fence sites, and back
+/// out of the map-back pass as `deque.hpp:NN: l-mfence`. In any other
+/// build every macro expands to `((void)0)`: the annotations cost nothing
+/// and their arguments are never even looked at (extract_off_test.cpp
+/// passes undeclared identifiers through them to prove it). The annotated
+/// spec functions in the runtime headers are additionally fenced behind
+/// `#if LBMF_EXTRACT_ENABLED`, so non-extract translation units carry no
+/// recording symbols at all.
+///
+/// The annotation subset (see docs/LITMUS.md for the emitted grammar):
+///
+///   LBMF_ROLE(rec, "victim", 1000)        declare a thread role (freq)
+///   LBMF_LOAD(role, r0, "H")              atomic load into a register
+///   LBMF_STORE(role, "T", 0)              atomic store (immediate)
+///   LBMF_STORE_REG(role, "T", r1)         atomic store (register)
+///   LBMF_FENCE_HOLE(role, "T", 0)         store + `?fence` hole for infer
+///   LBMF_MFENCE(role)                     full fence
+///   LBMF_LMFENCE(role, "T", 0)            location-based fence (Fig. 3b)
+///   LBMF_RMW_ACQUIRE(role, "G")           locked-RMW acquire (lock)
+///   LBMF_RMW_RELEASE(role, "G")           locked-RMW release (unlock)
+///   LBMF_MOV / LBMF_ADD(role, r0, 5)      register arithmetic
+///   LBMF_LABEL(role, "claim")             role-local label
+///   LBMF_BEQ / LBMF_BNE(role, r0, 0, "claim")  conditional branches
+///   LBMF_JMP(role, "top")                 unconditional branch
+///   LBMF_CRITICAL(role)                   cs_enter; cs_exit
+///   LBMF_CRITICAL_ENTER / _EXIT(role)     the markers separately
+///   LBMF_DELAY(role, 20)                  local work
+///   LBMF_HALT(role)                       end of the role's program
+///   LBMF_INIT(rec, "T", 1)                shared initial memory
+///   LBMF_FINAL_PROPERTY(rec, "TK0", 1, "TK1", 0)  allowed terminal state
+///   LBMF_SYMMETRIC(rec, "thief1", "thief2")       interchangeable roles
+
+#include "lbmf/extract/trace.hpp"
+
+#if defined(LBMF_EXTRACT) && LBMF_EXTRACT
+#define LBMF_EXTRACT_ENABLED 1
+#else
+#define LBMF_EXTRACT_ENABLED 0
+#endif
+
+namespace lbmf::extract {
+
+/// Whether this translation unit records annotations. Internal linkage,
+/// so extract and non-extract TUs can disagree without an ODR clash.
+constexpr bool kEnabled = LBMF_EXTRACT_ENABLED == 1;
+
+}  // namespace lbmf::extract
+
+#if LBMF_EXTRACT_ENABLED
+
+#define LBMF_ANNOT_SRC_ \
+  (::lbmf::extract::SourceLoc{__FILE__, static_cast<std::size_t>(__LINE__)})
+
+#define LBMF_ROLE(rec, name, freq) ((rec).role((name), (freq), LBMF_ANNOT_SRC_))
+#define LBMF_INIT(rec, loc, v) ((rec).init((loc), (v)))
+#define LBMF_FINAL_PROPERTY(rec, ...) ((rec).final_property(__VA_ARGS__))
+#define LBMF_SYMMETRIC(rec, ...) ((rec).symmetric(__VA_ARGS__))
+
+#define LBMF_LOAD(role, reg, loc) ((role).load((reg), (loc), LBMF_ANNOT_SRC_))
+#define LBMF_STORE(role, loc, v) ((role).store((loc), (v), LBMF_ANNOT_SRC_))
+#define LBMF_STORE_REG(role, loc, reg) \
+  ((role).store_reg((loc), (reg), LBMF_ANNOT_SRC_))
+#define LBMF_FENCE_HOLE(role, loc, v) \
+  ((role).fence_hole((loc), (v), LBMF_ANNOT_SRC_))
+#define LBMF_MFENCE(role) ((role).mfence(LBMF_ANNOT_SRC_))
+#define LBMF_LMFENCE(role, loc, v) \
+  ((role).lmfence((loc), (v), LBMF_ANNOT_SRC_))
+#define LBMF_RMW_ACQUIRE(role, loc) \
+  ((role).rmw_acquire((loc), LBMF_ANNOT_SRC_))
+#define LBMF_RMW_RELEASE(role, loc) \
+  ((role).rmw_release((loc), LBMF_ANNOT_SRC_))
+#define LBMF_MOV(role, reg, v) ((role).mov((reg), (v), LBMF_ANNOT_SRC_))
+#define LBMF_ADD(role, reg, v) ((role).add((reg), (v), LBMF_ANNOT_SRC_))
+#define LBMF_LABEL(role, name) ((role).label((name), LBMF_ANNOT_SRC_))
+#define LBMF_BEQ(role, reg, v, target) \
+  ((role).branch_eq((reg), (v), (target), LBMF_ANNOT_SRC_))
+#define LBMF_BNE(role, reg, v, target) \
+  ((role).branch_ne((reg), (v), (target), LBMF_ANNOT_SRC_))
+#define LBMF_JMP(role, target) ((role).jump((target), LBMF_ANNOT_SRC_))
+#define LBMF_CRITICAL(role) ((role).critical(LBMF_ANNOT_SRC_))
+#define LBMF_CRITICAL_ENTER(role) ((role).cs_enter(LBMF_ANNOT_SRC_))
+#define LBMF_CRITICAL_EXIT(role) ((role).cs_exit(LBMF_ANNOT_SRC_))
+#define LBMF_DELAY(role, cycles) ((role).delay((cycles), LBMF_ANNOT_SRC_))
+#define LBMF_HALT(role) ((role).halt(LBMF_ANNOT_SRC_))
+
+#else  // LBMF_EXTRACT_ENABLED == 0: zero-cost passthrough.
+
+#define LBMF_ROLE(...) ((void)0)
+#define LBMF_INIT(...) ((void)0)
+#define LBMF_FINAL_PROPERTY(...) ((void)0)
+#define LBMF_SYMMETRIC(...) ((void)0)
+#define LBMF_LOAD(...) ((void)0)
+#define LBMF_STORE(...) ((void)0)
+#define LBMF_STORE_REG(...) ((void)0)
+#define LBMF_FENCE_HOLE(...) ((void)0)
+#define LBMF_MFENCE(...) ((void)0)
+#define LBMF_LMFENCE(...) ((void)0)
+#define LBMF_RMW_ACQUIRE(...) ((void)0)
+#define LBMF_RMW_RELEASE(...) ((void)0)
+#define LBMF_MOV(...) ((void)0)
+#define LBMF_ADD(...) ((void)0)
+#define LBMF_LABEL(...) ((void)0)
+#define LBMF_BEQ(...) ((void)0)
+#define LBMF_BNE(...) ((void)0)
+#define LBMF_JMP(...) ((void)0)
+#define LBMF_CRITICAL(...) ((void)0)
+#define LBMF_CRITICAL_ENTER(...) ((void)0)
+#define LBMF_CRITICAL_EXIT(...) ((void)0)
+#define LBMF_DELAY(...) ((void)0)
+#define LBMF_HALT(...) ((void)0)
+
+#endif  // LBMF_EXTRACT_ENABLED

@@ -1,0 +1,74 @@
+#pragma once
+
+/// The lbmf::extract emitter: canonicalize a recorded Spec (trace.hpp)
+/// and write it as a holey `.lit` file the existing assembler accepts
+/// unchanged, plus the semantic drift-compare the CI gate runs against
+/// the committed hand-written litmus files.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lbmf/extract/trace.hpp"
+
+namespace lbmf::extract {
+
+struct EmitOptions {
+  /// Append `#@ file:line` provenance comments to emitted instructions
+  /// (and a role marker on each `cpu N:` line). The assembler parses them
+  /// back onto `?fence` holes; everything else treats them as comments.
+  bool provenance = true;
+  /// Extra context for the generated-file banner, e.g. the committed
+  /// file the output is drift-gated against.
+  std::string banner_note;
+};
+
+/// One recording problem found while validating a Spec, with the
+/// annotation's own source location so the report reads like a compiler
+/// diagnostic over the runtime header.
+struct EmitError {
+  std::string message;
+  SourceLoc src;
+
+  std::string to_string() const;
+};
+
+struct EmitResult {
+  std::string text;  // the generated `.lit`, empty on error
+  std::vector<EmitError> errors;
+
+  bool ok() const noexcept { return errors.empty(); }
+  std::string error_string() const;
+};
+
+/// Canonicalize and render `spec` as a `.lit` source. Canonicalization:
+/// registers are renumbered per role in order of first use, provenance
+/// paths are trimmed to their repo-relative suffix, role freqs fold into
+/// `freq` directives and symmetric role groups into `symmetric cpu`
+/// directives over the emitted section indices. Validation failures
+/// (undefined branch targets, duplicate labels, a role not ending in
+/// halt, unknown symmetric role names, non-integral freqs) are reported
+/// with the offending annotation's file:line.
+EmitResult emit_lit(const Spec& spec, const EmitOptions& opts = {});
+
+/// Trim a __FILE__ path to its stable repo-relative suffix: the part
+/// after the last "include/" when present (e.g. "lbmf/ws/deque.hpp"),
+/// else after the last "/root/"-style prefix fallback — the basename.
+std::string canonical_source_path(std::string_view file);
+
+/// Semantic drift report between a generated litmus source and the
+/// committed hand-written one: both are assembled and compared at the
+/// program level (instruction bytes, symbols, initial memory, freqs,
+/// `?fence` holes, `final` properties, symmetric groups), so comments and
+/// label spelling never count as drift — only the protocol does.
+struct DriftReport {
+  std::vector<std::string> diffs;
+
+  bool clean() const noexcept { return diffs.empty(); }
+  std::string to_string() const;
+};
+
+DriftReport compare_litmus(std::string_view generated,
+                           std::string_view committed);
+
+}  // namespace lbmf::extract

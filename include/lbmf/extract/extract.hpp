@@ -1,0 +1,66 @@
+#pragma once
+
+/// lbmf::extract — litmus extraction from annotated runtime code.
+///
+/// The pipeline (see docs/ARCHITECTURE.md "From runtime code to litmus"):
+///
+///   runtime header      annotated spec function (LBMF_* macros)
+///        |                       annotate.hpp
+///        v
+///   recorded Spec       per-role instruction streams + provenance
+///        |                       trace.hpp
+///        v
+///   generated .lit      canonicalized, `#@ file:line` comments
+///        |                       emit.hpp
+///        v
+///   lbmf::infer         `?fence` holes -> minimum-cost placement
+///        |
+///        v
+///   source report       "lbmf/ws/deque.hpp:NN: l-mfence" + JSON
+///                                mapback.hpp
+///
+/// The drift gate (scripts/ci/run_extract_gates.sh) closes the loop:
+/// regenerate each protocol from its annotations, semantic-diff against
+/// the committed hand-written litmus file, and re-run inference over the
+/// *generated* text — so the annotations, the committed `.lit` and the
+/// pinned placements can never drift apart silently.
+
+#include "lbmf/extract/annotate.hpp"
+#include "lbmf/extract/emit.hpp"
+#include "lbmf/extract/mapback.hpp"
+#include "lbmf/extract/trace.hpp"
+
+#if LBMF_EXTRACT_ENABLED
+
+#include "lbmf/rwlock/rwlock.hpp"
+#include "lbmf/ws/chase_lev.hpp"
+#include "lbmf/ws/deque.hpp"
+
+namespace lbmf::extract {
+
+/// One annotated structure the extractor knows how to regenerate.
+struct RegisteredProtocol {
+  const char* key;        // CLI name, e.g. "the-deque"
+  const char* committed;  // hand-written file under examples/litmus/
+  Spec (*record)();
+};
+
+/// Every annotated structure in the repo, in gate order. Adding a
+/// structure = write its record_*_protocol() next to the real code and
+/// list it here; the CI drift gate picks it up from the CLI's --list.
+inline std::vector<RegisteredProtocol> protocol_registry() {
+  return {
+      {"the-deque", "the_deque_holes.lit", &ws::record_the_deque_protocol},
+      {"chase-lev", "chase_lev.lit", &ws::record_chase_lev_protocol},
+      {"biased-rwlock", "biased_rwlock.lit",
+       &lbmf::record_biased_rwlock_protocol},
+  };
+}
+
+inline Spec record_protocol(const RegisteredProtocol& rp) {
+  return rp.record();
+}
+
+}  // namespace lbmf::extract
+
+#endif  // LBMF_EXTRACT_ENABLED

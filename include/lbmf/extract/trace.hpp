@@ -1,0 +1,270 @@
+#pragma once
+
+/// lbmf::extract — the recorded-trace data model and the recording
+/// harness behind the annotation macros (annotate.hpp).
+///
+/// A protocol spec is recorded, not parsed: running an annotated role
+/// function once appends one RecordedOp per macro call, with the source
+/// file:line of the annotation as provenance. Branches are recorded as
+/// instructions (they are not executed as C++ control flow), so a single
+/// run captures the whole per-thread program shape the emitter
+/// (emit.hpp) later canonicalizes into a `.lit` file.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lbmf::extract {
+
+/// The simulated registers the annotation subset may name (the `.lit`
+/// language's r0..r7). The emitter renumbers them by first use per role,
+/// so annotations are free to pick mnemonic registers.
+enum Reg : std::uint8_t { r0 = 0, r1, r2, r3, r4, r5, r6, r7 };
+
+/// Where an annotation physically lives in the runtime source — the
+/// provenance the whole pipeline carries: emitted as `#@ file:line`
+/// comments in the generated `.lit`, parsed back by the assembler, and
+/// reported by the map-back pass as `deque.hpp:NN: l-mfence`.
+struct SourceLoc {
+  std::string file;
+  std::size_t line = 0;
+
+  bool known() const noexcept { return !file.empty() && line != 0; }
+};
+
+/// One recorded annotation. The kinds mirror the `.lit` instruction set
+/// (docs/LITMUS.md); kRmwAcquire/kRmwRelease are the locked-RMW gate
+/// (`lock`/`unlock`), kFenceHole is a `?fence` site left for lbmf::infer.
+enum class OpKind : std::uint8_t {
+  kLoad,        // load rN, [loc]
+  kStore,       // store [loc], v
+  kStoreReg,    // store [loc], rN
+  kMfence,      // mfence
+  kLmfence,     // lmfence [loc], v
+  kFenceHole,   // ?fence [loc], v
+  kRmwAcquire,  // lock [loc]
+  kRmwRelease,  // unlock [loc]
+  kMov,         // mov rN, v
+  kAdd,         // add rN, v
+  kBranchEq,    // beq rN, v, label
+  kBranchNe,    // bne rN, v, label
+  kJump,        // jmp label
+  kLabel,       // label:
+  kCsEnter,     // cs_enter
+  kCsExit,      // cs_exit
+  kDelay,       // delay v
+  kHalt,        // halt
+};
+
+const char* to_string(OpKind k) noexcept;
+
+struct RecordedOp {
+  OpKind kind{};
+  Reg reg = r0;
+  std::string loc;    // symbolic location name, e.g. "T"
+  long long value = 0;
+  std::string label;  // branch target / label name (role-local)
+  SourceLoc src;
+};
+
+/// One annotated thread role — emitted as one `cpu N:` section, in
+/// declaration order.
+struct RoleTrace {
+  std::string name;
+  double freq = 1.0;
+  SourceLoc src;  // where the role was declared
+  std::vector<RecordedOp> ops;
+};
+
+/// A whole recorded protocol: the input to the emitter.
+struct Spec {
+  std::string name;
+  std::vector<RoleTrace> roles;
+  /// `init [loc], v` directives, in recording order.
+  std::vector<std::pair<std::string, long long>> inits;
+  /// `final` disjunction: each entry is one conjunction of (loc, value).
+  std::vector<std::vector<std::pair<std::string, long long>>> finals;
+  /// `symmetric` groups, by role name.
+  std::vector<std::vector<std::string>> symmetric;
+};
+
+class Recorder;
+
+/// Value handle to one role of a Recorder. A handle (rather than a
+/// reference into Recorder's role vector) so that declaring further roles
+/// never invalidates it — the Chase-Lev spec records its two symmetric
+/// thieves by calling the same annotation lambda twice.
+class RoleRef {
+ public:
+  RoleRef(Recorder* rec, std::size_t index) : rec_(rec), index_(index) {}
+
+  RoleRef& load(Reg reg, std::string loc, SourceLoc src = {});
+  RoleRef& store(std::string loc, long long v, SourceLoc src = {});
+  RoleRef& store_reg(std::string loc, Reg reg, SourceLoc src = {});
+  RoleRef& fence_hole(std::string loc, long long v, SourceLoc src = {});
+  RoleRef& mfence(SourceLoc src = {});
+  RoleRef& lmfence(std::string loc, long long v, SourceLoc src = {});
+  RoleRef& rmw_acquire(std::string loc, SourceLoc src = {});
+  RoleRef& rmw_release(std::string loc, SourceLoc src = {});
+  RoleRef& mov(Reg reg, long long v, SourceLoc src = {});
+  RoleRef& add(Reg reg, long long v, SourceLoc src = {});
+  RoleRef& branch_eq(Reg reg, long long v, std::string label,
+                     SourceLoc src = {});
+  RoleRef& branch_ne(Reg reg, long long v, std::string label,
+                     SourceLoc src = {});
+  RoleRef& jump(std::string label, SourceLoc src = {});
+  RoleRef& label(std::string name, SourceLoc src = {});
+  RoleRef& cs_enter(SourceLoc src = {});
+  RoleRef& cs_exit(SourceLoc src = {});
+  /// cs_enter immediately followed by cs_exit — "this is the guarded
+  /// work", the shape every shipped protocol uses.
+  RoleRef& critical(SourceLoc src = {});
+  RoleRef& delay(long long cycles, SourceLoc src = {});
+  RoleRef& halt(SourceLoc src = {});
+
+ private:
+  RoleRef& emit(RecordedOp op);
+
+  Recorder* rec_;
+  std::size_t index_;
+};
+
+/// The recording harness: annotated spec functions receive a Recorder&,
+/// declare roles, and replay their protocol once through the macros.
+class Recorder {
+ public:
+  explicit Recorder(std::string spec_name) { spec_.name = std::move(spec_name); }
+
+  RoleRef role(std::string name, double freq, SourceLoc src = {}) {
+    RoleTrace r;
+    r.name = std::move(name);
+    r.freq = freq;
+    r.src = std::move(src);
+    spec_.roles.push_back(std::move(r));
+    return RoleRef(this, spec_.roles.size() - 1);
+  }
+
+  void init(std::string loc, long long v) {
+    spec_.inits.emplace_back(std::move(loc), v);
+  }
+
+  /// One allowed terminal valuation, as alternating (loc, value) pairs:
+  /// final_property("TK0", 1, "TK1", 0). Repeat for a disjunction.
+  template <typename... Rest>
+  void final_property(std::string loc, long long v, Rest&&... rest) {
+    std::vector<std::pair<std::string, long long>> conj;
+    collect_pairs(conj, std::move(loc), v, std::forward<Rest>(rest)...);
+    spec_.finals.push_back(std::move(conj));
+  }
+
+  /// Declare two or more roles interchangeable (emitted as a
+  /// `symmetric cpu` directive over their section indices).
+  template <typename... Rest>
+  void symmetric(std::string a, std::string b, Rest&&... rest) {
+    std::vector<std::string> group;
+    collect_names(group, std::move(a), std::move(b),
+                  std::forward<Rest>(rest)...);
+    spec_.symmetric.push_back(std::move(group));
+  }
+
+  const Spec& spec() const noexcept { return spec_; }
+  Spec take() && { return std::move(spec_); }
+
+ private:
+  friend class RoleRef;
+
+  static void collect_pairs(
+      std::vector<std::pair<std::string, long long>>& out) {
+    (void)out;
+  }
+  template <typename... Rest>
+  static void collect_pairs(std::vector<std::pair<std::string, long long>>& out,
+                            std::string loc, long long v, Rest&&... rest) {
+    out.emplace_back(std::move(loc), v);
+    collect_pairs(out, std::forward<Rest>(rest)...);
+  }
+
+  static void collect_names(std::vector<std::string>& out) { (void)out; }
+  template <typename... Rest>
+  static void collect_names(std::vector<std::string>& out, std::string name,
+                            Rest&&... rest) {
+    out.push_back(std::move(name));
+    collect_names(out, std::forward<Rest>(rest)...);
+  }
+
+  Spec spec_;
+};
+
+inline RoleRef& RoleRef::emit(RecordedOp op) {
+  // The Recorder owns the storage; the handle only indexes into it.
+  const_cast<Spec&>(rec_->spec()).roles[index_].ops.push_back(std::move(op));
+  return *this;
+}
+
+inline RoleRef& RoleRef::load(Reg reg, std::string loc, SourceLoc src) {
+  return emit({OpKind::kLoad, reg, std::move(loc), 0, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::store(std::string loc, long long v, SourceLoc src) {
+  return emit({OpKind::kStore, r0, std::move(loc), v, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::store_reg(std::string loc, Reg reg, SourceLoc src) {
+  return emit({OpKind::kStoreReg, reg, std::move(loc), 0, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::fence_hole(std::string loc, long long v,
+                                    SourceLoc src) {
+  return emit({OpKind::kFenceHole, r0, std::move(loc), v, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::mfence(SourceLoc src) {
+  return emit({OpKind::kMfence, r0, {}, 0, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::lmfence(std::string loc, long long v, SourceLoc src) {
+  return emit({OpKind::kLmfence, r0, std::move(loc), v, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::rmw_acquire(std::string loc, SourceLoc src) {
+  return emit({OpKind::kRmwAcquire, r0, std::move(loc), 0, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::rmw_release(std::string loc, SourceLoc src) {
+  return emit({OpKind::kRmwRelease, r0, std::move(loc), 0, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::mov(Reg reg, long long v, SourceLoc src) {
+  return emit({OpKind::kMov, reg, {}, v, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::add(Reg reg, long long v, SourceLoc src) {
+  return emit({OpKind::kAdd, reg, {}, v, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::branch_eq(Reg reg, long long v, std::string label,
+                                   SourceLoc src) {
+  return emit(
+      {OpKind::kBranchEq, reg, {}, v, std::move(label), std::move(src)});
+}
+inline RoleRef& RoleRef::branch_ne(Reg reg, long long v, std::string label,
+                                   SourceLoc src) {
+  return emit(
+      {OpKind::kBranchNe, reg, {}, v, std::move(label), std::move(src)});
+}
+inline RoleRef& RoleRef::jump(std::string label, SourceLoc src) {
+  return emit({OpKind::kJump, r0, {}, 0, std::move(label), std::move(src)});
+}
+inline RoleRef& RoleRef::label(std::string name, SourceLoc src) {
+  return emit({OpKind::kLabel, r0, {}, 0, std::move(name), std::move(src)});
+}
+inline RoleRef& RoleRef::cs_enter(SourceLoc src) {
+  return emit({OpKind::kCsEnter, r0, {}, 0, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::cs_exit(SourceLoc src) {
+  return emit({OpKind::kCsExit, r0, {}, 0, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::critical(SourceLoc src) {
+  cs_enter(src);
+  return cs_exit(std::move(src));
+}
+inline RoleRef& RoleRef::delay(long long cycles, SourceLoc src) {
+  return emit({OpKind::kDelay, r0, {}, cycles, {}, std::move(src)});
+}
+inline RoleRef& RoleRef::halt(SourceLoc src) {
+  return emit({OpKind::kHalt, r0, {}, 0, {}, std::move(src)});
+}
+
+}  // namespace lbmf::extract

@@ -33,6 +33,12 @@ struct FenceSite {
   /// expansion, whose ST carries an immediate; only {none, mfence} apply.
   bool is_reg_store = false;
   std::size_t src_line = 0;  // 1-based .lit line; 0 for programmatic sites
+  /// Runtime-source location ("lbmf/ws/deque.hpp:84") carried over from
+  /// the hole's `#@` provenance comment when the litmus text was
+  /// machine-extracted (lbmf::extract); empty otherwise. Reported by the
+  /// JSON source_map and the extract map-back pass; never part of the
+  /// problem identity (problem_graph_key ignores it).
+  std::string provenance;
 };
 
 /// A placement: one FenceKind per site, parallel to InferProblem::sites.

@@ -331,3 +331,56 @@ using ArwPlusLockSequential =
     BiasedRwLock<AsymmetricSignalFence, true, false>;
 
 }  // namespace lbmf
+
+#if defined(LBMF_EXTRACT) && LBMF_EXTRACT
+#include "lbmf/extract/annotate.hpp"
+
+namespace lbmf {
+
+/// The biased read/write Dekker protocol above, annotated for
+/// lbmf::extract: one hot reader against two gate-serialized writers.
+/// Locations: [R] the reader's slot flag, [I] write intent, [WG] the
+/// writer gate. Each side's announce (and the writer's back-off retreat)
+/// is a `?fence` hole; mutual exclusion is the built-in critical-section
+/// check, so no final property is recorded. `lbmf_extract biased-rwlock`
+/// regenerates examples/litmus/biased_rwlock.lit from this function.
+inline extract::Spec record_biased_rwlock_protocol() {
+  using namespace extract;
+  Recorder rec("biased-rwlock");
+
+  // read_lock() fast path: announce the slot flag (hole A — the paper
+  // makes this a compiler fence), check intent, enter or back off.
+  auto reader = LBMF_ROLE(rec, "reader", 1000);
+  LBMF_FENCE_HOLE(reader, "R", 1);   // announce read intent
+  LBMF_LOAD(reader, r0, "I");        // any writer announced?
+  LBMF_BNE(reader, r0, 0, "yield");
+  LBMF_CRITICAL(reader);             // read-side critical section
+  LBMF_LABEL(reader, "yield");
+  LBMF_STORE(reader, "R", 0);        // read_unlock / back off
+  LBMF_HALT(reader);
+
+  // write_lock(): the gate serializes writers, then the same Dekker
+  // against the reader from the other side.
+  auto write = [&rec](const char* name) {
+    auto writer = LBMF_ROLE(rec, name, 1);
+    LBMF_RMW_ACQUIRE(writer, "WG");
+    LBMF_FENCE_HOLE(writer, "I", 1);  // announce write intent
+    LBMF_LOAD(writer, r0, "R");       // reader inside?
+    LBMF_BNE(writer, r0, 0, "backoff");
+    LBMF_CRITICAL(writer);            // write-side critical section
+    LBMF_STORE(writer, "I", 0);       // write_unlock
+    LBMF_RMW_RELEASE(writer, "WG");
+    LBMF_HALT(writer);
+    LBMF_LABEL(writer, "backoff");
+    LBMF_FENCE_HOLE(writer, "I", 0);  // retreat the announce
+    LBMF_RMW_RELEASE(writer, "WG");
+    LBMF_HALT(writer);
+  };
+  write("writer1");
+  write("writer2");
+  LBMF_SYMMETRIC(rec, "writer1", "writer2");
+  return std::move(rec).take();
+}
+
+}  // namespace lbmf
+#endif  // LBMF_EXTRACT

@@ -11,10 +11,20 @@
 
 namespace lbmf::sim {
 
-/// Parse error with the 1-based source line it occurred on.
+/// Parse error with the 1-based source line it occurred on. When the
+/// error is attributable to a concrete token, `column` (1-based) points
+/// at it and `token` holds its text — so extractor-generated files are
+/// debuggable down to the offending operand; structural errors (e.g. a
+/// misplaced directive) keep column 0 and an empty token.
 struct AssembleError {
   std::size_t line = 0;
   std::string message;
+  std::size_t column = 0;
+  std::string token;
+
+  /// "line 7, col 12 near 'r9': register out of range" (or just
+  /// "line 7: ..." when no token is attributed).
+  std::string to_string() const;
 };
 
 /// A `?fence [loc], value` hole: a candidate fence site awaiting an
@@ -27,6 +37,11 @@ struct LitHole {
   Addr addr = kInvalidAddr;
   Word value = 0;
   std::size_t line = 0;  // 1-based source line, for source rewriting
+  /// Runtime-source provenance from a trailing `#@ file:line` comment on
+  /// the hole's line (written by lbmf::extract's emitter); empty for
+  /// hand-written litmus files. Flows to FenceSite::provenance and out
+  /// through the inference reports' source_map.
+  std::string provenance;
 };
 
 /// Output of assemble(): one Program per `cpu N:` section plus the mapping

@@ -170,3 +170,82 @@ class ChaseLevDeque {
 };
 
 }  // namespace lbmf::ws
+
+#if defined(LBMF_EXTRACT) && LBMF_EXTRACT
+#include "lbmf/extract/annotate.hpp"
+
+namespace lbmf::ws {
+
+/// take()/steal() reduced to the classic TSO double-take (Lê et al.,
+/// CGO'13), annotated for lbmf::extract. Locations: [B] bottom (init 2:
+/// elements at 0 and 1), [S] top, [C] the CAS gate, [TK1]/[TS0]/[TS1]
+/// who-got-which-element tokens. The two byte-identical thieves are
+/// recorded by replaying one annotation lambda twice and declared
+/// symmetric; `lbmf_extract chase-lev` regenerates
+/// examples/litmus/chase_lev.lit from exactly this function.
+inline extract::Spec record_chase_lev_protocol() {
+  using namespace extract;
+  Recorder rec("chase-lev");
+  LBMF_INIT(rec, "B", 2);
+
+  // take(): publish the bottom decrement (hole A — the famous fence),
+  // read top, and branch: fast take, CAS race for the last element, or
+  // empty-and-restore.
+  auto owner = LBMF_ROLE(rec, "owner", 1000);
+  LBMF_FENCE_HOLE(owner, "B", 1);    // publish bottom 2 -> 1
+  LBMF_LOAD(owner, r0, "S");         // read top
+  LBMF_BEQ(owner, r0, 0, "fast");    // two left: take elem1 CAS-free
+  LBMF_BEQ(owner, r0, 1, "race");    // last element: CAS vs the thieves
+  LBMF_STORE(owner, "B", 2);         // empty: restore bottom
+  LBMF_HALT(owner);
+  LBMF_LABEL(owner, "fast");
+  LBMF_STORE(owner, "TK1", 1);       // owner takes elem1 fence-free
+  LBMF_HALT(owner);
+  LBMF_LABEL(owner, "race");
+  LBMF_RMW_ACQUIRE(owner, "C");
+  LBMF_LOAD(owner, r1, "S");         // re-read top under the CAS
+  LBMF_BNE(owner, r1, 1, "lost");    // a thief won
+  LBMF_STORE(owner, "S", 2);         // CAS success: advance top
+  LBMF_STORE(owner, "TK1", 1);
+  LBMF_LABEL(owner, "lost");
+  LBMF_RMW_RELEASE(owner, "C");
+  LBMF_HALT(owner);
+
+  // steal(): optimistic top read, then the CAS gate with the in-gate
+  // re-check; the top-advance publication is the thief-side hole.
+  auto steal = [&rec](const char* name) {
+    auto thief = LBMF_ROLE(rec, name, 1);
+    LBMF_LOAD(thief, r0, "S");       // optimistic top read
+    LBMF_BEQ(thief, r0, 2, "gone");  // everything already taken
+    LBMF_RMW_ACQUIRE(thief, "C");    // CAS(top): locked RMW
+    LBMF_LOAD(thief, r1, "S");       // re-read top under the CAS
+    LBMF_BEQ(thief, r1, 2, "out");
+    LBMF_BEQ(thief, r1, 0, "take0");
+    LBMF_LOAD(thief, r2, "B");       // elem1 only if bottom is still 2
+    LBMF_BNE(thief, r2, 2, "out");   // owner owns elem1: empty for us
+    LBMF_FENCE_HOLE(thief, "S", 2);  // publish the CAS top 1 -> 2
+    LBMF_STORE(thief, "TS1", 1);     // stole elem1
+    LBMF_RMW_RELEASE(thief, "C");
+    LBMF_HALT(thief);
+    LBMF_LABEL(thief, "take0");
+    LBMF_FENCE_HOLE(thief, "S", 1);  // publish the CAS top 0 -> 1
+    LBMF_STORE(thief, "TS0", 1);     // stole elem0
+    LBMF_RMW_RELEASE(thief, "C");
+    LBMF_HALT(thief);
+    LBMF_LABEL(thief, "out");
+    LBMF_RMW_RELEASE(thief, "C");
+    LBMF_LABEL(thief, "gone");
+    LBMF_HALT(thief);
+  };
+  steal("thief1");
+  steal("thief2");
+  LBMF_SYMMETRIC(rec, "thief1", "thief2");
+
+  // elem0 goes to exactly one thief; elem1 to the owner xor a thief.
+  LBMF_FINAL_PROPERTY(rec, "TK1", 1, "TS0", 1, "TS1", 0);
+  LBMF_FINAL_PROPERTY(rec, "TK1", 0, "TS0", 1, "TS1", 1);
+  return std::move(rec).take();
+}
+
+}  // namespace lbmf::ws
+#endif  // LBMF_EXTRACT

@@ -228,3 +228,63 @@ class TheDeque {
 };
 
 }  // namespace lbmf::ws
+
+#if defined(LBMF_EXTRACT) && LBMF_EXTRACT
+#include "lbmf/extract/annotate.hpp"
+
+namespace lbmf::ws {
+
+/// The pop()/steal() Dekker protocol above, annotated for lbmf::extract.
+/// Locations: [T] tail (init 1: one task left), [H] head, [G] the thief
+/// gate, [TK0]/[TK1] per-side "I executed the last task" tokens. The
+/// recording mirrors pop() and steal() line for line — announce, check,
+/// retreat-into-the-gate — with the two fence decisions per side left as
+/// `?fence` holes for lbmf::infer; `lbmf_extract the-deque` regenerates
+/// examples/litmus/the_deque_holes.lit from exactly this function.
+inline extract::Spec record_the_deque_protocol() {
+  using namespace extract;
+  Recorder rec("the-deque");
+  LBMF_INIT(rec, "T", 1);
+
+  // pop(): tail_->store(t) announces the decrement, P::primary_fence()
+  // is hole A, then the head check decides fast path vs the gate.
+  auto victim = LBMF_ROLE(rec, "victim", 1000);
+  LBMF_FENCE_HOLE(victim, "T", 0);   // announce the tail decrement
+  LBMF_LOAD(victim, r0, "H");        // read the thieves' head
+  LBMF_BEQ(victim, r0, 0, "claim");  // no conflict: keep the task
+  LBMF_FENCE_HOLE(victim, "T", 1);   // retreat before taking the gate
+  LBMF_RMW_ACQUIRE(victim, "G");     // std::lock_guard g(gate_)
+  LBMF_LOAD(victim, r1, "H");        // re-check under the gate
+  LBMF_BNE(victim, r1, 0, "empty");
+  LBMF_STORE(victim, "T", 0);        // win the conflict: re-take the tail
+  LBMF_STORE(victim, "TK0", 1);
+  LBMF_LABEL(victim, "empty");
+  LBMF_RMW_RELEASE(victim, "G");
+  LBMF_HALT(victim);
+  LBMF_LABEL(victim, "claim");
+  LBMF_STORE(victim, "TK0", 1);
+  LBMF_HALT(victim);
+
+  // steal(): always under the gate; head_->store(h+1) announces, the
+  // secondary fence is hole C, the empty case retreats (hole D).
+  auto thief = LBMF_ROLE(rec, "thief", 1);
+  LBMF_RMW_ACQUIRE(thief, "G");
+  LBMF_FENCE_HOLE(thief, "H", 1);    // announce the head increment
+  LBMF_LOAD(thief, r0, "T");         // read the victim's tail
+  LBMF_BEQ(thief, r0, 0, "miss");
+  LBMF_STORE(thief, "TK1", 1);
+  LBMF_RMW_RELEASE(thief, "G");
+  LBMF_HALT(thief);
+  LBMF_LABEL(thief, "miss");
+  LBMF_FENCE_HOLE(thief, "H", 0);    // retreat the announce
+  LBMF_RMW_RELEASE(thief, "G");
+  LBMF_HALT(thief);
+
+  // The last task is executed exactly once: victim xor thief.
+  LBMF_FINAL_PROPERTY(rec, "TK0", 1, "TK1", 0);
+  LBMF_FINAL_PROPERTY(rec, "TK0", 0, "TK1", 1);
+  return std::move(rec).take();
+}
+
+}  // namespace lbmf::ws
+#endif  // LBMF_EXTRACT

@@ -1,0 +1,101 @@
+#include "lbmf/extract/mapback.hpp"
+
+#include <sstream>
+
+namespace lbmf::extract {
+
+std::vector<SourcePlacement> map_back(const infer::InferProblem& p,
+                                      const infer::Assignment& a) {
+  std::vector<SourcePlacement> out;
+  out.reserve(p.sites.size());
+  for (std::size_t s = 0; s < p.sites.size(); ++s) {
+    SourcePlacement sp;
+    sp.site = s;
+    sp.site_label = p.describe_site(s);
+    sp.source = p.sites[s].provenance;
+    sp.fence = sim::to_string(a.kinds[s]);
+    sp.lit_line = p.sites[s].src_line;
+    out.push_back(std::move(sp));
+  }
+  return out;
+}
+
+std::string format_source_placements(
+    const std::vector<SourcePlacement>& placements) {
+  std::ostringstream out;
+  for (const SourcePlacement& sp : placements) {
+    if (!sp.source.empty()) {
+      out << sp.source << ": " << sp.fence << "  (" << sp.site_label << ")\n";
+    } else {
+      out << "<litmus line " << sp.lit_line << ">: " << sp.fence << "  ("
+          << sp.site_label << ")\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string extract_report_json(const std::string& protocol,
+                                const infer::InferProblem& p,
+                                const infer::InferResult& r) {
+  std::ostringstream j;
+  j << "{\n";
+  j << "  \"protocol\": \"" << json_escape(protocol) << "\",\n";
+  j << "  \"status\": \"" << infer::to_string(r.status) << "\",\n";
+  j << "  \"holes\": " << p.sites.size() << ",\n";
+  j << "  \"lattice_size\": " << r.lattice_size << ",\n";
+  j << "  \"candidates_verified\": " << r.candidates_verified << ",\n";
+  j << "  \"states_total\": " << r.states_total;
+  if (r.status == infer::InferStatus::kSat) {
+    const std::vector<SourcePlacement> placements = map_back(p, r.best);
+    j << ",\n";
+    j << "  \"best_cost\": " << r.best_cost << ",\n";
+    j << "  \"recheck_safe\": " << (r.recheck_safe ? "true" : "false")
+      << ",\n";
+    // `fence` precedes the line fields on purpose: the CI gate pins
+    // `"site": ..., "fence": ...` prefixes that must not depend on
+    // volatile header line numbers.
+    j << "  \"placement\": [\n";
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      const SourcePlacement& sp = placements[i];
+      j << "    {\"site\": \"" << json_escape(sp.site_label)
+        << "\", \"fence\": \"" << sp.fence << "\", \"lit_line\": "
+        << sp.lit_line << "}" << (i + 1 < placements.size() ? "," : "")
+        << "\n";
+    }
+    j << "  ],\n";
+    j << "  \"source_map\": [\n";
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+      const SourcePlacement& sp = placements[i];
+      j << "    {\"site\": \"" << json_escape(sp.site_label)
+        << "\", \"fence\": \"" << sp.fence << "\", \"source\": \""
+        << json_escape(sp.source) << "\"}"
+        << (i + 1 < placements.size() ? "," : "") << "\n";
+    }
+    j << "  ]\n";
+  } else {
+    j << "\n";
+  }
+  j << "}\n";
+  return j.str();
+}
+
+}  // namespace lbmf::extract

@@ -90,6 +90,7 @@ ProblemParse problem_from_source(std::string_view source, sim::SimConfig cfg) {
     s.value = h.value;
     s.is_reg_store = false;  // the ?fence grammar takes an immediate
     s.src_line = h.line;
+    s.provenance = h.provenance;
     p.sites.push_back(std::move(s));
   }
   p.symmetric_groups = detect_symmetric_groups(p);

@@ -38,11 +38,15 @@ class LineLexer {
            s_[pos_] != ':') {
       ++pos_;
     }
-    return s_.substr(start, pos_ - start);
+    last_start_ = start;
+    last_ = s_.substr(start, pos_ - start);
+    return last_;
   }
 
   bool consume(char c) {
     skip_ws();
+    last_start_ = pos_;
+    last_ = pos_ < s_.size() ? s_.substr(pos_, 1) : std::string_view{};
     if (pos_ < s_.size() && s_[pos_] == c) {
       ++pos_;
       return true;
@@ -50,9 +54,17 @@ class LineLexer {
     return false;
   }
 
+  /// 1-based column of the last token()/consume() attempt — the lexer's
+  /// line is a prefix of the raw source line, so columns line up with the
+  /// file as the user sees it.
+  std::size_t column() const noexcept { return last_start_ + 1; }
+  std::string_view last_token() const noexcept { return last_; }
+
  private:
   std::string_view s_;
   std::size_t pos_ = 0;
+  std::size_t last_start_ = 0;
+  std::string_view last_;
 };
 
 bool parse_int(std::string_view tok, long long* out) {
@@ -82,26 +94,37 @@ struct Assembler {
     return false;
   }
 
+  /// fail() attributed to the lexer's last token: records its 1-based
+  /// column and text so the report can point at the offending operand.
+  bool fail_at(const LineLexer& lex, std::string message) {
+    result.error = AssembleError{line_no, std::move(message), lex.column(),
+                                 std::string(lex.last_token())};
+    return false;
+  }
+
   bool parse_reg(LineLexer& lex, std::uint8_t* out) {
     const std::string_view t = lex.token();
     if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R')) {
-      return fail("expected register r0..r7, got '" + std::string(t) + "'");
+      return fail_at(lex,
+                     "expected register r0..r7, got '" + std::string(t) + "'");
     }
     long long idx = -1;
     if (!parse_int(t.substr(1), &idx) || idx < 0 || idx > 7) {
-      return fail("register out of range: '" + std::string(t) + "'");
+      return fail_at(lex, "register out of range: '" + std::string(t) + "'");
     }
     *out = static_cast<std::uint8_t>(idx);
     return true;
   }
 
   bool parse_addr(LineLexer& lex, Addr* out) {
-    if (!lex.consume('[')) return fail("expected '[' before location");
+    if (!lex.consume('[')) {
+      return fail_at(lex, "expected '[' before location");
+    }
     const std::string_view t = lex.token();
-    if (t.empty()) return fail("empty location");
+    if (t.empty()) return fail_at(lex, "empty location");
     long long numeric = -1;
     if (parse_int(t, &numeric)) {
-      if (numeric < 0) return fail("negative address");
+      if (numeric < 0) return fail_at(lex, "negative address");
       *out = static_cast<Addr>(numeric);
     } else {
       auto [it, inserted] =
@@ -109,7 +132,9 @@ struct Assembler {
       if (inserted) ++next_addr;
       *out = it->second;
     }
-    if (!lex.consume(']')) return fail("expected ']' after location");
+    if (!lex.consume(']')) {
+      return fail_at(lex, "expected ']' after location");
+    }
     return true;
   }
 
@@ -117,7 +142,7 @@ struct Assembler {
     const std::string_view t = lex.token();
     long long v = 0;
     if (!parse_int(t, &v)) {
-      return fail("expected integer, got '" + std::string(t) + "'");
+      return fail_at(lex, "expected integer, got '" + std::string(t) + "'");
     }
     *out = static_cast<Word>(v);
     return true;
@@ -125,13 +150,16 @@ struct Assembler {
 
   bool parse_label(LineLexer& lex, std::string* out) {
     const std::string_view t = lex.token();
-    if (t.empty()) return fail("expected label name");
+    if (t.empty()) return fail_at(lex, "expected label name");
     *out = std::string(t);
     return true;
   }
 
   bool require_end(LineLexer& lex) {
-    if (!lex.at_end()) return fail("trailing tokens on line");
+    if (!lex.at_end()) {
+      lex.token();  // attribute the error to the first trailing token
+      return fail_at(lex, "trailing tokens on line");
+    }
     return true;
   }
 
@@ -195,6 +223,24 @@ struct Assembler {
   }
 
   bool handle_line(std::string_view raw) {
+    // Runtime-source provenance: a trailing `#@ file:line` comment, one
+    // per instruction in extractor-generated files. Captured before the
+    // comment strip below removes it; attached to any `?fence` hole on
+    // this line (a plain comment to everything else).
+    std::string_view prov;
+    if (const auto tag = raw.find("#@"); tag != std::string_view::npos) {
+      prov = raw.substr(tag + 2);
+      while (!prov.empty() &&
+             std::isspace(static_cast<unsigned char>(prov.front()))) {
+        prov.remove_prefix(1);
+      }
+      std::size_t end = 0;
+      while (end < prov.size() &&
+             !std::isspace(static_cast<unsigned char>(prov[end]))) {
+        ++end;
+      }
+      prov = prov.substr(0, end);
+    }
     // Strip comments.
     std::string_view line = raw;
     if (const auto hash = line.find('#'); hash != std::string_view::npos) {
@@ -352,7 +398,7 @@ struct Assembler {
       // plain store (the weakest instantiation) and records the site.
       if (!parse_addr(lex, &a) || !parse_imm(lex, &imm)) return false;
       result.holes.push_back(LitHole{builders.size() - 1, builder->size(), a,
-                                     imm, line_no});
+                                     imm, line_no, std::string(prov)});
       builder->store(a, imm);
     } else if (head == "mfence") {
       builder->mfence();
@@ -388,13 +434,23 @@ struct Assembler {
     } else if (head == "halt") {
       builder->halt();
     } else {
-      return fail("unknown instruction '" + std::string(head) + "'");
+      return fail_at(lex, "unknown instruction '" + std::string(head) + "'");
     }
     return require_end(lex);
   }
 };
 
 }  // namespace
+
+std::string AssembleError::to_string() const {
+  std::string out = "line " + std::to_string(line);
+  if (column != 0) {
+    out += ", col " + std::to_string(column);
+    if (!token.empty()) out += " near '" + token + "'";
+  }
+  out += ": " + message;
+  return out;
+}
 
 AssembleResult assemble(std::string_view source) {
   Assembler as;

@@ -1,0 +1,67 @@
+// The other half of the lbmf::extract contract: WITHOUT -DLBMF_EXTRACT=1
+// (this TU, like every production target) the annotation layer must cost
+// exactly nothing — kEnabled is false, every LBMF_* macro expands to
+// `((void)0)` without evaluating (or even name-looking-up) its arguments,
+// and the runtime headers define no recording functions at all.
+
+#include <gtest/gtest.h>
+
+#include "lbmf/extract/annotate.hpp"
+#include "lbmf/rwlock/rwlock.hpp"
+#include "lbmf/ws/chase_lev.hpp"
+#include "lbmf/ws/deque.hpp"
+
+static_assert(!lbmf::extract::kEnabled,
+              "extract_off_test must build without LBMF_EXTRACT");
+static_assert(LBMF_EXTRACT_ENABLED == 0,
+              "annotation layer must report itself disabled");
+
+namespace {
+
+TEST(ExtractOff, MacrosCompileAwayWithoutEvaluatingArguments) {
+  // None of these identifiers exist; if any macro looked at its arguments
+  // this TU would not compile. That is the whole test.
+  LBMF_ROLE(no_such_recorder, "ghost", 1000);
+  LBMF_INIT(no_such_recorder, "X", 1);
+  LBMF_LOAD(no_such_role, no_such_reg, "X");
+  LBMF_STORE(no_such_role, "X", undeclared_value);
+  LBMF_STORE_REG(no_such_role, "X", no_such_reg);
+  LBMF_FENCE_HOLE(no_such_role, "X", 1);
+  LBMF_MFENCE(no_such_role);
+  LBMF_LMFENCE(no_such_role, "X", 1);
+  LBMF_RMW_ACQUIRE(no_such_role, "G");
+  LBMF_RMW_RELEASE(no_such_role, "G");
+  LBMF_MOV(no_such_role, no_such_reg, 5);
+  LBMF_ADD(no_such_role, no_such_reg, -1);
+  LBMF_LABEL(no_such_role, "somewhere");
+  LBMF_BEQ(no_such_role, no_such_reg, 0, "somewhere");
+  LBMF_BNE(no_such_role, no_such_reg, 0, "somewhere");
+  LBMF_JMP(no_such_role, "somewhere");
+  LBMF_CRITICAL(no_such_role);
+  LBMF_CRITICAL_ENTER(no_such_role);
+  LBMF_CRITICAL_EXIT(no_such_role);
+  LBMF_DELAY(no_such_role, 20);
+  LBMF_HALT(no_such_role);
+  LBMF_FINAL_PROPERTY(no_such_recorder, "X", 1, "Y", 0);
+  LBMF_SYMMETRIC(no_such_recorder, "a", "b");
+  SUCCEED();
+}
+
+TEST(ExtractOff, MacroIsAnExpressionStatement) {
+  // `((void)0)` composes like any other void expression — usable in an
+  // if/else without braces, the shape annotated runtime code ends up with.
+  const bool flag = true;
+  if (flag)
+    LBMF_MFENCE(whatever);
+  else
+    LBMF_HALT(whatever);
+  SUCCEED();
+}
+
+// The annotated spec functions are fenced behind LBMF_EXTRACT_ENABLED, so
+// with extraction off the runtime headers (all three included above) must
+// not declare them — this TU compiling at all is that guarantee, and
+// run_extract_gates.sh additionally nm-checks a production binary for
+// stray record_*_protocol symbols.
+
+}  // namespace

@@ -313,6 +313,100 @@ TEST(AssemblerErrors, MalformedLocation) {
   EXPECT_NE(r.error->message.find("'['"), std::string::npos);
 }
 
+// ---------------------------------------- diagnostics: column + token
+
+TEST(AssemblerErrors, UnknownInstructionReportsColumnAndToken) {
+  const auto r = assemble("cpu 0:\n  frobnicate r0\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+  EXPECT_EQ(r.error->column, 3u);  // 1-based: two spaces of indent
+  EXPECT_EQ(r.error->token, "frobnicate");
+}
+
+TEST(AssemblerErrors, RegisterOutOfRangeReportsColumnAndToken) {
+  const auto r = assemble("cpu 0:\n  mov r9, 1\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+  EXPECT_EQ(r.error->column, 7u);
+  EXPECT_EQ(r.error->token, "r9");
+}
+
+TEST(AssemblerErrors, BadImmediateReportsColumnAndToken) {
+  const auto r = assemble("cpu 0:\n  store [x], banana\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+  EXPECT_EQ(r.error->column, 14u);
+  EXPECT_EQ(r.error->token, "banana");
+}
+
+TEST(AssemblerErrors, MissingBracketReportsColumn) {
+  const auto r = assemble("cpu 0:\n  load r0, flag\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+  EXPECT_EQ(r.error->column, 12u);  // points at 'f' where '[' was expected
+}
+
+TEST(AssemblerErrors, TrailingTokenReportsOffendingToken) {
+  const auto r = assemble("cpu 0:\n  mfence extra\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+  EXPECT_EQ(r.error->token, "extra");
+  EXPECT_EQ(r.error->column, 10u);
+}
+
+TEST(AssemblerErrors, StructuralErrorsKeepColumnZero) {
+  const auto r = assemble("cpu 0:\n  halt\ninit [x], 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->column, 0u);
+  EXPECT_TRUE(r.error->token.empty());
+}
+
+TEST(AssemblerErrors, ToStringIncludesLineColumnAndToken) {
+  const auto r = assemble("cpu 0:\n  mov r9, 1\n  halt\n");
+  ASSERT_FALSE(r.ok());
+  const std::string s = r.error->to_string();
+  EXPECT_NE(s.find("line 2"), std::string::npos) << s;
+  EXPECT_NE(s.find("col 7"), std::string::npos) << s;
+  EXPECT_NE(s.find("'r9'"), std::string::npos) << s;
+}
+
+// ------------------------------------------- `#@` provenance comments
+
+TEST(Assembler, ProvenanceCommentAttachesToHole) {
+  const auto r = assemble(
+      "cpu 0:\n"
+      "  ?fence [x], 1                  #@ lbmf/ws/deque.hpp:119\n"
+      "  load r0, [y]\n"
+      "  halt\n");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.holes.size(), 1u);
+  EXPECT_EQ(r.holes[0].provenance, "lbmf/ws/deque.hpp:119");
+}
+
+TEST(Assembler, ProvenanceIsAPlainCommentToOtherInstructions) {
+  // `#@` on non-hole lines (and the program bytes generally) must be
+  // invisible: the same test with and without provenance comments
+  // assembles identically.
+  const auto with = assemble(
+      "cpu 0:                           #@ a.hpp:1 role primary\n"
+      "  store [x], 1                   #@ a.hpp:2\n"
+      "  load r0, [y]                   #@ a.hpp:3\n"
+      "  halt                           #@ a.hpp:4\n");
+  const auto without = assemble(
+      "cpu 0:\n  store [x], 1\n  load r0, [y]\n  halt\n");
+  ASSERT_TRUE(with.ok()) << with.error->message;
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with.programs[0].code, without.programs[0].code);
+  EXPECT_EQ(with.symbols, without.symbols);
+}
+
+TEST(Assembler, HoleWithoutProvenanceHasEmptyProvenance) {
+  const auto r = assemble("cpu 0:\n  ?fence [x], 1  # plain comment\n  halt\n");
+  ASSERT_TRUE(r.ok()) << r.error->message;
+  ASSERT_EQ(r.holes.size(), 1u);
+  EXPECT_TRUE(r.holes[0].provenance.empty());
+}
+
 // ------------------------------------------- locked RMWs + final directive
 
 TEST(Assembler, LockUnlockEnforceMutualExclusion) {
