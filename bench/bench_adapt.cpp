@@ -13,20 +13,38 @@
 //   bench_adapt --quick    # CI smoke mode: 40 + 40 windows
 //
 // Emits BENCH_adapt.json in the working directory. Exit 0 requires:
-//   - exactly 2 mode switches, and the fence's switch count agrees with
-//     the selector's (every adoption really crossed a quiescent point);
+//   - exactly 2 *realized* mode switches, and the fence's switch count
+//     agrees with the selector's (every adoption really crossed a
+//     quiescent point);
 //   - steady state: over the last quarter of each phase the adaptive cost
 //     is within 1.10x of the best static policy for that phase;
 //   - across the phase change: the worst static policy costs >= 1.5x the
 //     adaptive total;
 //   - a live Scheduler<AdaptiveFence> run (adaptation on) computes the
 //     same fib checksum as the symmetric baseline scheduler.
+//
+// A second section replays a high-symmetric-traffic phase (pops ≈ steals,
+// the double-l-mfence cell of BENCH_sweep.json at LE/ST-scale round
+// trips) across the serialization-backend matrix {signal, membarrier-pair,
+// sim-lest}. Gates:
+//   - on the role-inverting backends the selector books double-l-mfence
+//     AND the fence realizes it (realized_mode, not just requested), with
+//     zero degradations, and the modeled tail cost beats parity with the
+//     best static policy;
+//   - on the signal backend double-l-mfence is never proposed (its table
+//     plane clamps the cell), and a forced request_mode(double) books it
+//     but realizes only the asymmetric mix, counted by degraded_count —
+//     the booked-vs-realized split satellite;
+//   - when the host lacks membarrier, realization legs report SKIPPED
+//     (loud degradation is then the *correct* behavior) instead of
+//     failing.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "lbmf/adapt/adapt.hpp"
+#include "lbmf/backend/backend.hpp"
 #include "lbmf/model/cost_model.hpp"
 #include "lbmf/ws/scheduler.hpp"
 
@@ -76,6 +94,137 @@ void append_num(std::string& s, double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.0f", v);
   s += buf;
+}
+
+struct BackendLeg {
+  bool gate_ok = true;
+  bool skipped = false;  // host cannot realize this backend's inversion
+};
+
+// One backend's replay of the high-symmetric-traffic phase: pops ≈ steals
+// at an LE/ST-scale modeled round trip — the double-l-mfence cell of
+// BENCH_sweep.json. The selector consults the backend's table plane, the
+// fence is re-bound to the backend, and every window is priced under the
+// *realized* mode. Appends one JSON object to `json`.
+BackendLeg run_backend_leg(backend::BackendId id, int windows,
+                           const model::CostTable& costs, std::string& json) {
+  const char* name = backend::to_string(id);
+  const bool inverting =
+      backend::serialization_backend(id).caps().inverts_roles;
+  BackendLeg leg;
+
+  adapt::SelectorConfig cfg;
+  // The sim-lest backend's configurable RTT (~150 cycles, the paper's
+  // LE/ST constant) — pinned so the replay is deterministic and both new
+  // backends are priced in the regime the double cell belongs to.
+  cfg.fixed_roundtrip_cycles = 150.0;
+  cfg.backend = name;
+  adapt::PolicySelector sel(adapt::PolicyTable::builtin_default(), cfg);
+
+  adapt::AdaptiveFence::Handle h = adapt::AdaptiveFence::register_primary();
+  if (!h.valid()) {
+    std::printf("  %-16s FAIL: could not register primary\n", name);
+    leg.gate_ok = false;
+    return leg;
+  }
+  adapt::AdaptiveFence::request_backend(h, id);
+  adapt::AdaptiveFence::quiescent_point(h);
+
+  const std::uint64_t kPops = 200, kSteals = 200;
+  std::uint64_t pops_total = 0, steals_total = 0;
+  bool booked_double = false, realized_double = false;
+  double tail_cost = 0.0;
+  const int tail_from = windows - windows / 4;
+  for (int w = 0; w < windows; ++w) {
+    pops_total += kPops;
+    steals_total += kSteals;
+    const adapt::PolicyMode want = sel.update(pops_total, steals_total);
+    adapt::AdaptiveFence::request_mode(h, want);
+    adapt::AdaptiveFence::quiescent_point(h);
+    booked_double |= adapt::AdaptiveFence::booked_mode(h) ==
+                     adapt::PolicyMode::kDoubleLmfence;
+    const adapt::PolicyMode realized = adapt::AdaptiveFence::realized_mode(h);
+    realized_double |= realized == adapt::PolicyMode::kDoubleLmfence;
+    if (w >= tail_from) {
+      tail_cost += window_cost(realized, kPops, kSteals, costs);
+    }
+  }
+
+  const double sym_w =
+      window_cost(adapt::PolicyMode::kSymmetric, kPops, kSteals, costs);
+  const double asym_w =
+      window_cost(adapt::PolicyMode::kAsymmetric, kPops, kSteals, costs);
+  const double best_static_tail =
+      (sym_w < asym_w ? sym_w : asym_w) * static_cast<double>(windows / 4);
+  const bool parity_ok = tail_cost <= 1.10 * best_static_tail;
+
+  if (id == backend::BackendId::kSignal) {
+    // Fixed roles: the signal plane clamps the double cell, so double must
+    // never even be *booked* from the selector...
+    leg.gate_ok &= !booked_double && !realized_double && parity_ok;
+    // ...and a forced request books it but realizes only the asymmetric
+    // mix, with the degradation counted — the booked-vs-realized split.
+    adapt::AdaptiveFence::request_mode(h,
+                                       adapt::PolicyMode::kDoubleLmfence);
+    adapt::AdaptiveFence::quiescent_point(h);
+    leg.gate_ok &= adapt::AdaptiveFence::booked_mode(h) ==
+                       adapt::PolicyMode::kDoubleLmfence &&
+                   adapt::AdaptiveFence::realized_mode(h) ==
+                       adapt::PolicyMode::kAsymmetric &&
+                   adapt::AdaptiveFence::degraded_count(h) >= 1;
+  } else if (inverting) {
+    // The workload point the ISSUE asks for: the adaptive policy selects
+    // double-l-mfence AND the fence realizes it, with no degradation, at
+    // or beyond cost parity with the best static policy.
+    leg.gate_ok &= booked_double && realized_double &&
+                   adapt::AdaptiveFence::degraded_count(h) == 0 && parity_ok;
+  } else {
+    // Host cannot realize the inversion (no membarrier): booking still
+    // happens, realization degrades loudly — correct, but not gateable.
+    leg.skipped = true;
+    leg.gate_ok &= booked_double && !realized_double &&
+                   adapt::AdaptiveFence::degraded_count(h) >= 1;
+  }
+
+  const std::uint64_t realized_switches =
+      adapt::AdaptiveFence::switch_count(h);
+  const std::uint64_t booked_switches =
+      adapt::AdaptiveFence::booked_switch_count(h);
+  const std::uint64_t degraded = adapt::AdaptiveFence::degraded_count(h);
+  adapt::AdaptiveFence::unregister_primary(h);
+
+  std::printf("  %-16s booked double %-3s realized double %-3s "
+              "switches %llu/%llu booked, degraded %llu, tail %.0f "
+              "(best static %.0f)  %s\n",
+              name, booked_double ? "yes" : "no",
+              realized_double ? "yes" : "no",
+              static_cast<unsigned long long>(realized_switches),
+              static_cast<unsigned long long>(booked_switches),
+              static_cast<unsigned long long>(degraded), tail_cost,
+              best_static_tail,
+              leg.skipped ? "SKIPPED (backend unavailable)"
+                          : (leg.gate_ok ? "ok" : "GATE FAILED"));
+
+  if (!json.empty()) json += ',';
+  json += "{\"backend\":\"";
+  json += name;
+  json += "\",\"booked_double\":";
+  json += booked_double ? "true" : "false";
+  json += ",\"realized_double\":";
+  json += realized_double ? "true" : "false";
+  json += ",\"realized_switches\":" + std::to_string(realized_switches);
+  json += ",\"booked_switches\":" + std::to_string(booked_switches);
+  json += ",\"degraded\":" + std::to_string(degraded);
+  json += ",\"tail_cost\":";
+  append_num(json, tail_cost);
+  json += ",\"best_static_tail\":";
+  append_num(json, best_static_tail);
+  json += ",\"skipped\":";
+  json += leg.skipped ? "true" : "false";
+  json += ",\"ok\":";
+  json += leg.gate_ok ? "true" : "false";
+  json += '}';
+  return leg;
 }
 
 }  // namespace
@@ -185,6 +334,21 @@ int main(int argc, char** argv) {
   std::printf("  live scheduler checksum: fib(18) = %ld vs %ld  %s\n", got,
               want, live_ok ? "ok" : "MISMATCH");
 
+  // Backend matrix: the double-l-mfence cell across serialization
+  // backends (see the header comment for the gates).
+  const int matrix_windows = quick ? 20 : 60;
+  std::printf("\nbackend matrix (pops = steals = 200/window, rt 150, "
+              "%d windows):\n",
+              matrix_windows);
+  std::string backends_json;
+  bool backends_ok = true;
+  for (backend::BackendId id :
+       {backend::BackendId::kSignal, backend::BackendId::kMembarrierPair,
+        backend::BackendId::kSimLest}) {
+    backends_ok &= run_backend_leg(id, matrix_windows, costs,
+                                   backends_json).gate_ok;
+  }
+
   std::string json = "{\"bench\":\"adapt\",\"phase_windows\":";
   json += std::to_string(phase_windows);
   json += ",\"cost_adaptive\":";
@@ -203,16 +367,18 @@ int main(int argc, char** argv) {
   std::snprintf(buf, sizeof(buf), "%.3f",
                 cost_adaptive > 0.0 ? worst_static / cost_adaptive : 0.0);
   json += buf;
-  json += '}';
+  json += ",\"backend_matrix\":[" + backends_json + "]}";
   if (std::FILE* f = std::fopen("BENCH_adapt.json", "w")) {
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);
     std::printf("wrote BENCH_adapt.json\n");
   }
 
-  const bool pass = switches_ok && tails_ok && phase_win && live_ok;
+  const bool pass =
+      switches_ok && tails_ok && phase_win && live_ok && backends_ok;
   std::printf("%s\n", pass ? "PASS"
                            : "FAIL: lagging tail, wrong switch count, "
-                             "missing phase-change win, or bad checksum");
+                             "missing phase-change win, bad checksum, or "
+                             "backend-matrix gate");
   return pass ? 0 : 1;
 }

@@ -11,11 +11,21 @@
 //   bench_sweep            # full 6x5 grid
 //   bench_sweep --quick    # CI smoke mode: 3x2 grid around the frontier
 //
-// Emits BENCH_sweep.json (per-point optima, crossover boundaries, cache
-// accounting) in the working directory. Exit 0 requires every grid point
-// SAT with a SAFE recheck, at least two distinct optima along the freq
-// axis at the paper's 150-cycle round-trip, and agreement with three
-// hand-checked grid points (see ROADMAP/EXPERIMENTS E17).
+// The sweep also runs the serialization-backend dimension: one extra
+// plane per backend {signal, membarrier-pair, sim-lest}. The signal
+// backend cannot invert roles, so its plane re-solves with l-mfence
+// banned on the thief's holes and must never contain a double-l-mfence
+// optimum; the two role-inverting backends admit the full lattice and
+// their planes must equal the base grid — in particular the cheap-trip
+// corner (freq 1, rt 10) keeps the double-l-mfence placement that the
+// adaptive runtime can now realize (bench_adapt gates the realization).
+//
+// Emits BENCH_sweep.json (per-point optima, crossover boundaries, backend
+// planes, cache accounting) in the working directory. Exit 0 requires
+// every grid point — planes included — SAT with a SAFE recheck, at least
+// two distinct optima along the freq axis at the paper's 150-cycle
+// round-trip, agreement with three hand-checked grid points, and the
+// backend-plane gates above (see ROADMAP/EXPERIMENTS E17).
 
 #include <chrono>
 #include <cstdio>
@@ -69,12 +79,26 @@ final [TK0], 1, [TK1], 0
 final [TK0], 0, [TK1], 1
 )";
 
-const infer::SweepPoint* find_point(const infer::SweepResult& r, double freq,
-                                    double roundtrip) {
-  for (const infer::SweepPoint& p : r.points) {
+const infer::SweepPoint* find_point_in(
+    const std::vector<infer::SweepPoint>& pts, double freq, double roundtrip) {
+  for (const infer::SweepPoint& p : pts) {
     if (p.victim_freq == freq && p.lest_roundtrip == roundtrip) return &p;
   }
   return nullptr;
+}
+
+const infer::SweepPoint* find_point(const infer::SweepResult& r, double freq,
+                                    double roundtrip) {
+  return find_point_in(r.points, freq, roundtrip);
+}
+
+bool is_double(const infer::SweepPoint* p) {
+  // Holes {A,B,C,D} = {victim announce, victim retreat, thief announce,
+  // thief retreat}: double-l-mfence = light announce on both sides.
+  return p != nullptr && p->status == infer::InferStatus::kSat &&
+         p->best.kinds.size() == 4 &&
+         p->best.kinds[0] == infer::FenceKind::kLmfence &&
+         p->best.kinds[2] == infer::FenceKind::kLmfence;
 }
 
 // The three hand-derived grid points the sweep must reproduce (costs from
@@ -112,6 +136,9 @@ int main(int argc, char** argv) {
   }
 
   infer::SweepOptions so;
+  so.backends = {{"signal", /*inverts_roles=*/false},
+                 {"membarrier-pair", /*inverts_roles=*/true},
+                 {"sim-lest", /*inverts_roles=*/true}};
   if (quick) {
     // The smallest grid that still crosses the frontier twice: the freq
     // axis at rt=150 flips between f=1 and f=10, and the cheap-round-trip
@@ -166,6 +193,40 @@ int main(int argc, char** argv) {
   std::printf("distinct optima along freq axis at rt=150: %zu (target >= 2)\n",
               optima_150);
 
+  std::printf("\nbackend planes:\n");
+  bool backend_ok = r.backend_planes.size() == so.backends.size();
+  if (!backend_ok) std::printf("  MISSING planes\n");
+  for (const infer::SweepBackendPlane& bp : r.backend_planes) {
+    bool plane_ok = true;
+    if (bp.inverts_roles) {
+      // Full lattice: the plane must reproduce the base grid verbatim,
+      // double-l-mfence corner included.
+      for (std::size_t i = 0; i < r.points.size(); ++i) {
+        plane_ok &= i < bp.points.size() &&
+                    bp.points[i].best == r.points[i].best &&
+                    bp.points[i].status == infer::InferStatus::kSat;
+      }
+      plane_ok &= is_double(find_point_in(bp.points, 1, 10));
+    } else {
+      // Fixed roles: every point re-solved SAT, and no thief hole may
+      // carry l-mfence anywhere on the plane.
+      for (const infer::SweepPoint& p : bp.points) {
+        plane_ok &= p.status == infer::InferStatus::kSat && p.recheck_safe;
+        for (std::size_t hole = 2; hole < p.best.kinds.size(); ++hole) {
+          plane_ok &= p.best.kinds[hole] != infer::FenceKind::kLmfence;
+        }
+      }
+      plane_ok &= !is_double(find_point_in(bp.points, 1, 10));
+    }
+    const infer::SweepPoint* corner = find_point_in(bp.points, 1, 10);
+    std::printf("  %-16s (%s roles): corner (freq 1, rt 10) = %-34s %s\n",
+                bp.name.c_str(), bp.inverts_roles ? "inverts" : "fixed",
+                corner != nullptr ? infer::to_string(corner->best).c_str()
+                                  : "?",
+                plane_ok ? "ok" : "GATE FAILED");
+    backend_ok &= plane_ok;
+  }
+
   if (std::FILE* f = std::fopen("BENCH_sweep.json", "w")) {
     std::fprintf(f, "%s\n",
                  infer::sweep_to_json(r, "the_deque_holes").c_str());
@@ -173,10 +234,10 @@ int main(int argc, char** argv) {
     std::printf("wrote BENCH_sweep.json\n");
   }
 
-  const bool pass = r.all_sat() && optima_150 >= 2 && known_ok;
+  const bool pass = r.all_sat() && optima_150 >= 2 && known_ok && backend_ok;
   std::printf("%s\n",
               pass ? "PASS"
-                   : "FAIL: grid not fully SAT, frontier flat at rt=150, or "
-                     "hand-checked point mismatch");
+                   : "FAIL: grid not fully SAT, frontier flat at rt=150, "
+                     "hand-checked point mismatch, or backend-plane gate");
   return pass ? 0 : 1;
 }

@@ -30,6 +30,12 @@
 //                                            # also write the sweep as the
 //                                            # compact runtime policy table
 //                                            # adapt::PolicyTable loads
+//   fence_inferencer test.lit --sweep --backends=signal,membarrier-pair,sim-lest
+//                                            # add the serialization-backend
+//                                            # dimension: one extra plane per
+//                                            # backend (non-inverting backends
+//                                            # re-solve with l-mfence banned
+//                                            # on non-victim sites)
 //
 // Exit codes: 0 = SAT (repair printed; in --sweep mode: every grid point
 // SAT with a SAFE recheck), 1 = UNSAT (no placement is safe), 2 =
@@ -54,6 +60,7 @@ struct CliOptions {
   std::string json_path;
   std::string policy_json_path;
   std::string graph_cache_path;
+  std::vector<infer::SweepBackend> backends;
   bool sweep = false;
 };
 
@@ -97,6 +104,29 @@ CliOptions parse_flags(int argc, char** argv) {
     } else if (a.rfind("--graph-cache=", 0) == 0) {
       cli.graph_cache_path = a.substr(14);
       if (cli.graph_cache_path.empty()) bad_flag(a);
+    } else if (a.rfind("--backends=", 0) == 0) {
+      // Comma-separated serialization-backend planes for --sweep. The
+      // role-inversion capability is fixed per name rather than probed on
+      // the host, so the emitted planes are identical wherever the sweep
+      // runs: signal cannot invert roles; membarrier-pair and sim-lest can.
+      const std::string list = a.substr(11);
+      if (list.empty()) bad_flag(a);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        infer::SweepBackend b;
+        b.name = list.substr(pos, comma - pos);
+        if (b.name == "signal") {
+          b.inverts_roles = false;
+        } else if (b.name == "membarrier-pair" || b.name == "sim-lest") {
+          b.inverts_roles = true;
+        } else {
+          bad_flag(a);
+        }
+        cli.backends.push_back(std::move(b));
+        pos = comma + 1;
+      }
     } else if (a == "--sweep") {
       cli.sweep = true;
     } else if (a == "--exhaustive") {
@@ -273,6 +303,7 @@ std::string json_report(const infer::InferProblem& p,
 int run_sweep_mode(const infer::InferProblem& p, const CliOptions& cli) {
   infer::SweepOptions so;
   so.engine = cli.engine;
+  so.backends = cli.backends;
   const infer::SweepResult sr = infer::run_sweep(p, so);
 
   std::printf("\ncost-frontier sweep: victim=cpu%zu, %zux%zu grid\n",
@@ -286,6 +317,17 @@ int run_sweep_mode(const infer::InferProblem& p, const CliOptions& cli) {
                   infer::to_string(pt.best).c_str(), pt.best_cost,
                   pt.recheck_safe ? "" : " (recheck FAILED)");
     }
+  }
+  for (const infer::SweepBackendPlane& bp : sr.backend_planes) {
+    std::size_t differs = 0;
+    for (std::size_t i = 0;
+         i < bp.points.size() && i < sr.points.size(); ++i) {
+      if (!(bp.points[i].best == sr.points[i].best)) ++differs;
+    }
+    std::printf("  backend plane %-16s (%s roles): %zu/%zu optima differ "
+                "from base\n",
+                bp.name.c_str(), bp.inverts_roles ? "inverts" : "fixed",
+                differs, bp.points.size());
   }
   std::printf("crossovers along the freq axis:\n");
   if (sr.crossovers.empty()) std::printf("  (none)\n");

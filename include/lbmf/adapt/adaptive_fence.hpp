@@ -7,6 +7,7 @@
 #include <span>
 
 #include "lbmf/adapt/policy_table.hpp"
+#include "lbmf/backend/backend.hpp"
 #include "lbmf/core/fence.hpp"
 #include "lbmf/core/membarrier.hpp"
 #include "lbmf/core/policies.hpp"
@@ -14,12 +15,6 @@
 #include "lbmf/util/cacheline.hpp"
 
 namespace lbmf::adapt {
-
-/// How the asymmetric modes remotely serialize a primary.
-enum class AsymmetricBackend : std::uint8_t {
-  kSignal,      // per-primary POSIX signal round trip (the paper's prototype)
-  kMembarrier,  // one membarrier(2) broadcast covers every primary
-};
 
 /// A FencePolicy whose strength is chosen *per primary, at runtime*: each
 /// registered primary carries a mode cell (PolicyMode) that secondaries
@@ -30,27 +25,38 @@ enum class AsymmetricBackend : std::uint8_t {
 /// paper's asymmetric protocol through a pop-heavy phase, without
 /// recompiling or even re-registering.
 ///
+/// Each primary is additionally bound to a serialization *backend*
+/// (backend::BackendId, re-bindable at quiescent points like the mode): the
+/// mechanism secondaries use to drain it remotely. Backends differ in what
+/// regimes they can realize — only a backend whose caps().inverts_roles
+/// holds (membarrier-pair; sim-lest on membarrier kernels) lets the
+/// *primary* drain its peers too, which is what the double-l-mfence regime
+/// requires.
+///
 /// Mode semantics on each side of the Dekker duality:
 ///
 ///   kSymmetric      primary_fence = mfence;          serialize = no-op
 ///   kAsymmetric     primary_fence = compiler fence;  serialize = remote trip
-///   kDoubleLmfence  realized as kAsymmetric: with the software prototype a
-///                   weak *secondary* would require the primary to serialize
-///                   the secondary mid-steal — inverting the protocol roles —
-///                   and the mode only wins below round trips of a few tens
-///                   of cycles (LE/ST hardware). The secondary keeps its
-///                   mfence; only the bookkeeping distinguishes the modes.
+///   kDoubleLmfence  both sides run the light path: primary_fence *and*
+///                   secondary_fence(h) are compiler fences, and each side
+///                   pays a remote drain at conflict time instead —
+///                   serialize(h) for the secondary, serialize_peers(h) for
+///                   the primary. Requires a role-inverting backend; when the
+///                   bound backend cannot invert, quiescent_point() *books*
+///                   the request but *realizes* kAsymmetric (visible via
+///                   booked_mode() vs realized_mode(), counted in
+///                   degraded_count()) — it never silently pretends.
 ///
 /// ## Why switching mid-run is safe (proof sketch)
 ///
 /// Def. 2 of the paper requires a *serialization point* between a primary's
 /// guarded store and the moment a secondary may trust its read of the
 /// primary's flag: either the primary's own fence (symmetric) or the remote
-/// serialization the secondary performs (asymmetric). A mode switch is the
-/// one place both obligations could be dropped at once — the primary stops
-/// fencing while a secondary, still assuming the old mode, skips the trip.
-/// quiescent_point() closes that window with a single locked RMW on the
-/// mode cell, executed by the primary *between* protocol operations (no
+/// serialization the secondary performs (asymmetric, double). A mode switch
+/// is the one place both obligations could be dropped at once — the primary
+/// stops fencing while a secondary, still assuming the old mode, skips the
+/// trip. quiescent_point() closes that window with a single locked RMW on
+/// the mode cell, executed by the primary *between* protocol operations (no
 /// announce in flight):
 ///
 ///   * The RMW is a full StoreLoad fence, so every store of the *old*
@@ -59,8 +65,12 @@ enum class AsymmetricBackend : std::uint8_t {
 ///   * It is a store, so (TSO, FIFO store buffer) any announce issued under
 ///     the *new* regime becomes visible only after the new mode does.
 ///
-/// A secondary orders its own announce before the mode read with its
-/// unconditional mfence (secondary_fence), then acts on the mode it read:
+/// A secondary orders its own announce before the mode read — with the
+/// mfence of secondary_fence in the symmetric/asymmetric regimes, or, when
+/// secondary_fence(h) read kDoubleLmfence and went light, with the full
+/// barrier its serialize(h) performs before the conflict-deciding read (the
+/// membarrier broadcast is a full barrier on the *caller* as well as a drain
+/// of every peer). Then it acts on the mode it read:
 ///
 ///   * New mode read ⇒ by the first bullet every old-regime store is
 ///     already visible, and in-flight protocol state is per the new mode,
@@ -70,10 +80,21 @@ enum class AsymmetricBackend : std::uint8_t {
 ///     every store the secondary might miss by acting on the old mode
 ///     belongs to the new regime, and the primary issued those only after
 ///     the RMW completed, i.e. after the secondary's own announce (ordered
-///     by its mfence before its mode read) was globally visible. The
-///     primary's next conflict check therefore observes the secondary and
-///     retreats to the gated slow path; the task race resolves there, just
-///     as in the steady-state protocol.
+///     before its mode read as above) was globally visible. The primary's
+///     next conflict check therefore observes the secondary and retreats to
+///     the gated slow path; the task race resolves there, just as in the
+///     steady-state protocol.
+///
+/// One wrinkle is specific to leaving double-l-mfence: a secondary may read
+/// kDoubleLmfence in secondary_fence(h) (and go light), then find the mode
+/// already switched when serialize(h) re-reads it — at which point no
+/// membarrier trip would run and the secondary would be left with *no*
+/// StoreLoad between its announce and its flag read. serialize(h) closes
+/// this with a thread-local "weak announce" note: secondary_fence(h) sets it
+/// when it goes light, and serialize(h) issues a local full fence whenever
+/// the note is set but the trip it performs would not be a full barrier on
+/// the caller. The straddling secondary thus always has its own
+/// serialization point, and the switching argument above applies unchanged.
 ///
 /// Switching is thus linearized at the RMW: before it the pair runs the old
 /// protocol end-to-end, after it the new one, and the straddling case
@@ -84,14 +105,31 @@ class AdaptiveFence {
   static constexpr std::size_t kMaxPrimaries = 256;
 
   struct Slot {
-    /// Current regime; written only by the registered primary (inside
-    /// quiescent_point), read by secondaries on every serialize.
+    /// Current *realized* regime; written only by the registered primary
+    /// (inside quiescent_point), read by secondaries on every serialize.
     alignas(kCacheLineSize) std::atomic<PolicyMode> mode{
         PolicyMode::kSymmetric};
-    /// Requested regime; written by any controller thread, adopted by the
-    /// primary at its next quiescent point.
+    /// Requested regime; written by any controller thread, adopted (after
+    /// capability clamping) by the primary at its next quiescent point.
     std::atomic<PolicyMode> requested{PolicyMode::kSymmetric};
+    /// Last regime the controller's request *booked* at a quiescent point,
+    /// before capability clamping — realized_mode() == booked_mode() unless
+    /// the bound backend could not serve the request.
+    std::atomic<PolicyMode> booked{PolicyMode::kSymmetric};
+    /// Serialization backend secondaries use to drain this primary; written
+    /// at quiescent points, advisory-read (relaxed) by secondaries after the
+    /// seq_cst mode load.
+    std::atomic<backend::BackendId> bound_backend{backend::BackendId::kSignal};
+    std::atomic<backend::BackendId> requested_backend{
+        backend::BackendId::kSignal};
+    /// Realized transitions (mode cell actually changed).
     std::atomic<std::uint64_t> switches{0};
+    /// Booked transitions (controller's request changed) — the pre-fix
+    /// switch count, kept so misbooking is measurable.
+    std::atomic<std::uint64_t> booked_switches{0};
+    /// Quiescent points where the realized regime fell short of the booked
+    /// one (backend could not invert roles / could not serialize).
+    std::atomic<std::uint64_t> degraded{0};
     std::atomic<bool> used{false};
     std::atomic<bool> live{false};
     SerializerRegistry::Handle sig;
@@ -112,10 +150,11 @@ class AdaptiveFence {
 
   /// Registers the calling thread with the SerializerRegistry and claims a
   /// mode slot; starts in kSymmetric (the self-sufficient regime — safe
-  /// before any monitor has spoken). One adaptive registration per thread.
-  /// Returns an invalid handle when the pool is exhausted, in which case
-  /// primary_fence() falls back to a real fence and serialize() to a no-op:
-  /// the pair degenerates to SymmetricFence.
+  /// before any monitor has spoken) on the process-default backend. One
+  /// adaptive registration per thread. Returns an invalid handle when the
+  /// pool is exhausted, in which case primary_fence() falls back to a real
+  /// fence and serialize() to a no-op: the pair degenerates to
+  /// SymmetricFence.
   static Handle register_primary();
   static void unregister_primary(Handle& h);
 
@@ -125,14 +164,27 @@ class AdaptiveFence {
 
   static void secondary_fence() noexcept { store_load_fence(); }
 
+  /// Handle-aware secondary fence: compiler-only when the primary's
+  /// realized mode is kDoubleLmfence (the following serialize(h) supplies
+  /// the secondary's serialization point), a real fence otherwise.
+  static void secondary_fence(const Handle& h) noexcept;
+
   /// Dispatch on the primary's current mode: no remote work when the
-  /// primary fences for itself, a signal round trip (or membarrier
-  /// broadcast) when it does not.
+  /// primary fences for itself, a trip through the primary's bound backend
+  /// (signal round trip, membarrier broadcast, or simulated LE/ST) when it
+  /// does not.
   static bool serialize(const Handle& h);
 
-  /// Batched wave: symmetric primaries are skipped, signal-mode primaries
-  /// share one overlapped wave, and a membarrier backend collapses every
-  /// asymmetric primary into a single broadcast.
+  /// Primary-side drain of every peer — called by the registered primary
+  /// between its announce and its conflict-deciding read. A no-op (false)
+  /// unless the realized mode is kDoubleLmfence, where the bound backend's
+  /// broadcast both serializes the caller and drains the peers.
+  static bool serialize_peers(const Handle& h);
+
+  /// Batched wave: symmetric primaries are skipped, and asymmetric
+  /// primaries are bucketed per bound backend — signal-mode primaries share
+  /// one overlapped wave, membarrier-backed ones collapse into a single
+  /// broadcast.
   static std::size_t serialize_many(std::span<const Handle> hs);
 
   static constexpr const char* name() noexcept { return "adaptive"; }
@@ -145,24 +197,44 @@ class AdaptiveFence {
   /// point. Callable from any thread. Returns false on an invalid handle.
   static bool request_mode(const Handle& h, PolicyMode m) noexcept;
 
-  /// Adopt the requested mode. MUST be called by the registered primary
-  /// itself, strictly between protocol operations (no announce in flight) —
-  /// a worker's own scheduling-loop boundary, a safepoint, an epoch edge.
-  /// Returns true iff the mode changed. Refuses to leave kSymmetric when
-  /// no remote-serialization path exists (signal registration failed and
-  /// membarrier is unavailable), so a degraded primary stays safe.
+  /// Ask the primary behind `h` to re-bind to backend `b` at its next
+  /// quiescent point. Callable from any thread.
+  static bool request_backend(const Handle& h, backend::BackendId b) noexcept;
+
+  /// Adopt the requested mode and backend. MUST be called by the registered
+  /// primary itself, strictly between protocol operations (no announce in
+  /// flight) — a worker's own scheduling-loop boundary, a safepoint, an
+  /// epoch edge. The request is first *booked*, then clamped to what the
+  /// requested backend can realize (kDoubleLmfence needs inverts_roles;
+  /// kAsymmetric needs a working remote drain; anything unservable degrades
+  /// toward kSymmetric, loudly — warn-once + degraded_count()). Returns
+  /// true iff the *realized* mode changed.
   static bool quiescent_point(const Handle& h);
 
+  /// The regime actually in force — what primary_fence()/serialize()
+  /// dispatch on. current_mode() is a synonym (kept for existing callers).
+  static PolicyMode realized_mode(const Handle& h) noexcept;
   static PolicyMode current_mode(const Handle& h) noexcept;
+  /// The regime last booked from the controller's request, before
+  /// capability clamping.
+  static PolicyMode booked_mode(const Handle& h) noexcept;
   static PolicyMode requested_mode(const Handle& h) noexcept;
-  static std::uint64_t switch_count(const Handle& h) noexcept;
 
-  /// Process-wide backend for the asymmetric modes. kMembarrier silently
-  /// keeps signals when membarrier(2) is unavailable. Intended to be set
-  /// once at startup; flipping it mid-run is safe (both backends serialize
-  /// every live primary) but pointless.
-  static void set_backend(AsymmetricBackend b) noexcept;
-  static AsymmetricBackend backend() noexcept;
+  /// Realized transitions — what policy_switches / BENCH_adapt.json count.
+  static std::uint64_t switch_count(const Handle& h) noexcept;
+  /// Booked transitions; booked_switch_count() - switch_count() > 0 means
+  /// some requests could not be realized as asked.
+  static std::uint64_t booked_switch_count(const Handle& h) noexcept;
+  /// Quiescent points that clamped the booked regime down.
+  static std::uint64_t degraded_count(const Handle& h) noexcept;
+
+  static backend::BackendId current_backend(const Handle& h) noexcept;
+
+  /// Process-wide default backend new registrations start on. Intended to
+  /// be set once at startup; per-primary re-binding goes through
+  /// request_backend() + quiescent_point().
+  static void set_backend(backend::BackendId b) noexcept;
+  static backend::BackendId backend_id() noexcept;
 };
 
 static_assert(FencePolicy<AdaptiveFence>);
@@ -175,6 +247,7 @@ concept AdaptiveFencePolicy =
       { P::request_mode(h, m) } -> std::convertible_to<bool>;
       { P::quiescent_point(h) } -> std::convertible_to<bool>;
       { P::current_mode(h) } -> std::same_as<PolicyMode>;
+      { P::realized_mode(h) } -> std::same_as<PolicyMode>;
       { P::switch_count(h) } -> std::convertible_to<std::uint64_t>;
     };
 

@@ -103,10 +103,13 @@ class WorkloadMonitor {
   static constexpr double kFloor = 1e-6;
 
   double delta(std::uint64_t total, std::uint64_t* last) noexcept {
-    // A counter that moved backwards means reset_stats() ran concurrently;
-    // re-baseline on the new total rather than reporting a bogus window.
-    const double d = total >= *last ? static_cast<double>(total - *last)
-                                    : static_cast<double>(total);
+    // A counter that moved backwards means reset_stats() ran concurrently.
+    // The events since the reset are indistinguishable from the window that
+    // was lost to it, so report an empty window and re-baseline on the new
+    // total: counting `total` itself would spike the EWMA with a delta that
+    // conflates pre- and post-reset activity.
+    const double d =
+        total >= *last ? static_cast<double>(total - *last) : 0.0;
     *last = total;
     return d;
   }

@@ -21,11 +21,12 @@ namespace lbmf::adapt {
 ///                    serialize. Wins when the primary:secondary frequency
 ///                    ratio is high enough to amortize the round trips.
 ///   kDoubleLmfence — both announces l-mfence. Only optimal when a remote
-///                    round trip costs a few tens of cycles (the proposed
-///                    LE/ST hardware); the software signal prototype never
-///                    gets there, so the runtime realizes this mode as
-///                    kAsymmetric and keeps the secondary's mfence (see
-///                    AdaptiveFence).
+///                    round trip costs a few tens-to-hundreds of cycles.
+///                    Realizing it needs a serialization backend that can
+///                    invert roles (either side may run the light path):
+///                    membarrier-pair or simulated-LE/ST. The signal
+///                    backend cannot, so AdaptiveFence degrades the mode
+///                    to kAsymmetric there (see AdaptiveFence::realize).
 enum class PolicyMode : std::uint8_t {
   kSymmetric = 0,
   kAsymmetric = 1,
@@ -44,6 +45,17 @@ PolicyMode mode_from_optimum(std::string_view optimum,
                              std::size_t victim_site = 0,
                              std::size_t thief_site = 2);
 
+/// One serialization backend's view of the frontier: the same grid geometry
+/// as the base table, re-solved under that backend's capabilities (a
+/// non-inverting backend forbids l-mfence on the secondary's sites, so its
+/// plane never contains kDoubleLmfence). Produced by the E17 sweep's
+/// backend dimension (infer::SweepOptions::backends).
+struct BackendPlane {
+  std::string backend;            // backend::to_string spelling
+  std::vector<PolicyMode> modes;  // row-major, same shape as the base grid
+  bool operator==(const BackendPlane&) const = default;
+};
+
 /// The crossover frontier as a lookup grid: (primary:secondary frequency
 /// ratio × remote round-trip cycles) → PolicyMode. Axes are ascending;
 /// modes are row-major with the round-trip axis outer (matching the order
@@ -51,6 +63,12 @@ PolicyMode mode_from_optimum(std::string_view optimum,
 /// point in log10 space and clamps outside the covered range, so a
 /// deployment measuring a 10⁴-cycle signal round trip still lands on the
 /// most-expensive-trip row of an LE/ST-era table.
+///
+/// Beyond the base grid the table may carry per-backend *planes*
+/// (BackendPlane): the same axes, re-solved under one serialization
+/// backend's capability caps. The three-argument lookup consults the named
+/// plane and falls back to the base grid when no plane matches, so callers
+/// that never configure a backend see unchanged behavior.
 class PolicyTable {
  public:
   /// Aborts (LBMF_CHECK) unless modes.size() == ratios.size() *
@@ -60,19 +78,38 @@ class PolicyTable {
 
   PolicyMode lookup(double freq_ratio, double roundtrip_cycles) const noexcept;
 
+  /// Plane-aware lookup: consult the plane registered for `backend`, or
+  /// the base grid when `backend` is empty / has no plane.
+  PolicyMode lookup(double freq_ratio, double roundtrip_cycles,
+                    std::string_view backend) const noexcept;
+
+  /// Install (or replace, matching on name) the mode grid consulted for
+  /// one backend. Aborts (LBMF_CHECK) unless the plane covers the full
+  /// base grid.
+  void add_plane(BackendPlane plane);
+
   /// The frontier distilled from the shipped E17 sweep of the THE-deque
   /// litmus (BENCH_sweep.json), extended past the LE/ST range with two
   /// signal-prototype rows derived from the same site-cost arithmetic
   /// (asymmetric wins once ratio · mfence_cycles outgrows the round trip).
+  /// Carries one plane per built-in serialization backend: the signal
+  /// plane clamps kDoubleLmfence cells to kAsymmetric (it cannot invert
+  /// roles); the membarrier-pair and sim-lest planes additionally mark the
+  /// symmetric-traffic column double-l-mfence up through the LE/ST-scale
+  /// round-trip rows, where two light announces plus a cheap drain undercut
+  /// two full fences.
   static PolicyTable builtin_default();
 
   /// Parse either the compact table form written by
   /// infer::sweep_to_policy_json —
   ///   {"policy_table":..., "ratios":[...], "roundtrips":[...],
-  ///    "modes":["symmetric",...]}
+  ///    "modes":["symmetric",...],
+  ///    "backends":["signal",...], "plane:signal":["symmetric",...]}
   /// — or a full BENCH_sweep.json (detected by "bench":"sweep"), whose
-  /// per-point "optimum" strings are collapsed via mode_from_optimum.
-  /// Returns nullopt on malformed input.
+  /// per-point "optimum" strings are collapsed via mode_from_optimum and
+  /// whose optional "backend_planes" section populates the planes.
+  /// Returns nullopt on malformed input (a malformed plane drops only the
+  /// plane — the base grid still loads).
   static std::optional<PolicyTable> from_json(std::string_view json);
 
   /// Single-line compact-form JSON (round-trips with from_json).
@@ -83,6 +120,7 @@ class PolicyTable {
     return roundtrips_;
   }
   const std::vector<PolicyMode>& modes() const noexcept { return modes_; }
+  const std::vector<BackendPlane>& planes() const noexcept { return planes_; }
 
   bool operator==(const PolicyTable&) const = default;
 
@@ -90,6 +128,7 @@ class PolicyTable {
   std::vector<double> ratios_;
   std::vector<double> roundtrips_;
   std::vector<PolicyMode> modes_;  // roundtrips_.size() x ratios_.size()
+  std::vector<BackendPlane> planes_;
 };
 
 }  // namespace lbmf::adapt

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 
 #include "lbmf/adapt/monitor.hpp"
@@ -18,6 +19,11 @@ struct SelectorConfig {
   /// > 0: ignore the measured round trip and price serialization at this
   /// many cycles (benchmarks and deployments that calibrated offline).
   double fixed_roundtrip_cycles = 0.0;
+  /// Serialization-backend plane consulted in the table (see
+  /// PolicyTable::lookup's backend overload). Empty = the base grid. A
+  /// non-inverting backend's plane never proposes kDoubleLmfence, so the
+  /// selector's choice is realizable by construction.
+  std::string backend;
 };
 
 /// monitor → table → hysteresis. One per primary/deque; not thread-safe —
@@ -36,7 +42,8 @@ class PolicySelector {
     const double rt = cfg_.fixed_roundtrip_cycles > 0.0
                           ? cfg_.fixed_roundtrip_cycles
                           : monitor_.roundtrip_cycles();
-    const PolicyMode proposal = table_.lookup(monitor_.freq_ratio(), rt);
+    const PolicyMode proposal =
+        table_.lookup(monitor_.freq_ratio(), rt, cfg_.backend);
     ++windows_;
     if (proposal == current_) {
       streak_ = 0;

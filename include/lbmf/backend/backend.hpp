@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "lbmf/core/serializer.hpp"
+
+namespace lbmf::backend {
+
+/// Serialization backends: the mechanism an asymmetric fence policy uses to
+/// remotely serialize another thread.
+///
+/// The paper's software prototype (Sec. 5) is one-directional: secondaries
+/// post a signal at the *registered* primary, so only the primary may run the
+/// light path and the double-l-mfence regime of Fig. 3 is unreachable.
+/// Realizing it needs a backend that can *invert roles* — the primary must be
+/// able to drain its peers just as cheaply as they drain it. Two mechanisms
+/// qualify:
+///
+///  * **membarrier-pair** — membarrier(2) MEMBARRIER_CMD_PRIVATE_EXPEDITED
+///    broadcasts an IPI-backed barrier at every thread of the process, in
+///    either direction, so both sides may keep a compiler-only fence on the
+///    hot path and pay the broadcast only at conflict time.
+///
+///  * **sim-lest** — routes live fence traffic through `lbmf::sim`'s LE/ST
+///    machinery: each trip replays the roundtrip litmus on the simulated
+///    x86-TSO machine (pricing it at the paper's ~150-cycle LE/ST RTT) and
+///    then performs a real drain so the host runtime stays correct. This
+///    closes the loop between the simulator and the live runtime: the
+///    adaptation layer sees the RTT the paper's hardware proposal would
+///    deliver.
+enum class BackendId : std::uint8_t {
+  kSignal = 0,          ///< POSIX-signal serializer (SerializerRegistry)
+  kMembarrierPair = 1,  ///< membarrier(2) EXPEDITED broadcasts, both ways
+  kSimLest = 2,         ///< live traffic priced through lbmf::sim's LE/ST
+};
+
+inline constexpr std::size_t kBackendCount = 3;
+
+const char* to_string(BackendId id) noexcept;
+std::optional<BackendId> backend_from_string(std::string_view name) noexcept;
+
+/// What a backend can do on this host, architecturally. `asymmetric` means
+/// secondaries can remotely drain a registered primary (enables the
+/// kAsymmetric regime); `inverts_roles` means the primary can also drain all
+/// of its peers, so *both* sides may run the light path (enables
+/// kDoubleLmfence). The signal backend never inverts; the membarrier-backed
+/// backends invert exactly when the kernel supports EXPEDITED membarrier.
+struct BackendCaps {
+  bool asymmetric = false;
+  bool inverts_roles = false;
+};
+
+/// One serialization mechanism. Stateless from the caller's point of view:
+/// primaries keep registering through SerializerRegistry (the slot's Handle
+/// doubles as the target for every backend), and the backend decides how a
+/// drain is delivered. Implementations are process-wide singletons obtained
+/// via serialization_backend() and are safe to call from any thread.
+class SerializationBackend {
+ public:
+  virtual ~SerializationBackend() = default;
+
+  virtual BackendId id() const noexcept = 0;
+  virtual const char* name() const noexcept = 0;
+  virtual BackendCaps caps() const noexcept = 0;
+
+  /// Secondary-side drain: force the primary identified by `h` to serialize
+  /// its instruction stream, returning only after it has done so. Returns
+  /// false when this backend cannot deliver the drain (caller must fall back
+  /// to a full fence on its own side — see AdaptiveFence's realize step).
+  virtual bool serialize(const SerializerRegistry::Handle& h) = 0;
+
+  /// Batched secondary-side drain over a wave of primaries. Returns the
+  /// number successfully serialized.
+  virtual std::size_t serialize_many(
+      std::span<const SerializerRegistry::Handle> hs) = 0;
+
+  /// Primary-side drain of *all* peers — the role-inversion primitive that
+  /// makes double-l-mfence realizable. Returns false when this backend
+  /// cannot invert roles (signal; membarrier-backed ones without kernel
+  /// support).
+  virtual bool serialize_peers() = 0;
+
+  /// Advisory price of one remote trip in TSC cycles: a measured EWMA when
+  /// the backend has one, otherwise the documented default. The adaptation
+  /// layer feeds this into the policy-table lookup so the frontier is priced
+  /// per backend (~10k signal, ~2.5k membarrier, ~150 simulated LE/ST).
+  virtual double roundtrip_cycles() const noexcept = 0;
+};
+
+/// Process-wide singleton for `id` (function-local statics; thread-safe).
+SerializationBackend& serialization_backend(BackendId id) noexcept;
+
+/// Override the sim-lest backend's advisory RTT (cycles). <= 0 restores the
+/// default: the RTT measured from the simulator's roundtrip litmus (~150).
+void set_simlest_roundtrip_cycles(double cycles) noexcept;
+
+/// Ledger of live trips the sim-lest backend routed through the simulator,
+/// and the total simulated cycles they were priced at (bench observability).
+std::uint64_t simlest_trips() noexcept;
+std::uint64_t simlest_modeled_cycles() noexcept;
+
+/// Number of EXPEDITED broadcasts the membarrier-pair backend has issued.
+std::uint64_t membarrier_trips() noexcept;
+
+}  // namespace lbmf::backend

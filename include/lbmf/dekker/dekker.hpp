@@ -24,6 +24,7 @@ struct DekkerStats {
   std::uint64_t secondary_acquires = 0;
   std::uint64_t secondary_fences = 0;   // secondary_fence() executions
   std::uint64_t serializations = 0;     // remote serialize() calls
+  std::uint64_t primary_serializations = 0;  // peer drains (double-l-mfence)
   std::uint64_t primary_retreats = 0;   // tie-break backoffs (primary)
   std::uint64_t secondary_retreats = 0; // tie-break backoffs (secondary)
 };
@@ -197,6 +198,8 @@ class AsymmetricDekker {
     s.primary_acquires = pstats_->acquires.load(std::memory_order_relaxed);
     s.primary_fences = pstats_->fences.load(std::memory_order_relaxed);
     s.primary_retreats = pstats_->retreats.load(std::memory_order_relaxed);
+    s.primary_serializations =
+        pstats_->serializations.load(std::memory_order_relaxed);
     s.secondary_acquires = sstats_->acquires.load(std::memory_order_relaxed);
     s.secondary_fences = sstats_->fences.load(std::memory_order_relaxed);
     s.secondary_retreats = sstats_->retreats.load(std::memory_order_relaxed);
@@ -210,19 +213,26 @@ class AsymmetricDekker {
   }
 
  private:
-  /// Lines K1 of Fig. 3(a): l-mfence(&L1, 1).
+  /// Lines K1 of Fig. 3(a): l-mfence(&L1, 1). Under a policy whose realized
+  /// regime is double-l-mfence, serialize_peers drains the secondary before
+  /// our conflict-deciding read of its flag (and is itself a full barrier on
+  /// this side) — the primary-side mirror of the secondary's serialize().
+  /// For every other policy/regime it returns false without remote work.
   void announce_primary() noexcept {
     compiler_fence();
     flag_[0]->store(1, std::memory_order_relaxed);
     P::primary_fence();
     bump_relaxed(pstats_->fences);
+    if (P::serialize_peers(handle_)) bump_relaxed(pstats_->serializations);
   }
 
-  /// Lines J1-J2 of Fig. 3(a) plus the remote trigger: L2 = 1; mfence;
-  /// force the primary to serialize before we read L1.
+  /// Lines J1-J2 of Fig. 3(a) plus the remote trigger: L2 = 1; mfence (or,
+  /// in the double-l-mfence regime, compiler fence — the handle-aware
+  /// secondary_fence dispatches); force the primary to serialize before we
+  /// read L1.
   void announce_secondary() {
     flag_[1]->store(1, std::memory_order_relaxed);
-    P::secondary_fence();
+    P::secondary_fence(handle_);
     bump_relaxed(sstats_->fences);
     if (P::serialize(handle_)) bump_relaxed(sstats_->serializations);
   }
@@ -235,7 +245,9 @@ class AsymmetricDekker {
     std::atomic<std::uint64_t> acquires{0};
     std::atomic<std::uint64_t> fences{0};
     std::atomic<std::uint64_t> retreats{0};
-    std::atomic<std::uint64_t> serializations{0};  // secondary side only
+    // Remote drains: serialize() on the secondary side, serialize_peers()
+    // (double-l-mfence) on the primary side.
+    std::atomic<std::uint64_t> serializations{0};
 
     void reset() noexcept {
       acquires.store(0, std::memory_order_relaxed);

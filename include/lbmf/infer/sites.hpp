@@ -32,6 +32,14 @@ struct FenceSite {
   /// Register-sourced stores (kStoreReg) cannot take the l-mfence
   /// expansion, whose ST carries an immediate; only {none, mfence} apply.
   bool is_reg_store = false;
+  /// Capability constraint, not a program property: the serialization
+  /// backend this sweep plane models cannot run the light path on this
+  /// side (e.g. the signal backend only inverts in the primary's favor),
+  /// so l-mfence is excluded from the site's lattice. Part of the
+  /// *assignment* space, never of the safety verdict — problem_graph_key
+  /// ignores it, so VerdictCache/PrefixGraph entries stay shared across
+  /// backend planes.
+  bool no_lmfence = false;
   std::size_t src_line = 0;  // 1-based .lit line; 0 for programmatic sites
   /// Runtime-source location ("lbmf/ws/deque.hpp:84") carried over from
   /// the hole's `#@` provenance comment when the litmus text was

@@ -18,6 +18,16 @@ namespace lbmf::infer {
 /// explorer runs once per *distinct lattice point*, and every other grid
 /// point re-ranks cached verdicts — which is what makes a 30-point grid
 /// cost barely more than a single solve.
+/// One plane of the sweep's serialization-backend dimension.
+/// `inverts_roles` mirrors backend::BackendCaps::inverts_roles but is
+/// supplied by the caller, so CI sweeps identical planes regardless of
+/// whether the build host itself supports the backend (membarrier
+/// availability must not change the shipped frontier).
+struct SweepBackend {
+  std::string name;  // backend::to_string spelling, e.g. "membarrier-pair"
+  bool inverts_roles = false;
+};
+
 struct SweepOptions {
   /// Values swept for the victim CPU's `freq` weight (cpu_freqs[victim]);
   /// other CPUs keep the problem's own weights. Paper range: 1:1 … 10⁵:1.
@@ -27,6 +37,14 @@ struct SweepOptions {
   std::vector<double> roundtrips = {10, 50, 150, 500, 1'500};
   /// Which CPU is "the victim" (the hot protocol side whose freq is swept).
   std::size_t victim_cpu = 0;
+  /// Serialization-backend dimension: one extra grid per entry. A
+  /// role-inverting backend leaves the assignment space unchanged, so its
+  /// plane copies the base grid without re-solving; a non-inverting one
+  /// re-solves with l-mfence excluded on every non-victim CPU's sites
+  /// (FenceSite::no_lmfence). All planes share the base grid's
+  /// VerdictCache and PrefixGraph — the constraint prunes assignments,
+  /// never changes a verdict. Empty = no backend dimension.
+  std::vector<SweepBackend> backends;
   /// Base engine options. costs.lest_roundtrip_cycles and any attached
   /// verdict_cache are overridden per grid point / per sweep.
   InferenceEngine::Options engine;
@@ -52,11 +70,21 @@ struct Crossover {
   std::string to;
 };
 
+/// One backend plane's solved grid, same row-major geometry as the base.
+struct SweepBackendPlane {
+  std::string name;
+  bool inverts_roles = false;
+  std::vector<SweepPoint> points;
+};
+
 struct SweepResult {
   std::vector<SweepPoint> points;  // row-major: roundtrips × victim_freqs
   std::vector<double> victim_freqs;
   std::vector<double> roundtrips;
   std::vector<Crossover> crossovers;
+  /// Backend dimension (one entry per SweepOptions::backends element, in
+  /// order). Inverting planes are verbatim copies of `points`.
+  std::vector<SweepBackendPlane> backend_planes;
   /// Explorer verification work across the whole grid, and how much of it
   /// the shared verdict cache absorbed.
   std::uint64_t explorer_runs = 0;
@@ -70,7 +98,8 @@ struct SweepResult {
   std::uint64_t prefix_states = 0;
   std::uint64_t incremental_reuses = 0;
 
-  /// All grid points solved to kSat with a SAFE recheck.
+  /// All grid points — backend planes included — solved to kSat with a
+  /// SAFE recheck.
   bool all_sat() const noexcept;
   /// Distinct optima along the freq axis at the given roundtrip value (the
   /// CI gate asks for >= 2 at the paper's 150-cycle constant).
@@ -82,7 +111,9 @@ struct SweepResult {
 SweepResult run_sweep(InferProblem problem, const SweepOptions& opts);
 
 /// Single-line JSON report (grid, per-point optima, crossovers, cache
-/// accounting) — the payload of BENCH_sweep.json and --sweep --json.
+/// accounting, and — when the sweep ran a backend dimension — a trailing
+/// "backend_planes" section) — the payload of BENCH_sweep.json and
+/// --sweep --json.
 std::string sweep_to_json(const SweepResult& r, const std::string& workload);
 
 /// Collapse a sweep to the compact runtime policy table consumed by
@@ -91,7 +122,9 @@ std::string sweep_to_json(const SweepResult& r, const std::string& workload);
 /// victim only → "asymmetric", otherwise — including non-SAT points —
 /// "symmetric", the always-safe regime). Site indices default to the
 /// THE-deque litmus hole order {victim announce, victim retreat, thief
-/// announce, thief retreat}.
+/// announce, thief retreat}. Backend planes are emitted as a "backends"
+/// name list plus one "plane:<name>" mode array each, matching
+/// PolicyTable::from_json's compact form.
 std::string sweep_to_policy_json(const SweepResult& r,
                                  std::size_t victim_site = 0,
                                  std::size_t thief_site = 2);

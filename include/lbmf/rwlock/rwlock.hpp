@@ -111,6 +111,14 @@ class BiasedRwLock {
       if (intent != 0) s.ack.store(intent, std::memory_order_release);
     }
 
+    /// This reader's policy registration, for callers that re-bind the
+    /// policy's strength or serialization backend live (AdaptiveFence
+    /// request_mode/request_backend; the reader thread itself must run the
+    /// quiescent_point, between read-lock sections).
+    typename P::Handle handle() const noexcept {
+      return lock_->slots_[slot_]->handle;
+    }
+
    private:
     friend class BiasedRwLock;
     ReaderToken(BiasedRwLock* lock, std::size_t slot)

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -10,6 +11,16 @@ namespace lbmf::detail {
   std::fprintf(stderr, "LBMF_CHECK failed: %s at %s:%d%s%s\n", expr, file,
                line, msg[0] ? " — " : "", msg);
   std::abort();
+}
+
+/// Log `msg` to stderr at most once per `flag` (typically a function-local
+/// static). For degraded-but-sound fallbacks that must be loud without
+/// flooding hot paths — e.g. a fence backend quietly losing its asymmetric
+/// capability on kernels without EXPEDITED membarrier.
+inline void warn_once(std::atomic<bool>& flag, const char* msg) noexcept {
+  if (!flag.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr, "lbmf: warning: %s\n", msg);
+  }
 }
 
 }  // namespace lbmf::detail

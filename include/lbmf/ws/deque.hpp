@@ -27,6 +27,7 @@ struct DequeStats {
   std::uint64_t pops_conflict = 0;  // pop had to take the THE lock
   std::uint64_t pops_empty = 0;
   std::uint64_t victim_fences = 0;  // primary_fence() on the pop path
+  std::uint64_t victim_serializations = 0;  // peer drains (double-l-mfence)
   std::uint64_t steals_success = 0;
   std::uint64_t steals_empty = 0;
   std::uint64_t thief_fences = 0;
@@ -42,6 +43,7 @@ struct VictimCounters {
   std::atomic<std::uint64_t> pops_conflict{0};
   std::atomic<std::uint64_t> pops_empty{0};
   std::atomic<std::uint64_t> victim_fences{0};
+  std::atomic<std::uint64_t> victim_serializations{0};
 
   void reset() noexcept {
     pushes.store(0, std::memory_order_relaxed);
@@ -49,6 +51,7 @@ struct VictimCounters {
     pops_conflict.store(0, std::memory_order_relaxed);
     pops_empty.store(0, std::memory_order_relaxed);
     victim_fences.store(0, std::memory_order_relaxed);
+    victim_serializations.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -118,6 +121,13 @@ class TheDeque {
     tail_->store(t, std::memory_order_release);  // announce intent (L1 = 1)
     P::primary_fence();                          // l-mfence / mfence / ...
     bump_relaxed(vstats_->victim_fences);
+    // Double-l-mfence regime only (false otherwise): drain the thieves
+    // before the conflict-deciding head read, mirroring the serialize()
+    // thieves aim at us. The backend broadcast is also this side's
+    // StoreLoad, completing the announce that primary_fence left light.
+    if (P::serialize_peers(owner_handle_)) {
+      bump_relaxed(vstats_->victim_serializations);
+    }
     const std::int64_t h = head_->load(std::memory_order_acquire);
     if (h <= t) {
       // No conflict: the deque had at least one task beyond every thief.
@@ -145,7 +155,7 @@ class TheDeque {
     std::lock_guard<std::mutex> g(gate_);
     const std::int64_t h = head_->load(std::memory_order_relaxed);
     head_->store(h + 1, std::memory_order_release);  // announce (L2 = 1)
-    P::secondary_fence();                            // always a real fence
+    P::secondary_fence(owner_handle_);  // real fence; light in double mode
     if (P::serialize(owner_handle_)) {
       // Force the victim's tail store visible.
       bump_relaxed(tstats_->serializations);
@@ -199,6 +209,8 @@ class TheDeque {
     s.pops_conflict = vstats_->pops_conflict.load(std::memory_order_relaxed);
     s.pops_empty = vstats_->pops_empty.load(std::memory_order_relaxed);
     s.victim_fences = vstats_->victim_fences.load(std::memory_order_relaxed);
+    s.victim_serializations =
+        vstats_->victim_serializations.load(std::memory_order_relaxed);
     s.steals_success = tstats_->steals_success.load(std::memory_order_relaxed);
     s.steals_empty = tstats_->steals_empty.load(std::memory_order_relaxed);
     s.thief_fences = tstats_->thief_fences.load(std::memory_order_relaxed);

@@ -28,12 +28,20 @@ struct SchedulerStats {
   std::uint64_t pops_conflict = 0;
   std::uint64_t pops_empty = 0;
   std::uint64_t victim_fences = 0;
+  std::uint64_t victim_serializations = 0;  // peer drains (double-l-mfence)
   std::uint64_t steal_attempts = 0;   // thief_fences
   std::uint64_t steals_success = 0;
   std::uint64_t serializations = 0;
-  /// Adaptive policies only: total quiescent-point mode switches adopted
-  /// across the pool (0 for the static policies).
+  /// Adaptive policies only: total *realized* quiescent-point mode switches
+  /// across the pool (0 for the static policies). A switch counts only when
+  /// the regime actually in force changed — a booked request the backend
+  /// could not realize (e.g. double-l-mfence on a non-inverting backend)
+  /// shows up in policy_switches_booked but not here.
   std::uint64_t policy_switches = 0;
+  /// Adaptive policies only: switches as *booked* by the controller before
+  /// capability clamping. booked - realized > 0 means some requests were
+  /// degraded (the pre-fix counter overcounted by exactly that gap).
+  std::uint64_t policy_switches_booked = 0;
 
   double steal_success_ratio() const noexcept {
     return steal_attempts == 0
@@ -53,6 +61,12 @@ struct AdaptationOptions {
   /// selector window; the loop boundary doubles as the quiescent point where
   /// a decided switch is adopted.
   std::uint64_t sample_every = 1024;
+  /// Serialization backend every worker re-binds to at its first quiescent
+  /// point (policies with a request_backend hook only). The selector's
+  /// table lookups use this backend's plane, and its roundtrip_cycles()
+  /// prices the frontier — a role-inverting backend is what lets workers
+  /// genuinely enter the double-l-mfence cell.
+  backend::BackendId backend = backend::BackendId::kSignal;
 };
 
 /// A child-stealing work-stealing scheduler in the style of Cilk-5's
@@ -111,6 +125,10 @@ class Scheduler {
     LBMF_CHECK_MSG(!adapt_enabled_.load(std::memory_order_acquire),
                    "enable_adaptation may be called once");
     adapt_options_ = std::move(opts);
+    if (adapt_options_.selector.backend.empty()) {
+      adapt_options_.selector.backend =
+          backend::to_string(adapt_options_.backend);
+    }
     adapt_enabled_.store(true, std::memory_order_release);
   }
 
@@ -265,11 +283,18 @@ void Scheduler<P, DequeT>::maybe_adapt(Worker& w) {
           adapt_options_.table, adapt_options_.selector);
     }
     // One selector window per sample: this worker's own pop-announce and
-    // steal-attempt counters, plus the process-wide measured round trip.
+    // steal-attempt counters, plus the bound backend's round-trip price
+    // (its measured EWMA, or — for sim-lest — the simulated LE/ST RTT).
     const DequeStats d = w.deque.stats();
+    const double rtt =
+        backend::serialization_backend(adapt_options_.backend)
+            .roundtrip_cycles();
     const adapt::PolicyMode m =
-        w.selector->update(d.victim_fences, d.thief_fences,
-                           SerializerRegistry::measured_roundtrip_cycles());
+        w.selector->update(d.victim_fences, d.thief_fences, rtt);
+    if constexpr (requires { P::request_backend(w.handle,
+                                                adapt_options_.backend); }) {
+      P::request_backend(w.handle, adapt_options_.backend);
+    }
     P::request_mode(w.handle, m);
     // The scheduling-loop boundary is a quiescent point: the previous pop
     // or steal has completed and the next announce has not been issued, so
@@ -359,11 +384,17 @@ SchedulerStats Scheduler<P, DequeT>::stats() const {
     s.pops_conflict += d.pops_conflict;
     s.pops_empty += d.pops_empty;
     s.victim_fences += d.victim_fences;
+    s.victim_serializations += d.victim_serializations;
     s.steal_attempts += d.thief_fences;
     s.steals_success += d.steals_success;
     s.serializations += d.serializations;
     if constexpr (adapt::AdaptiveFencePolicy<P>) {
       s.policy_switches += P::switch_count(w->handle);
+      if constexpr (requires { P::booked_switch_count(w->handle); }) {
+        s.policy_switches_booked += P::booked_switch_count(w->handle);
+      } else {
+        s.policy_switches_booked += P::switch_count(w->handle);
+      }
     }
   }
   return s;

@@ -38,13 +38,43 @@ fi
 "$BUILD_DIR"/bench/bench_infer --quick
 # Gates on the E17 acceptance (every grid point SAT+SAFE, >= 2 distinct
 # optima along the freq axis at the paper's 150-cycle round trip, three
-# hand-checked grid points reproduced); leaves BENCH_sweep.json.
+# hand-checked grid points reproduced) plus the backend-axis planes (the
+# signal plane never contains double-l-mfence, the role-inverting planes
+# keep the (freq 1, rt 10) double-l-mfence corner); leaves BENCH_sweep.json
+# with the backend_planes section.
 "$BUILD_DIR"/bench/bench_sweep --quick
-# Gates on the E18 acceptance (exactly 2 quiescent-point switches across
-# the phase change, adaptive within 1.10x of the best static policy at
-# both steady-state extremes, worst static >= 1.5x adaptive, live
-# scheduler checksum); leaves BENCH_adapt.json.
+# Gates on the E18 acceptance (exactly 2 *realized* quiescent-point
+# switches across the phase change, adaptive within 1.10x of the best
+# static policy at both steady-state extremes, worst static >= 1.5x
+# adaptive, live scheduler checksum) plus the backend matrix: in the
+# high-symmetric-traffic phase the adaptive policy must book AND realize
+# double-l-mfence on both role-inverting backends at >= parity with the
+# best static policy, and the signal backend must degrade loudly (booked
+# double, realized asymmetric, degraded counter bumped); leaves
+# BENCH_adapt.json with the backend_matrix section.
 "$BUILD_DIR"/bench/bench_adapt --quick
+
+# Double-l-mfence realization gate on the emitted report: both new
+# backends must have booked AND realized the double cell — unless the leg
+# was skipped because the host cannot run membarrier at all (the bench
+# already verified loud degradation in that case).
+for b in membarrier-pair sim-lest; do
+  if grep -q "\"backend\":\"$b\",\"booked_double\":true,\"realized_double\":true" \
+       BENCH_adapt.json; then
+    continue
+  fi
+  if grep -q "\"backend\":\"$b\"[^}]*\"skipped\":true" BENCH_adapt.json; then
+    echo "::warning::backend $b unrealizable on this host; realization gate skipped"
+    continue
+  fi
+  echo "::error::backend $b did not realize double-l-mfence (BENCH_adapt.json)"
+  exit 1
+done
+# The sweep artifact must carry the backend-axis planes it is gated on.
+grep -q '"backend_planes"' BENCH_sweep.json || {
+  echo "::error::BENCH_sweep.json is missing the backend_planes section"
+  exit 1
+}
 # Gates on the E10 acceptance (asym/sym >= 1 at the rare-update point,
 # 1 updater / 10ms); leaves BENCH_flowtable.json.
 "$BUILD_DIR"/bench/bench_flowtable --quick

@@ -1,5 +1,6 @@
 #include "lbmf/adapt/adaptive_fence.hpp"
 
+#include <utility>
 #include <vector>
 
 #include "lbmf/util/check.hpp"
@@ -12,7 +13,15 @@ namespace {
 /// own mode cell.
 thread_local AdaptiveFence::Slot* tls_mode_slot = nullptr;
 
-std::atomic<AsymmetricBackend> g_backend{AsymmetricBackend::kSignal};
+/// Set by secondary_fence(h) when it went light (read kDoubleLmfence),
+/// consumed by the same thread's serialize(h): if the trip it performs is
+/// not itself a full barrier on the caller (the mode switched away from
+/// double in between, or the backend fell back to the signal path), a local
+/// full fence restores the secondary's serialization point. See the
+/// switching proof sketch in the header.
+thread_local bool tls_weak_announce = false;
+
+std::atomic<backend::BackendId> g_default_backend{backend::BackendId::kSignal};
 
 AdaptiveFence::Slot& pool_slot(std::size_t i) {
   // Slot's first member carries the cache-line alignment; function-local
@@ -21,14 +30,41 @@ AdaptiveFence::Slot& pool_slot(std::size_t i) {
   return pool[i];
 }
 
-bool membarrier_backend() noexcept {
-  return g_backend.load(std::memory_order_relaxed) ==
-             AsymmetricBackend::kMembarrier &&
-         membarrier::available();
-}
-
 bool is_asymmetric(PolicyMode m) noexcept {
   return m != PolicyMode::kSymmetric;
+}
+
+/// Whether backend `b` can remotely drain a primary registered as `sig`.
+/// The signal path needs a valid registry slot; the membarrier broadcast
+/// needs kernel support; sim-lest drains through whichever of the two it
+/// has.
+bool can_serialize(backend::BackendId b,
+                   const SerializerRegistry::Handle& sig) noexcept {
+  switch (b) {
+    case backend::BackendId::kSignal:
+      return sig.valid();
+    case backend::BackendId::kMembarrierPair:
+      return membarrier::available();
+    case backend::BackendId::kSimLest:
+      return membarrier::available() || sig.valid();
+  }
+  return false;
+}
+
+/// Clamp a booked regime to what backend `b` can actually realize:
+/// kDoubleLmfence needs role inversion, kAsymmetric needs a working remote
+/// drain, and anything unservable degrades toward kSymmetric (always safe —
+/// the primary fences for itself).
+PolicyMode realize(PolicyMode req, backend::BackendId b,
+                   const SerializerRegistry::Handle& sig) noexcept {
+  if (req == PolicyMode::kDoubleLmfence &&
+      !backend::serialization_backend(b).caps().inverts_roles) {
+    req = PolicyMode::kAsymmetric;
+  }
+  if (is_asymmetric(req) && !can_serialize(b, sig)) {
+    req = PolicyMode::kSymmetric;
+  }
+  return req;
 }
 
 }  // namespace
@@ -43,14 +79,24 @@ AdaptiveFence::Handle AdaptiveFence::register_primary() {
         slot.used.compare_exchange_strong(expected, true,
                                           std::memory_order_acq_rel)) {
       // Signal-path registration may fail (registry full); the slot is still
-      // usable — quiescent_point() refuses to leave kSymmetric while no
-      // remote-serialization path exists.
+      // usable — quiescent_point() clamps any asymmetric request to what the
+      // bound backend can serve without it.
       slot.sig = SerializerRegistry::instance().register_self();
+      const backend::BackendId b =
+          g_default_backend.load(std::memory_order_relaxed);
       slot.mode.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
       slot.requested.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
+      slot.booked.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
+      slot.bound_backend.store(b, std::memory_order_relaxed);
+      slot.requested_backend.store(b, std::memory_order_relaxed);
+      // Counters are per registration, so a reused pool slot does not leak
+      // a previous tenant's transitions into this one's accounting.
+      slot.switches.store(0, std::memory_order_relaxed);
+      slot.booked_switches.store(0, std::memory_order_relaxed);
+      slot.degraded.store(0, std::memory_order_relaxed);
       tls_mode_slot = &slot;
       // Publication edge: a secondary that acquires `live == true` sees the
-      // signal handle and the symmetric starting mode.
+      // signal handle, the backend binding and the symmetric starting mode.
       slot.live.store(true, std::memory_order_release);
       return Handle(&slot);
     }
@@ -69,6 +115,7 @@ void AdaptiveFence::unregister_primary(Handle& h) {
   // Next tenant of the slot starts over in the self-sufficient regime.
   slot.mode.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
   slot.requested.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
+  slot.booked.store(PolicyMode::kSymmetric, std::memory_order_relaxed);
   slot.used.store(false, std::memory_order_release);
   h.slot_ = nullptr;
 }
@@ -76,7 +123,10 @@ void AdaptiveFence::unregister_primary(Handle& h) {
 void AdaptiveFence::primary_fence() noexcept {
   Slot* slot = tls_mode_slot;
   // The mode cell is written only by this thread, so a relaxed load reads
-  // the current regime. Unregistered threads get the safe fence.
+  // the current regime. Unregistered threads get the safe fence. Both
+  // asymmetric regimes run light here; in kDoubleLmfence the primary's
+  // serialization point is the serialize_peers(h) broadcast that protocol
+  // code issues before its conflict-deciding read.
   if (slot == nullptr ||
       slot->mode.load(std::memory_order_relaxed) == PolicyMode::kSymmetric) {
     store_load_fence();
@@ -85,29 +135,75 @@ void AdaptiveFence::primary_fence() noexcept {
   }
 }
 
+void AdaptiveFence::secondary_fence(const Handle& h) noexcept {
+  Slot* slot = h.slot_;
+  if (slot != nullptr && slot->live.load(std::memory_order_acquire) &&
+      slot->mode.load(std::memory_order_seq_cst) ==
+          PolicyMode::kDoubleLmfence) {
+    // Light path: the serialize(h) that protocol code issues next supplies
+    // the StoreLoad (membarrier is a full barrier on the caller). The note
+    // makes serialize(h) cover the race where the mode switches away from
+    // double between these two reads.
+    compiler_fence();
+    tls_weak_announce = true;
+  } else {
+    store_load_fence();
+  }
+}
+
 bool AdaptiveFence::serialize(const Handle& h) {
+  const bool weak = std::exchange(tls_weak_announce, false);
+  Slot* slot = h.slot_;
+  if (slot == nullptr || !slot->live.load(std::memory_order_acquire)) {
+    if (weak) full_fence();
+    return false;
+  }
+  // The caller's secondary fence (or the weak-announce cover below) ordered
+  // its announce before this load; see the switching proof sketch in the
+  // header for why acting on a stale mode here is safe.
+  const PolicyMode m = slot->mode.load(std::memory_order_seq_cst);
+  if (!is_asymmetric(m)) {
+    // The primary fences for itself. A weak announce can still reach this
+    // point by racing a double→symmetric switch: restore our StoreLoad.
+    if (weak) full_fence();
+    return true;
+  }
+  if (weak && m != PolicyMode::kDoubleLmfence) {
+    // Raced a double→asymmetric switch: the signal trip below drains the
+    // *primary*, not us.
+    full_fence();
+  }
+  auto& be = backend::serialization_backend(
+      slot->bound_backend.load(std::memory_order_relaxed));
+  if (be.serialize(slot->sig)) return true;
+  // In double mode the backend trip doubled as our own barrier; if it could
+  // not run (primary unregistering under us, capability lost), cover
+  // locally before the caller acts on its reads.
+  if (weak && m == PolicyMode::kDoubleLmfence) full_fence();
+  return false;
+}
+
+bool AdaptiveFence::serialize_peers(const Handle& h) {
   Slot* slot = h.slot_;
   if (slot == nullptr || !slot->live.load(std::memory_order_acquire)) {
     return false;
   }
-  // The caller's secondary_fence (mfence) ordered its announce before this
-  // load; see the switching proof sketch in the header for why acting on a
-  // stale mode here is safe.
-  const PolicyMode m = slot->mode.load(std::memory_order_seq_cst);
-  if (!is_asymmetric(m)) {
-    return true;  // the primary fences for itself; nothing remote to do
+  // Only the registered primary calls this between its own protocol
+  // operations, and only it writes the mode cell — relaxed is enough.
+  if (slot->mode.load(std::memory_order_relaxed) !=
+      PolicyMode::kDoubleLmfence) {
+    return false;
   }
-  if (membarrier_backend()) {
-    membarrier::barrier();
-    return true;
-  }
-  return SerializerRegistry::instance().serialize(slot->sig);
+  return backend::serialization_backend(
+             slot->bound_backend.load(std::memory_order_relaxed))
+      .serialize_peers();
 }
 
 std::size_t AdaptiveFence::serialize_many(std::span<const Handle> hs) {
   std::size_t serialized = 0;
-  std::vector<SerializerRegistry::Handle> wave;
-  bool any_membarrier = false;
+  // Bucket the asymmetric primaries per bound backend: each bucket pays one
+  // overlapped wave (signals) or one broadcast (membarrier-backed).
+  std::vector<SerializerRegistry::Handle> waves[backend::kBackendCount];
   for (const Handle& h : hs) {
     Slot* slot = h.slot_;
     if (slot == nullptr || !slot->live.load(std::memory_order_acquire)) {
@@ -117,20 +213,14 @@ std::size_t AdaptiveFence::serialize_many(std::span<const Handle> hs) {
       ++serialized;  // symmetric primaries need no remote trip
       continue;
     }
-    if (membarrier_backend()) {
-      any_membarrier = true;
-      ++serialized;
-    } else {
-      wave.push_back(slot->sig);
-    }
+    const auto b = slot->bound_backend.load(std::memory_order_relaxed);
+    waves[static_cast<std::size_t>(b)].push_back(slot->sig);
   }
-  if (any_membarrier) {
-    // One broadcast serializes every thread of the process — all the
-    // asymmetric primaries in the span share it.
-    membarrier::barrier();
-  }
-  if (!wave.empty()) {
-    serialized += SerializerRegistry::instance().serialize_many(wave);
+  for (std::size_t i = 0; i < backend::kBackendCount; ++i) {
+    if (waves[i].empty()) continue;
+    serialized +=
+        backend::serialization_backend(static_cast<backend::BackendId>(i))
+            .serialize_many(waves[i]);
   }
   return serialized;
 }
@@ -141,30 +231,67 @@ bool AdaptiveFence::request_mode(const Handle& h, PolicyMode m) noexcept {
   return true;
 }
 
+bool AdaptiveFence::request_backend(const Handle& h,
+                                    backend::BackendId b) noexcept {
+  if (!h.valid()) return false;
+  h.slot_->requested_backend.store(b, std::memory_order_release);
+  return true;
+}
+
 bool AdaptiveFence::quiescent_point(const Handle& h) {
   Slot* slot = h.slot_;
   if (slot == nullptr) return false;
   LBMF_CHECK_MSG(tls_mode_slot == slot,
                  "quiescent_point must run on the registered primary");
   const PolicyMode req = slot->requested.load(std::memory_order_acquire);
+  const backend::BackendId reqb =
+      slot->requested_backend.load(std::memory_order_acquire);
   const PolicyMode cur = slot->mode.load(std::memory_order_relaxed);
-  if (req == cur) return false;
-  if (is_asymmetric(req) && !slot->sig.valid() && !membarrier_backend()) {
-    // No remote-serialization path: dropping the primary's fence would leave
-    // secondaries with no way to force the drain. Stay symmetric.
-    return false;
+
+  // Book the controller's request as asked, then clamp to what the backend
+  // can realize. Booked vs realized is the misbooking fix: switch_count()
+  // (and through it SchedulerStats::policy_switches / BENCH_adapt.json)
+  // counts only transitions of the regime actually in force.
+  if (req != slot->booked.load(std::memory_order_relaxed)) {
+    slot->booked.store(req, std::memory_order_relaxed);
+    slot->booked_switches.fetch_add(1, std::memory_order_relaxed);
   }
+  const PolicyMode realized = realize(req, reqb, slot->sig);
+  if (realized != req) {
+    slot->degraded.fetch_add(1, std::memory_order_relaxed);
+    static std::atomic<bool> warned{false};
+    detail::warn_once(warned,
+                      "adaptive quiescent point: bound backend cannot realize "
+                      "the booked regime; degrading (booked vs realized modes "
+                      "diverge)");
+  }
+  // Publish the backend binding before the mode RMW: a secondary that
+  // observes the new mode (seq_cst load after the RMW) also finds the
+  // backend it should drain through. A stale binding read under the *old*
+  // mode is safe — realize() vetted the pairing in force at every switch,
+  // and all backends drain the same registered primary.
+  slot->bound_backend.store(reqb, std::memory_order_relaxed);
+  if (realized == cur) return false;
   // The locked RMW is the Def. 2 serialization point between the regimes
   // (full proof sketch in the header): it drains every old-regime store
   // before the new mode becomes visible, and orders the publication before
   // any new-regime announce.
-  slot->mode.exchange(req, std::memory_order_seq_cst);
+  slot->mode.exchange(realized, std::memory_order_seq_cst);
   slot->switches.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-PolicyMode AdaptiveFence::current_mode(const Handle& h) noexcept {
+PolicyMode AdaptiveFence::realized_mode(const Handle& h) noexcept {
   return h.valid() ? h.slot_->mode.load(std::memory_order_acquire)
+                   : PolicyMode::kSymmetric;
+}
+
+PolicyMode AdaptiveFence::current_mode(const Handle& h) noexcept {
+  return realized_mode(h);
+}
+
+PolicyMode AdaptiveFence::booked_mode(const Handle& h) noexcept {
+  return h.valid() ? h.slot_->booked.load(std::memory_order_relaxed)
                    : PolicyMode::kSymmetric;
 }
 
@@ -177,12 +304,26 @@ std::uint64_t AdaptiveFence::switch_count(const Handle& h) noexcept {
   return h.valid() ? h.slot_->switches.load(std::memory_order_relaxed) : 0;
 }
 
-void AdaptiveFence::set_backend(AsymmetricBackend b) noexcept {
-  g_backend.store(b, std::memory_order_relaxed);
+std::uint64_t AdaptiveFence::booked_switch_count(const Handle& h) noexcept {
+  return h.valid() ? h.slot_->booked_switches.load(std::memory_order_relaxed)
+                   : 0;
 }
 
-AsymmetricBackend AdaptiveFence::backend() noexcept {
-  return g_backend.load(std::memory_order_relaxed);
+std::uint64_t AdaptiveFence::degraded_count(const Handle& h) noexcept {
+  return h.valid() ? h.slot_->degraded.load(std::memory_order_relaxed) : 0;
+}
+
+backend::BackendId AdaptiveFence::current_backend(const Handle& h) noexcept {
+  return h.valid() ? h.slot_->bound_backend.load(std::memory_order_relaxed)
+                   : backend::BackendId::kSignal;
+}
+
+void AdaptiveFence::set_backend(backend::BackendId b) noexcept {
+  g_default_backend.store(b, std::memory_order_relaxed);
+}
+
+backend::BackendId AdaptiveFence::backend_id() noexcept {
+  return g_default_backend.load(std::memory_order_relaxed);
 }
 
 }  // namespace lbmf::adapt

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <utility>
 
 #include "lbmf/util/check.hpp"
 
@@ -104,6 +105,31 @@ PolicyMode PolicyTable::lookup(double freq_ratio,
   return modes_[t * ratios_.size() + r];
 }
 
+PolicyMode PolicyTable::lookup(double freq_ratio, double roundtrip_cycles,
+                               std::string_view backend) const noexcept {
+  const std::size_t r = nearest_log(ratios_, freq_ratio);
+  const std::size_t t = nearest_log(roundtrips_, roundtrip_cycles);
+  const std::size_t cell = t * ratios_.size() + r;
+  if (!backend.empty()) {
+    for (const BackendPlane& p : planes_) {
+      if (p.backend == backend) return p.modes[cell];
+    }
+  }
+  return modes_[cell];
+}
+
+void PolicyTable::add_plane(BackendPlane plane) {
+  LBMF_CHECK_MSG(plane.modes.size() == modes_.size(),
+                 "BackendPlane must cover the full base grid");
+  for (BackendPlane& p : planes_) {
+    if (p.backend == plane.backend) {
+      p = std::move(plane);
+      return;
+    }
+  }
+  planes_.push_back(std::move(plane));
+}
+
 PolicyTable PolicyTable::builtin_default() {
   constexpr PolicyMode S = PolicyMode::kSymmetric;
   constexpr PolicyMode A = PolicyMode::kAsymmetric;
@@ -113,7 +139,7 @@ PolicyTable PolicyTable::builtin_default() {
   // extrapolate to signal-prototype territory with the same arithmetic the
   // sweep priced sites with: the asymmetric mix wins once
   // ratio · mfence_cycles(100) exceeds the serialization round trip.
-  return PolicyTable(
+  PolicyTable t(
       /*ratios=*/{1, 10, 100, 1'000, 10'000, 100'000},
       /*roundtrips=*/{10, 50, 150, 500, 1'500, 5'000, 15'000},
       {
@@ -125,6 +151,29 @@ PolicyTable PolicyTable::builtin_default() {
           S, S, A, A, A, A,  // rt 5000
           S, S, S, A, A, A,  // rt 15000 (signal prototype + primary penalty)
       });
+  // Signal plane: signals only drain the registered primary, so roles are
+  // fixed and double-l-mfence is unrealizable — clamp those cells to the
+  // asymmetric mix, matching what AdaptiveFence::realize would do anyway.
+  std::vector<PolicyMode> signal_modes = t.modes();
+  for (PolicyMode& m : signal_modes) {
+    if (m == D) m = A;
+  }
+  t.add_plane({"signal", std::move(signal_modes)});
+  // Role-inverting planes (membarrier-pair, sim-lest): in the
+  // symmetric-traffic column (ratio ≈ 1) each side's announce is on the
+  // hot path, so per announce the comparison is light fence + drain
+  // (≈ lest_victim 3 + round trip) against mfence + remote serialization
+  // (≈ 100 + 200 in the E18 window model). Double-l-mfence wins through
+  // the LE/ST-scale rows (rt ≤ 150) and loses once the drain dominates
+  // (rt ≥ 500), where the base grid's symmetric verdict stands.
+  std::vector<PolicyMode> inverting_modes = t.modes();
+  const std::size_t ncols = t.ratios().size();
+  for (std::size_t row = 0; row < 3; ++row) {  // rt rows 10, 50, 150
+    inverting_modes[row * ncols] = D;
+  }
+  t.add_plane({"membarrier-pair", inverting_modes});
+  t.add_plane({"sim-lest", std::move(inverting_modes)});
+  return t;
 }
 
 namespace {
@@ -217,25 +266,19 @@ std::string parse_string_after(std::string_view j, std::size_t from,
   return std::string(j.substr(open + 1, close - open - 1));
 }
 
-std::optional<PolicyTable> from_sweep_json(std::string_view j) {
-  const std::vector<double> ratios = parse_number_array(j, "victim_freqs");
-  const std::vector<double> roundtrips = parse_number_array(j, "roundtrips");
-  if (ratios.empty() || roundtrips.empty()) return std::nullopt;
-  std::vector<PolicyMode> modes(ratios.size() * roundtrips.size(),
-                                PolicyMode::kSymmetric);
+/// Walk the point objects in j[from, to) and collapse each "optimum" into
+/// the grid cell named by its "freq"/"roundtrip" values; each point carries
+/// its own axis values, so out-of-order points still land in the right
+/// cell. Returns false if any grid cell was never reported.
+bool fill_modes_from_points(std::string_view j, std::size_t from,
+                            std::size_t to, const std::vector<double>& ratios,
+                            const std::vector<double>& roundtrips,
+                            std::vector<PolicyMode>& modes) {
   std::vector<bool> seen(modes.size(), false);
-  // Walk the points array object by object; each carries its own axis
-  // values, so out-of-order points still land in the right cell.
-  std::size_t p = find_key(j, "points");
-  if (p == std::string_view::npos) return std::nullopt;
-  p = j.find('[', p);
-  const std::size_t points_end = j.find(']', p);
-  if (p == std::string_view::npos || points_end == std::string_view::npos) {
-    return std::nullopt;
-  }
+  std::size_t p = from;
   while (true) {
     const std::size_t obj = j.find('{', p);
-    if (obj == std::string_view::npos || obj > points_end) break;
+    if (obj == std::string_view::npos || obj > to) break;
     const std::size_t obj_end = j.find('}', obj);
     if (obj_end == std::string_view::npos) break;
     const double freq = parse_number_after(j, obj, "freq");
@@ -256,9 +299,58 @@ std::optional<PolicyTable> from_sweep_json(std::string_view j) {
     p = obj_end + 1;
   }
   for (bool s : seen) {
-    if (!s) return std::nullopt;  // a grid cell was never reported
+    if (!s) return false;  // a grid cell was never reported
   }
-  return PolicyTable(ratios, roundtrips, std::move(modes));
+  return true;
+}
+
+std::optional<PolicyTable> from_sweep_json(std::string_view j) {
+  const std::vector<double> ratios = parse_number_array(j, "victim_freqs");
+  const std::vector<double> roundtrips = parse_number_array(j, "roundtrips");
+  if (ratios.empty() || roundtrips.empty()) return std::nullopt;
+  std::vector<PolicyMode> modes(ratios.size() * roundtrips.size(),
+                                PolicyMode::kSymmetric);
+  std::size_t p = find_key(j, "points");
+  if (p == std::string_view::npos) return std::nullopt;
+  p = j.find('[', p);
+  const std::size_t points_end = j.find(']', p);
+  if (p == std::string_view::npos || points_end == std::string_view::npos) {
+    return std::nullopt;
+  }
+  if (!fill_modes_from_points(j, p, points_end, ratios, roundtrips, modes)) {
+    return std::nullopt;
+  }
+  PolicyTable table(ratios, roundtrips, std::move(modes));
+  // Optional backend dimension: a "backend_planes" section appended after
+  // the base points, one {"backend": "...", "points": [...]} entry per
+  // backend. A malformed plane is skipped rather than failing the load —
+  // the base grid is already sound on its own.
+  const std::size_t planes_at = j.find(quoted("backend_planes"), points_end);
+  if (planes_at != std::string_view::npos) {
+    std::size_t bkey = j.find(quoted("backend"), planes_at + 1);
+    while (bkey != std::string_view::npos) {
+      const std::size_t next =
+          j.find(quoted("backend"), bkey + quoted("backend").size());
+      const std::string name = parse_string_after(j, bkey, "backend");
+      const std::size_t pts = j.find(quoted("points"), bkey);
+      if (!name.empty() && pts != std::string_view::npos && pts < next) {
+        const std::size_t popen = j.find('[', pts);
+        const std::size_t pend = popen == std::string_view::npos
+                                     ? std::string_view::npos
+                                     : j.find(']', popen);
+        if (pend != std::string_view::npos) {
+          std::vector<PolicyMode> pmodes(table.modes().size(),
+                                         PolicyMode::kSymmetric);
+          if (fill_modes_from_points(j, popen, pend, ratios, roundtrips,
+                                     pmodes)) {
+            table.add_plane({name, std::move(pmodes)});
+          }
+        }
+      }
+      bkey = next;
+    }
+  }
+  return table;
 }
 
 std::optional<PolicyTable> from_compact_json(std::string_view j) {
@@ -276,7 +368,27 @@ std::optional<PolicyTable> from_compact_json(std::string_view j) {
     if (!m) return std::nullopt;
     modes.push_back(*m);
   }
-  return PolicyTable(ratios, roundtrips, std::move(modes));
+  PolicyTable table(ratios, roundtrips, std::move(modes));
+  // Optional planes: a "backends" name list plus one "plane:<name>" mode
+  // array per entry. A malformed plane is skipped, not fatal.
+  for (const std::string& name : parse_string_array(j, "backends")) {
+    const std::vector<std::string> plane_names =
+        parse_string_array(j, std::string("plane:") + name);
+    if (plane_names.size() != table.modes().size()) continue;
+    std::vector<PolicyMode> pmodes;
+    pmodes.reserve(plane_names.size());
+    bool ok = true;
+    for (const std::string& n : plane_names) {
+      const std::optional<PolicyMode> m = mode_from_string(n);
+      if (!m) {
+        ok = false;
+        break;
+      }
+      pmodes.push_back(*m);
+    }
+    if (ok) table.add_plane({name, std::move(pmodes)});
+  }
+  return table;
 }
 
 void append_num(std::string& s, double v) {
@@ -317,7 +429,30 @@ std::string PolicyTable::to_json() const {
     s += to_string(modes_[i]);
     s += '"';
   }
-  s += "]}";
+  s += ']';
+  if (!planes_.empty()) {
+    s += ",\"backends\":[";
+    for (std::size_t i = 0; i < planes_.size(); ++i) {
+      if (i > 0) s += ',';
+      s += '"';
+      s += planes_[i].backend;
+      s += '"';
+    }
+    s += ']';
+    for (const BackendPlane& p : planes_) {
+      s += ",\"plane:";
+      s += p.backend;
+      s += "\":[";
+      for (std::size_t i = 0; i < p.modes.size(); ++i) {
+        if (i > 0) s += ',';
+        s += '"';
+        s += to_string(p.modes[i]);
+        s += '"';
+      }
+      s += ']';
+    }
+  }
+  s += '}';
   return s;
 }
 

@@ -1,0 +1,233 @@
+#include "lbmf/backend/backend.hpp"
+
+#include <atomic>
+
+#include "lbmf/core/membarrier.hpp"
+#include "lbmf/model/cost_model.hpp"
+#include "lbmf/sim/litmus.hpp"
+#include "lbmf/sim/machine.hpp"
+#include "lbmf/util/timing.hpp"
+
+namespace lbmf::backend {
+namespace {
+
+/// EWMA weight for measured round trips, matching SerializerRegistry's
+/// record_roundtrip. The read-modify-store is racy on purpose: a dropped
+/// sample under contention only slows convergence of an advisory estimate.
+constexpr double kEwmaAlpha = 1.0 / 8.0;
+
+/// Documented price of one EXPEDITED membarrier broadcast before the first
+/// measurement: an IPI fan-out plus syscall entry/exit, well under the ~10k
+/// signal round trip but far above the paper's ~150-cycle LE/ST proposal.
+constexpr double kMembarrierDefaultRtt = 2'500.0;
+
+std::atomic<double> g_membarrier_rtt{0.0};
+std::atomic<std::uint64_t> g_membarrier_trips{0};
+
+std::atomic<double> g_simlest_rtt_override{0.0};  // <= 0: measured default
+std::atomic<std::uint64_t> g_simlest_trips{0};
+std::atomic<std::uint64_t> g_simlest_cycles{0};
+
+/// Issue one broadcast and fold its wall-clock cost into the EWMA.
+void timed_membarrier() noexcept {
+  const std::uint64_t t0 = rdtsc();
+  membarrier::barrier();
+  const double cycles = static_cast<double>(rdtsc() - t0);
+  const double cur = g_membarrier_rtt.load(std::memory_order_relaxed);
+  g_membarrier_rtt.store(
+      cur == 0.0 ? cycles : cur + kEwmaAlpha * (cycles - cur),
+      std::memory_order_relaxed);
+  g_membarrier_trips.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Replay the LE/ST roundtrip litmus on a fresh simulated machine and return
+/// the cycles the *secondary* paid: the primary arms a link with its
+/// l-mfence'd store, the secondary's conflicting load breaks it and pays the
+/// link-break round trip (~150 cycles — sim_lest_test pins the scale). The
+/// stepping pattern mirrors that test: the primary runs just far enough to
+/// arm the link and enter its spin window, then the secondary's single load
+/// executes against the armed link.
+std::uint64_t simulated_roundtrip() {
+  sim::Machine hw = sim::make_roundtrip_machine(/*use_interrupt=*/false);
+  for (int i = 0; i < 4 && hw.action_enabled(0, sim::Action::Execute); ++i) {
+    hw.step(0, sim::Action::Execute);
+  }
+  if (hw.action_enabled(1, sim::Action::Execute)) {
+    hw.step(1, sim::Action::Execute);
+  }
+  return hw.cpu(1).counters.cycles;
+}
+
+/// Baseline simulated RTT, measured once per process.
+double measured_sim_rtt() {
+  static const double rtt = [] {
+    const std::uint64_t c = simulated_roundtrip();
+    return c > 0 ? static_cast<double>(c)
+                 : model::CostTable{}.lest_roundtrip_cycles;
+  }();
+  return rtt;
+}
+
+/// Route one live trip through the simulator and book it in the ledger.
+void simulate_trip() {
+  const std::uint64_t c = simulated_roundtrip();
+  g_simlest_trips.fetch_add(1, std::memory_order_relaxed);
+  g_simlest_cycles.fetch_add(c, std::memory_order_relaxed);
+}
+
+/// The paper's prototype: SerializerRegistry's coalesced signal round trip.
+/// One-directional — only the registered primary can be drained remotely.
+class SignalBackend final : public SerializationBackend {
+ public:
+  BackendId id() const noexcept override { return BackendId::kSignal; }
+  const char* name() const noexcept override { return "signal"; }
+  BackendCaps caps() const noexcept override {
+    return {/*asymmetric=*/true, /*inverts_roles=*/false};
+  }
+  bool serialize(const SerializerRegistry::Handle& h) override {
+    return SerializerRegistry::instance().serialize(h);
+  }
+  std::size_t serialize_many(
+      std::span<const SerializerRegistry::Handle> hs) override {
+    return SerializerRegistry::instance().serialize_many(hs);
+  }
+  bool serialize_peers() override { return false; }
+  double roundtrip_cycles() const noexcept override {
+    const double m = SerializerRegistry::measured_roundtrip_cycles();
+    return m > 0.0 ? m : model::CostTable{}.signal_roundtrip_cycles;
+  }
+};
+
+/// EXPEDITED membarrier broadcasts in both directions. One broadcast is a
+/// full barrier on the caller *and* drains every peer's store buffer via the
+/// kernel's IPI fan-out, so serialize(), serialize_many() and
+/// serialize_peers() are all the same one-syscall wave — either side may run
+/// the light path.
+class MembarrierPairBackend final : public SerializationBackend {
+ public:
+  BackendId id() const noexcept override { return BackendId::kMembarrierPair; }
+  const char* name() const noexcept override { return "membarrier-pair"; }
+  BackendCaps caps() const noexcept override {
+    const bool ok = membarrier::available();
+    return {/*asymmetric=*/ok, /*inverts_roles=*/ok};
+  }
+  bool serialize(const SerializerRegistry::Handle&) override {
+    if (!membarrier::available()) return false;
+    timed_membarrier();
+    return true;
+  }
+  std::size_t serialize_many(
+      std::span<const SerializerRegistry::Handle> hs) override {
+    if (hs.empty() || !membarrier::available()) return 0;
+    timed_membarrier();  // one broadcast covers the whole wave
+    return hs.size();
+  }
+  bool serialize_peers() override {
+    if (!membarrier::available()) return false;
+    timed_membarrier();
+    return true;
+  }
+  double roundtrip_cycles() const noexcept override {
+    const double m = g_membarrier_rtt.load(std::memory_order_relaxed);
+    return m > 0.0 ? m : kMembarrierDefaultRtt;
+  }
+};
+
+/// The paper's hardware proposal, emulated: each live trip replays the LE/ST
+/// roundtrip litmus through lbmf::sim (so the trip is *priced* at the ~150
+/// cycle link-break RTT and booked in the ledger) and then performs a real
+/// drain — a membarrier broadcast when the kernel supports it, else the
+/// signal registry — so the host runtime stays correct without LE/ST
+/// silicon. Role inversion rides on the broadcast, hence requires
+/// membarrier.
+class SimLestBackend final : public SerializationBackend {
+ public:
+  BackendId id() const noexcept override { return BackendId::kSimLest; }
+  const char* name() const noexcept override { return "sim-lest"; }
+  BackendCaps caps() const noexcept override {
+    return {/*asymmetric=*/true, /*inverts_roles=*/membarrier::available()};
+  }
+  bool serialize(const SerializerRegistry::Handle& h) override {
+    if (!membarrier::available() && !h.valid()) return false;
+    simulate_trip();
+    if (membarrier::available()) {
+      membarrier::barrier();
+      return true;
+    }
+    return SerializerRegistry::instance().serialize(h);
+  }
+  std::size_t serialize_many(
+      std::span<const SerializerRegistry::Handle> hs) override {
+    if (hs.empty()) return 0;
+    simulate_trip();
+    if (membarrier::available()) {
+      membarrier::barrier();
+      return hs.size();
+    }
+    return SerializerRegistry::instance().serialize_many(hs);
+  }
+  bool serialize_peers() override {
+    if (!membarrier::available()) return false;
+    simulate_trip();
+    membarrier::barrier();
+    return true;
+  }
+  double roundtrip_cycles() const noexcept override {
+    const double o = g_simlest_rtt_override.load(std::memory_order_relaxed);
+    return o > 0.0 ? o : measured_sim_rtt();
+  }
+};
+
+}  // namespace
+
+const char* to_string(BackendId id) noexcept {
+  switch (id) {
+    case BackendId::kSignal:
+      return "signal";
+    case BackendId::kMembarrierPair:
+      return "membarrier-pair";
+    case BackendId::kSimLest:
+      return "sim-lest";
+  }
+  return "unknown";
+}
+
+std::optional<BackendId> backend_from_string(std::string_view name) noexcept {
+  if (name == "signal") return BackendId::kSignal;
+  if (name == "membarrier-pair") return BackendId::kMembarrierPair;
+  if (name == "sim-lest") return BackendId::kSimLest;
+  return std::nullopt;
+}
+
+SerializationBackend& serialization_backend(BackendId id) noexcept {
+  static SignalBackend signal;
+  static MembarrierPairBackend membarrier_pair;
+  static SimLestBackend sim_lest;
+  switch (id) {
+    case BackendId::kMembarrierPair:
+      return membarrier_pair;
+    case BackendId::kSimLest:
+      return sim_lest;
+    case BackendId::kSignal:
+      break;
+  }
+  return signal;
+}
+
+void set_simlest_roundtrip_cycles(double cycles) noexcept {
+  g_simlest_rtt_override.store(cycles, std::memory_order_relaxed);
+}
+
+std::uint64_t simlest_trips() noexcept {
+  return g_simlest_trips.load(std::memory_order_relaxed);
+}
+
+std::uint64_t simlest_modeled_cycles() noexcept {
+  return g_simlest_cycles.load(std::memory_order_relaxed);
+}
+
+std::uint64_t membarrier_trips() noexcept {
+  return g_membarrier_trips.load(std::memory_order_relaxed);
+}
+
+}  // namespace lbmf::backend

@@ -44,9 +44,12 @@ bool covers(const Clause& c, const Assignment& a) {
 }
 
 /// Fence kinds available at a site, weakest first. Register-sourced stores
-/// cannot take the l-mfence expansion (its ST carries an immediate).
+/// cannot take the l-mfence expansion (its ST carries an immediate);
+/// backend-constrained sites (FenceSite::no_lmfence) exclude it by policy.
 std::vector<FenceKind> valid_kinds(const FenceSite& s) {
-  if (s.is_reg_store) return {FenceKind::kNone, FenceKind::kMfence};
+  if (s.is_reg_store || s.no_lmfence) {
+    return {FenceKind::kNone, FenceKind::kMfence};
+  }
   return {FenceKind::kNone, FenceKind::kLmfence, FenceKind::kMfence};
 }
 

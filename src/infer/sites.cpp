@@ -258,6 +258,8 @@ Instantiation instantiate(const InferProblem& p, const Assignment& a) {
       // builder's own output (minus its trailing halt).
       LBMF_CHECK_MSG(!site.is_reg_store,
                      "l-mfence cannot be materialized at a register store");
+      LBMF_CHECK_MSG(!site.no_lmfence,
+                     "l-mfence excluded at this site by backend constraint");
       sim::ProgramBuilder eb;
       eb.lmfence(site.addr, site.value);
       eb.halt();
@@ -361,7 +363,10 @@ double assignment_cost_lower_bound(const InferProblem& p, const Assignment& a,
     double best = site_cost(p, i, a.kinds[i], c);
     for (FenceKind k : {FenceKind::kLmfence, FenceKind::kMfence}) {
       if (strength(k) < strength(a.kinds[i])) continue;
-      if (k == FenceKind::kLmfence && p.sites[i].is_reg_store) continue;
+      if (k == FenceKind::kLmfence &&
+          (p.sites[i].is_reg_store || p.sites[i].no_lmfence)) {
+        continue;
+      }
       best = std::min(best, site_cost(p, i, k, c));
     }
     total += best;

@@ -1,5 +1,6 @@
 #include "lbmf/infer/sweep.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -9,10 +10,17 @@
 namespace lbmf::infer {
 
 bool SweepResult::all_sat() const noexcept {
-  for (const SweepPoint& p : points) {
-    if (p.status != InferStatus::kSat || !p.recheck_safe) return false;
+  const auto ok = [](const std::vector<SweepPoint>& pts) {
+    for (const SweepPoint& p : pts) {
+      if (p.status != InferStatus::kSat || !p.recheck_safe) return false;
+    }
+    return !pts.empty();
+  };
+  if (!ok(points)) return false;
+  for (const SweepBackendPlane& bp : backend_planes) {
+    if (!ok(bp.points)) return false;
   }
-  return !points.empty();
+  return true;
 }
 
 std::size_t SweepResult::distinct_optima_at(double roundtrip) const {
@@ -68,43 +76,84 @@ SweepResult run_sweep(InferProblem problem, const SweepOptions& opts) {
     out.prefix_states = grid_graph_ptr->base.states_explored;
   }
 
-  for (double rt : opts.roundtrips) {
-    const SweepPoint* prev = nullptr;
-    for (double f : opts.victim_freqs) {
-      InferProblem p = problem;
-      p.cpu_freqs[opts.victim_cpu] = f;
-      InferenceEngine::Options eo = opts.engine;
-      eo.costs.lest_roundtrip_cycles = rt;
-      eo.verdict_cache = cache;
-      eo.prefix_graph = grid_graph_ptr;
-      InferenceEngine engine(std::move(p), eo);
-      const InferResult r = engine.run();
+  const auto solve_grid = [&](const InferProblem& base,
+                              std::vector<SweepPoint>& pts,
+                              std::vector<Crossover>* crossovers) {
+    for (double rt : opts.roundtrips) {
+      const SweepPoint* prev = nullptr;
+      for (double f : opts.victim_freqs) {
+        InferProblem p = base;
+        p.cpu_freqs[opts.victim_cpu] = f;
+        InferenceEngine::Options eo = opts.engine;
+        eo.costs.lest_roundtrip_cycles = rt;
+        eo.verdict_cache = cache;
+        eo.prefix_graph = grid_graph_ptr;
+        InferenceEngine engine(std::move(p), eo);
+        const InferResult r = engine.run();
 
-      SweepPoint pt;
-      pt.victim_freq = f;
-      pt.lest_roundtrip = rt;
-      pt.status = r.status;
-      pt.best = r.best;
-      pt.best_cost = r.best_cost;
-      pt.recheck_safe = r.recheck_safe;
-      out.explorer_runs += r.candidates_verified;
-      out.cache_hits += r.cache_hits;
-      out.states_total += r.states_total;
-      out.incremental_reuses += r.incremental_reuses;
+        SweepPoint pt;
+        pt.victim_freq = f;
+        pt.lest_roundtrip = rt;
+        pt.status = r.status;
+        pt.best = r.best;
+        pt.best_cost = r.best_cost;
+        pt.recheck_safe = r.recheck_safe;
+        out.explorer_runs += r.candidates_verified;
+        out.cache_hits += r.cache_hits;
+        out.states_total += r.states_total;
+        out.incremental_reuses += r.incremental_reuses;
 
-      if (prev != nullptr && prev->status == InferStatus::kSat &&
-          pt.status == InferStatus::kSat && !(prev->best == pt.best)) {
-        Crossover x;
-        x.lest_roundtrip = rt;
-        x.freq_before = prev->victim_freq;
-        x.freq_after = f;
-        x.from = to_string(prev->best);
-        x.to = to_string(pt.best);
-        out.crossovers.push_back(std::move(x));
+        if (crossovers != nullptr && prev != nullptr &&
+            prev->status == InferStatus::kSat &&
+            pt.status == InferStatus::kSat && !(prev->best == pt.best)) {
+          Crossover x;
+          x.lest_roundtrip = rt;
+          x.freq_before = prev->victim_freq;
+          x.freq_after = f;
+          x.from = to_string(prev->best);
+          x.to = to_string(pt.best);
+          crossovers->push_back(std::move(x));
+        }
+        pts.push_back(std::move(pt));
+        prev = &pts.back();
       }
-      out.points.push_back(std::move(pt));
-      prev = &out.points.back();
     }
+  };
+
+  solve_grid(problem, out.points, &out.crossovers);
+
+  for (const SweepBackend& b : opts.backends) {
+    SweepBackendPlane plane;
+    plane.name = b.name;
+    plane.inverts_roles = b.inverts_roles;
+    if (b.inverts_roles) {
+      // Role inversion leaves every site's kind lattice intact, so the
+      // plane's solution space — and therefore its solved grid — is the
+      // base grid. Copy instead of re-solving.
+      plane.points = out.points;
+    } else {
+      // The backend can only run the light path on the victim's side:
+      // exclude l-mfence everywhere else and re-solve. The shared verdict
+      // cache and prefix graph still apply (the constraint prunes
+      // assignments; it never changes a safety verdict, and
+      // problem_graph_key ignores it).
+      InferProblem constrained = problem;
+      for (FenceSite& s : constrained.sites) {
+        if (s.cpu != opts.victim_cpu) s.no_lmfence = true;
+      }
+      // Orbit canonicalization permutes kind tuples within a symmetric
+      // group, which is only sound when every member carries the same
+      // constraint — drop groups mixing the victim with constrained peers.
+      std::erase_if(constrained.symmetric_groups, [&](const auto& g) {
+        bool has_victim = false, has_other = false;
+        for (const std::uint8_t cpu : g) {
+          (cpu == opts.victim_cpu ? has_victim : has_other) = true;
+        }
+        return has_victim && has_other;
+      });
+      solve_grid(constrained, plane.points, nullptr);
+    }
+    out.backend_planes.push_back(std::move(plane));
   }
   return out;
 }
@@ -123,21 +172,12 @@ void append_num(std::string& s, double v) {
 
 }  // namespace
 
-std::string sweep_to_json(const SweepResult& r, const std::string& workload) {
-  std::string s = "{\"bench\":\"sweep\",\"workload\":\"" + workload + "\",";
-  s += "\"victim_freqs\":[";
-  for (std::size_t i = 0; i < r.victim_freqs.size(); ++i) {
-    if (i > 0) s += ',';
-    append_num(s, r.victim_freqs[i]);
-  }
-  s += "],\"roundtrips\":[";
-  for (std::size_t i = 0; i < r.roundtrips.size(); ++i) {
-    if (i > 0) s += ',';
-    append_num(s, r.roundtrips[i]);
-  }
-  s += "],\"points\":[";
-  for (std::size_t i = 0; i < r.points.size(); ++i) {
-    const SweepPoint& p = r.points[i];
+namespace {
+
+void append_points(std::string& s, const std::vector<SweepPoint>& points) {
+  s += "\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
     if (i > 0) s += ',';
     s += "{\"freq\":";
     append_num(s, p.victim_freq);
@@ -151,7 +191,26 @@ std::string sweep_to_json(const SweepResult& r, const std::string& workload) {
     s += p.recheck_safe ? "true" : "false";
     s += '}';
   }
-  s += "],\"crossovers\":[";
+  s += ']';
+}
+
+}  // namespace
+
+std::string sweep_to_json(const SweepResult& r, const std::string& workload) {
+  std::string s = "{\"bench\":\"sweep\",\"workload\":\"" + workload + "\",";
+  s += "\"victim_freqs\":[";
+  for (std::size_t i = 0; i < r.victim_freqs.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, r.victim_freqs[i]);
+  }
+  s += "],\"roundtrips\":[";
+  for (std::size_t i = 0; i < r.roundtrips.size(); ++i) {
+    if (i > 0) s += ',';
+    append_num(s, r.roundtrips[i]);
+  }
+  s += "],";
+  append_points(s, r.points);
+  s += ",\"crossovers\":[";
   for (std::size_t i = 0; i < r.crossovers.size(); ++i) {
     const Crossover& x = r.crossovers[i];
     if (i > 0) s += ',';
@@ -168,6 +227,22 @@ std::string sweep_to_json(const SweepResult& r, const std::string& workload) {
   s += ",\"states_total\":" + std::to_string(r.states_total);
   s += ",\"prefix_states\":" + std::to_string(r.prefix_states);
   s += ",\"incremental_reuses\":" + std::to_string(r.incremental_reuses);
+  // The backend dimension rides after every base section so consumers that
+  // stop at the first "points" array (PolicyTable::from_json's base parse)
+  // are unaffected.
+  if (!r.backend_planes.empty()) {
+    s += ",\"backend_planes\":[";
+    for (std::size_t i = 0; i < r.backend_planes.size(); ++i) {
+      const SweepBackendPlane& bp = r.backend_planes[i];
+      if (i > 0) s += ',';
+      s += "{\"backend\":\"" + bp.name + "\",\"inverts_roles\":";
+      s += bp.inverts_roles ? "true" : "false";
+      s += ',';
+      append_points(s, bp.points);
+      s += '}';
+    }
+    s += ']';
+  }
   s += '}';
   return s;
 }
@@ -189,23 +264,40 @@ std::string sweep_to_policy_json(const SweepResult& r,
     if (i > 0) s += ',';
     append_num(s, r.roundtrips[i]);
   }
-  s += "],\"modes\":[";
-  // points is row-major roundtrips × victim_freqs — exactly the cell order
-  // PolicyTable expects.
-  for (std::size_t i = 0; i < r.points.size(); ++i) {
-    const SweepPoint& p = r.points[i];
-    if (i > 0) s += ',';
-    s += '"';
-    if (lmfence_at(p, victim_site) && lmfence_at(p, thief_site)) {
-      s += "double-lmfence";
-    } else if (lmfence_at(p, victim_site)) {
-      s += "asymmetric";
-    } else {
-      s += "symmetric";
+  const auto append_modes = [&](const std::vector<SweepPoint>& points) {
+    // points is row-major roundtrips × victim_freqs — exactly the cell
+    // order PolicyTable expects.
+    s += '[';
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      if (i > 0) s += ',';
+      s += '"';
+      if (lmfence_at(p, victim_site) && lmfence_at(p, thief_site)) {
+        s += "double-lmfence";
+      } else if (lmfence_at(p, victim_site)) {
+        s += "asymmetric";
+      } else {
+        s += "symmetric";
+      }
+      s += '"';
     }
-    s += '"';
+    s += ']';
+  };
+  s += "],\"modes\":";
+  append_modes(r.points);
+  if (!r.backend_planes.empty()) {
+    s += ",\"backends\":[";
+    for (std::size_t i = 0; i < r.backend_planes.size(); ++i) {
+      if (i > 0) s += ',';
+      s += '"' + r.backend_planes[i].name + '"';
+    }
+    s += ']';
+    for (const SweepBackendPlane& bp : r.backend_planes) {
+      s += ",\"plane:" + bp.name + "\":";
+      append_modes(bp.points);
+    }
   }
-  s += "]}";
+  s += '}';
   return s;
 }
 

@@ -94,11 +94,38 @@ TEST(WorkloadMonitor, CounterResetRebaselinesInsteadOfGoingNegative) {
   cfg.rate_alpha = 1.0;
   WorkloadMonitor m(cfg);
   m.sample(5'000, 100);
-  // reset_stats() ran concurrently: totals went backwards. The window must
-  // re-baseline on the new totals, not wrap around.
+  // reset_stats() ran concurrently: totals went backwards. The regressed
+  // window is unmeasurable, so it must read as *empty* — treating the new
+  // total as a delta would report a phantom burst that never happened —
+  // and the next window must difference from the new baseline.
   m.sample(200, 4);
-  EXPECT_DOUBLE_EQ(m.pops_per_window(), 200.0);
-  EXPECT_DOUBLE_EQ(m.steals_per_window(), 4.0);
+  EXPECT_DOUBLE_EQ(m.pops_per_window(), 0.0);
+  EXPECT_DOUBLE_EQ(m.steals_per_window(), 0.0);
+  m.sample(350, 10);
+  EXPECT_DOUBLE_EQ(m.pops_per_window(), 150.0);
+  EXPECT_DOUBLE_EQ(m.steals_per_window(), 6.0);
+}
+
+TEST(WorkloadMonitor, ResetUnderSamplingDoesNotSpikeTheEwma) {
+  MonitorConfig cfg;
+  cfg.rate_alpha = 0.5;  // real EWMA: a phantom delta would linger
+  WorkloadMonitor m(cfg);
+  m.sample(1'000, 10);
+  m.sample(2'000, 20);
+  const double settled = m.pops_per_window();
+  EXPECT_NEAR(settled, 1'000.0, 1e-9);
+  // reset_stats() lands between samples and the counters restart low. The
+  // regressed window contributes 0, so the estimate decays *toward* zero;
+  // the old behavior fed the post-reset total in as a delta, spiking the
+  // EWMA with events that were already counted before the reset.
+  m.sample(600, 5);
+  EXPECT_LT(m.pops_per_window(), settled);
+  EXPECT_GE(m.pops_per_window(), 0.0);
+  // The stream recovers: the next window differences cleanly from the
+  // post-reset baseline and pulls the estimate back up.
+  const double dipped = m.pops_per_window();
+  m.sample(1'600, 15);
+  EXPECT_GT(m.pops_per_window(), dipped);
 }
 
 TEST(WorkloadMonitor, RoundtripDefaultsUntilMeasured) {
@@ -198,6 +225,96 @@ TEST(PolicyTable, ModeFromOptimumReadsTheAnnounceSites) {
   EXPECT_EQ(mode_from_optimum("not an assignment"), PolicyMode::kSymmetric);
 }
 
+TEST(PolicyTable, BuiltinPlanesEncodeBackendCapabilities) {
+  const PolicyTable t = PolicyTable::builtin_default();
+  ASSERT_EQ(t.planes().size(), 3u);
+  // The signal backend cannot invert roles: its plane replaces the
+  // double-l-mfence corner with the asymmetric mix and must never propose
+  // double anywhere (an unrealizable proposal would only bump the
+  // degraded counter at every quiescent point).
+  EXPECT_EQ(t.lookup(1, 10, "signal"), PolicyMode::kAsymmetric);
+  for (const BackendPlane& p : t.planes()) {
+    if (p.backend != "signal") continue;
+    for (PolicyMode m : p.modes) EXPECT_NE(m, PolicyMode::kDoubleLmfence);
+  }
+  // Role-inverting backends keep the corner and extend double-l-mfence
+  // through the LE/ST-scale rows of the symmetric-traffic column.
+  EXPECT_EQ(t.lookup(1, 10, "membarrier-pair"), PolicyMode::kDoubleLmfence);
+  EXPECT_EQ(t.lookup(1, 150, "membarrier-pair"), PolicyMode::kDoubleLmfence);
+  EXPECT_EQ(t.lookup(1, 150, "sim-lest"), PolicyMode::kDoubleLmfence);
+  // Past the LE/ST range, and off the symmetric column, the base verdicts
+  // stand unchanged.
+  EXPECT_EQ(t.lookup(1, 15'000, "sim-lest"), t.lookup(1, 15'000));
+  EXPECT_EQ(t.lookup(1'000, 150, "sim-lest"), t.lookup(1'000, 150));
+}
+
+TEST(PolicyTable, LookupFallsBackToBaseGridWithoutAMatchingPlane) {
+  const PolicyTable t = PolicyTable::builtin_default();
+  EXPECT_EQ(t.lookup(1, 10, ""), t.lookup(1, 10));
+  EXPECT_EQ(t.lookup(1, 10, "carrier-pigeon"), t.lookup(1, 10));
+  // A planeless table ignores the backend argument entirely.
+  const PolicyTable bare({1}, {150}, {PolicyMode::kAsymmetric});
+  EXPECT_EQ(bare.lookup(1, 150, "signal"), PolicyMode::kAsymmetric);
+}
+
+TEST(PolicyTable, AddPlaneReplacesByNameAndRoundTripsJson) {
+  PolicyTable t({1, 1'000}, {150},
+                {PolicyMode::kSymmetric, PolicyMode::kAsymmetric});
+  t.add_plane(
+      {"sim-lest", {PolicyMode::kDoubleLmfence, PolicyMode::kAsymmetric}});
+  EXPECT_EQ(t.lookup(1, 150, "sim-lest"), PolicyMode::kDoubleLmfence);
+  // Re-adding under the same name replaces in place, no duplicate plane.
+  t.add_plane({"sim-lest", {PolicyMode::kSymmetric, PolicyMode::kSymmetric}});
+  ASSERT_EQ(t.planes().size(), 1u);
+  EXPECT_EQ(t.lookup(1, 150, "sim-lest"), PolicyMode::kSymmetric);
+  const std::optional<PolicyTable> back = PolicyTable::from_json(t.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(PolicyTable, FromJsonParsesTheSweepBackendPlanes) {
+  // The FromJsonParsesAFullSweepReport grid plus the backend_planes
+  // section bench_sweep now appends: a constrained signal plane and a
+  // role-inverting plane whose cheap corner is double-l-mfence.
+  const std::string sweep =
+      "{\"bench\":\"sweep\",\"workload\":\"cli\","
+      "\"victim_freqs\":[1,1000],\"roundtrips\":[150],\"points\":["
+      "{\"freq\":1,\"roundtrip\":150,\"status\":\"sat\","
+      "\"optimum\":\"{mfence, none, mfence, none}\",\"cost\":200,"
+      "\"recheck_safe\":true},"
+      "{\"freq\":1000,\"roundtrip\":150,\"status\":\"sat\","
+      "\"optimum\":\"{l-mfence, none, mfence, none}\",\"cost\":3260,"
+      "\"recheck_safe\":true}],\"crossovers\":[],"
+      "\"explorer_runs\":2,\"cache_hits\":0,\"states_total\":100,"
+      "\"backend_planes\":["
+      "{\"backend\":\"signal\",\"inverts_roles\":false,\"points\":["
+      "{\"freq\":1,\"roundtrip\":150,\"status\":\"sat\","
+      "\"optimum\":\"{mfence, none, mfence, none}\",\"cost\":200,"
+      "\"recheck_safe\":true},"
+      "{\"freq\":1000,\"roundtrip\":150,\"status\":\"sat\","
+      "\"optimum\":\"{l-mfence, none, mfence, none}\",\"cost\":3260,"
+      "\"recheck_safe\":true}]},"
+      "{\"backend\":\"sim-lest\",\"inverts_roles\":true,\"points\":["
+      "{\"freq\":1,\"roundtrip\":150,\"status\":\"sat\","
+      "\"optimum\":\"{l-mfence, none, l-mfence, none}\",\"cost\":120,"
+      "\"recheck_safe\":true},"
+      "{\"freq\":1000,\"roundtrip\":150,\"status\":\"sat\","
+      "\"optimum\":\"{l-mfence, none, mfence, none}\",\"cost\":3260,"
+      "\"recheck_safe\":true}]}]}";
+  const std::optional<PolicyTable> t = PolicyTable::from_json(sweep);
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->planes().size(), 2u);
+  EXPECT_EQ(t->lookup(1, 150, "signal"), PolicyMode::kSymmetric);
+  EXPECT_EQ(t->lookup(1, 150, "sim-lest"), PolicyMode::kDoubleLmfence);
+  EXPECT_EQ(t->lookup(1'000, 150, "sim-lest"), PolicyMode::kAsymmetric);
+  // The base grid is untouched by the planes.
+  EXPECT_EQ(t->lookup(1, 150), PolicyMode::kSymmetric);
+  // And the planes survive the compact round trip too.
+  const std::optional<PolicyTable> back = PolicyTable::from_json(t->to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, *t);
+}
+
 // -------------------------------------------------------- PolicySelector
 
 SelectorConfig crisp_selector(int confirm) {
@@ -248,6 +365,25 @@ TEST(PolicySelector, SwitchesBackWhenTheWorkloadFlips) {
   for (int i = 0; i < 5; ++i) sel.update(pops += 1, steals += 2'000);
   EXPECT_EQ(sel.current(), PolicyMode::kSymmetric);
   EXPECT_EQ(sel.switches(), 2u);
+}
+
+TEST(PolicySelector, BackendPlaneConstrainsProposals) {
+  // Same workload point (1:1 mix at a near-free round trip), two selectors:
+  // on the base grid the cell is double-l-mfence; a selector bound to the
+  // signal plane proposes the clamped asymmetric mix instead, so its
+  // bookings are always realizable.
+  SelectorConfig cfg = crisp_selector(1);
+  cfg.fixed_roundtrip_cycles = 10.0;
+  PolicySelector base_sel(PolicyTable::builtin_default(), cfg);
+  std::uint64_t pops = 0, steals = 0;
+  base_sel.update(pops += 100, steals += 100);
+  EXPECT_EQ(base_sel.current(), PolicyMode::kDoubleLmfence);
+
+  cfg.backend = "signal";
+  PolicySelector sig_sel(PolicyTable::builtin_default(), cfg);
+  pops = steals = 0;
+  sig_sel.update(pops += 100, steals += 100);
+  EXPECT_EQ(sig_sel.current(), PolicyMode::kAsymmetric);
 }
 
 // --------------------------------------------------------- AdaptiveFence
@@ -340,6 +476,51 @@ TEST(AdaptiveFence, SatisfiesBothConcepts) {
   static_assert(AdaptiveFencePolicy<AdaptiveFence>);
   static_assert(!AdaptiveFencePolicy<AsymmetricSignalFence>);
   EXPECT_STREQ(AdaptiveFence::name(), "adaptive");
+}
+
+TEST(AdaptiveFence, DoubleBookingDegradesLoudlyOnSignal) {
+  AdaptiveFence::Handle h = AdaptiveFence::register_primary();
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(AdaptiveFence::current_backend(h), backend::BackendId::kSignal);
+  // The signal backend cannot invert roles: booking double-l-mfence must
+  // clamp to the asymmetric mix at the quiescent point — and say so via
+  // the degraded counter, not silently.
+  EXPECT_TRUE(AdaptiveFence::request_mode(h, PolicyMode::kDoubleLmfence));
+  EXPECT_TRUE(AdaptiveFence::quiescent_point(h));
+  EXPECT_EQ(AdaptiveFence::booked_mode(h), PolicyMode::kDoubleLmfence);
+  EXPECT_EQ(AdaptiveFence::realized_mode(h), PolicyMode::kAsymmetric);
+  EXPECT_EQ(AdaptiveFence::current_mode(h), AdaptiveFence::realized_mode(h));
+  EXPECT_EQ(AdaptiveFence::switch_count(h), 1u);         // realized: S -> A
+  EXPECT_EQ(AdaptiveFence::booked_switch_count(h), 1u);  // booked:   S -> D
+  EXPECT_GE(AdaptiveFence::degraded_count(h), 1u);
+  AdaptiveFence::unregister_primary(h);
+}
+
+TEST(AdaptiveFence, RoleInvertingBackendRealizesDouble) {
+  const backend::SerializationBackend& sim =
+      backend::serialization_backend(backend::BackendId::kSimLest);
+  if (!sim.caps().inverts_roles) {
+    GTEST_SKIP() << "sim-lest backend unavailable on this host";
+  }
+  AdaptiveFence::Handle h = AdaptiveFence::register_primary();
+  ASSERT_TRUE(h.valid());
+  EXPECT_TRUE(AdaptiveFence::request_backend(h, backend::BackendId::kSimLest));
+  EXPECT_TRUE(AdaptiveFence::request_mode(h, PolicyMode::kDoubleLmfence));
+  EXPECT_TRUE(AdaptiveFence::quiescent_point(h));
+  EXPECT_EQ(AdaptiveFence::current_backend(h), backend::BackendId::kSimLest);
+  EXPECT_EQ(AdaptiveFence::booked_mode(h), PolicyMode::kDoubleLmfence);
+  EXPECT_EQ(AdaptiveFence::realized_mode(h), PolicyMode::kDoubleLmfence);
+  EXPECT_EQ(AdaptiveFence::degraded_count(h), 0u);
+  // Both sides run light: a peer's announce (compiler-only fence + drain)
+  // and the primary's own peer drain both go through the simulated LE/ST
+  // path and must succeed.
+  std::thread peer([h] {
+    AdaptiveFence::secondary_fence(h);
+    EXPECT_TRUE(AdaptiveFence::serialize(h));
+  });
+  peer.join();
+  EXPECT_TRUE(AdaptiveFence::serialize_peers(h));
+  AdaptiveFence::unregister_primary(h);
 }
 
 // Dekker mutual exclusion while the regime flips under load. Each round,
