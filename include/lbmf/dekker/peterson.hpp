@@ -54,6 +54,9 @@ class AsymmetricPeterson {
     LBMF_CHECK_MSG(!bound_, "unbind_primary not called");
   }
 
+  /// The registered primary's policy handle (valid between bind/unbind).
+  typename P::Handle primary_handle() const noexcept { return handle_; }
+
   void lock_primary() noexcept {
     // Announce: flag, then turn — the l-mfence conceptually guards `turn`,
     // and FIFO store-buffer order covers `flag` (see class comment).

@@ -18,6 +18,9 @@
 /// The annotation subset (see docs/LITMUS.md for the emitted grammar):
 ///
 ///   LBMF_ROLE(rec, "victim", 1000)        declare a thread role (freq)
+///   LBMF_ROLES(rec, "thief", 2, 1, fn)    declare N roles from one body;
+///                                         fn(role, i) runs per instance,
+///                                         identical bodies auto-symmetric
 ///   LBMF_LOAD(role, r0, "H")              atomic load into a register
 ///   LBMF_STORE(role, "T", 0)              atomic store (immediate)
 ///   LBMF_STORE_REG(role, "T", r1)         atomic store (register)
@@ -60,6 +63,8 @@ constexpr bool kEnabled = LBMF_EXTRACT_ENABLED == 1;
   (::lbmf::extract::SourceLoc{__FILE__, static_cast<std::size_t>(__LINE__)})
 
 #define LBMF_ROLE(rec, name, freq) ((rec).role((name), (freq), LBMF_ANNOT_SRC_))
+#define LBMF_ROLES(rec, prefix, count, freq, fn) \
+  ((rec).roles((prefix), (count), (freq), (fn), LBMF_ANNOT_SRC_))
 #define LBMF_INIT(rec, loc, v) ((rec).init((loc), (v)))
 #define LBMF_FINAL_PROPERTY(rec, ...) ((rec).final_property(__VA_ARGS__))
 #define LBMF_SYMMETRIC(rec, ...) ((rec).symmetric(__VA_ARGS__))
@@ -94,6 +99,7 @@ constexpr bool kEnabled = LBMF_EXTRACT_ENABLED == 1;
 #else  // LBMF_EXTRACT_ENABLED == 0: zero-cost passthrough.
 
 #define LBMF_ROLE(...) ((void)0)
+#define LBMF_ROLES(...) ((void)0)
 #define LBMF_INIT(...) ((void)0)
 #define LBMF_FINAL_PROPERTY(...) ((void)0)
 #define LBMF_SYMMETRIC(...) ((void)0)

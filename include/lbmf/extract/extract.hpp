@@ -35,6 +35,7 @@
 #include "lbmf/rwlock/rwlock.hpp"
 #include "lbmf/ws/chase_lev.hpp"
 #include "lbmf/ws/deque.hpp"
+#include "lbmf/zoo/bakery.hpp"
 
 namespace lbmf::extract {
 
@@ -54,6 +55,11 @@ inline std::vector<RegisteredProtocol> protocol_registry() {
       {"chase-lev", "chase_lev.lit", &ws::record_chase_lev_protocol},
       {"biased-rwlock", "biased_rwlock.lit",
        &lbmf::record_biased_rwlock_protocol},
+      // The zoo's N-thread bakery: the contender count is a parameter of
+      // the spec function (LBMF_ROLES); the registry pins the committed
+      // two-contender shape.
+      {"bakery", "bakery_holes.lit",
+       +[] { return zoo::record_bakery_protocol(2); }},
   };
 }
 

@@ -146,6 +146,39 @@ class Recorder {
     return RoleRef(this, spec_.roles.size() - 1);
   }
 
+  /// Declare `count` roles from one parameterized body: `fn(role, i)` runs
+  /// once per i in [0, count), recording role `<prefix><i+1>` (1-based, to
+  /// match the hand-written "writer1"/"writer2" convention). This is the
+  /// role-count parameter for N-thread protocols like the bakery: the
+  /// protocol body is written once and stamped out per contender. Roles
+  /// whose recorded streams come out byte-identical — the shared-slot
+  /// idiom, where every contender runs the same program over the same
+  /// locations behind a gate — are declared `symmetric` automatically;
+  /// bodies that vary with i (distinct locations, say) are left alone.
+  template <typename Fn>
+  void roles(const std::string& prefix, std::size_t count, double freq,
+             Fn&& fn, SourceLoc src = {}) {
+    const std::size_t first = spec_.roles.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      RoleRef r = role(prefix + std::to_string(i + 1), freq, src);
+      fn(r, i);
+    }
+    // Group identical bodies into symmetric declarations.
+    std::vector<bool> grouped(count, false);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (grouped[i]) continue;
+      std::vector<std::string> group{spec_.roles[first + i].name};
+      for (std::size_t j = i + 1; j < count; ++j) {
+        if (grouped[j]) continue;
+        if (same_ops(spec_.roles[first + i].ops, spec_.roles[first + j].ops)) {
+          group.push_back(spec_.roles[first + j].name);
+          grouped[j] = true;
+        }
+      }
+      if (group.size() >= 2) spec_.symmetric.push_back(std::move(group));
+    }
+  }
+
   void init(std::string loc, long long v) {
     spec_.inits.emplace_back(std::move(loc), v);
   }
@@ -184,6 +217,23 @@ class Recorder {
                             std::string loc, long long v, Rest&&... rest) {
     out.emplace_back(std::move(loc), v);
     collect_pairs(out, std::forward<Rest>(rest)...);
+  }
+
+  /// Structural equality of two recorded streams — provenance (src) is
+  /// ignored, so the same body lambda recorded from different call sites
+  /// still compares equal.
+  static bool same_ops(const std::vector<RecordedOp>& a,
+                       const std::vector<RecordedOp>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      const RecordedOp& x = a[k];
+      const RecordedOp& y = b[k];
+      if (x.kind != y.kind || x.reg != y.reg || x.loc != y.loc ||
+          x.value != y.value || x.label != y.label) {
+        return false;
+      }
+    }
+    return true;
   }
 
   static void collect_names(std::vector<std::string>& out) { (void)out; }

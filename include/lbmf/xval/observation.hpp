@@ -1,0 +1,82 @@
+#pragma once
+
+/// The shared terminal-observation projection of lbmf::xval.
+///
+/// A cross-validation run compares two executions of the same litmus
+/// program — one exhaustive (the LE/ST simulator's explorer) and one
+/// native (real threads over real shared memory on x86-TSO). The only
+/// thing the two worlds can be compared on is the *architecturally
+/// observable terminal state*: the final value of every register the
+/// program can write, plus the final (coherent) value of every shared
+/// location it touches. This header defines that projection once, as a
+/// schema derived from the assembled litmus, so the simulator side and
+/// the native side format byte-identical observation strings and set
+/// containment (observed ⊆ reachable) is plain string-set containment.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lbmf/sim/assembler.hpp"
+#include "lbmf/sim/types.hpp"
+
+namespace lbmf::xval {
+
+/// What one terminal observation of a litmus consists of: which registers
+/// each CPU can ever write (the simulator's regs_written_mask, recomputed
+/// here from the program text so the native runner needs no Machine), and
+/// every shared location the program references, in ascending address
+/// order with its symbolic name when the litmus gave it one.
+struct ObservationSchema {
+  /// Bit r set iff programs[cpu] contains an instruction writing reg r.
+  std::vector<std::uint8_t> reg_masks;
+  /// (address, display name), ascending by address. Covers every address
+  /// referenced by any instruction or `init` directive.
+  std::vector<std::pair<sim::Addr, std::string>> locations;
+
+  static ObservationSchema from(const sim::AssembleResult& lit);
+
+  /// Format one observation. `reg(cpu, r)` and `mem(addr)` supply the
+  /// terminal values; `stuck(cpu)` reports a CPU that can no longer step
+  /// but never reached halt (a blocked `lock` — the simulator's deadlock;
+  /// natively, a step-budget overrun). The output is deterministic:
+  ///   "cpu0{r0=0 r1=1} cpu1!{r0=2} mem{x=1 y=0}"
+  /// where `!` marks a stuck CPU.
+  template <typename RegFn, typename MemFn, typename StuckFn>
+  std::string format(RegFn&& reg, MemFn&& mem, StuckFn&& stuck) const {
+    std::string out;
+    out.reserve(16 * (reg_masks.size() + 1));
+    for (std::size_t c = 0; c < reg_masks.size(); ++c) {
+      if (c != 0) out += ' ';
+      out += "cpu";
+      out += std::to_string(c);
+      if (stuck(c)) out += '!';
+      out += '{';
+      bool first = true;
+      for (unsigned r = 0; r < 8; ++r) {
+        if ((reg_masks[c] & (1u << r)) == 0) continue;
+        if (!first) out += ' ';
+        first = false;
+        out += 'r';
+        out += static_cast<char>('0' + r);
+        out += '=';
+        out += std::to_string(static_cast<long long>(reg(c, r)));
+      }
+      out += '}';
+    }
+    out += " mem{";
+    bool first = true;
+    for (const auto& [addr, name] : locations) {
+      if (!first) out += ' ';
+      first = false;
+      out += name;
+      out += '=';
+      out += std::to_string(static_cast<long long>(mem(addr)));
+    }
+    out += '}';
+    return out;
+  }
+};
+
+}  // namespace lbmf::xval

@@ -1,0 +1,14 @@
+#pragma once
+
+/// lbmf::xval — hardware cross-validation of the LE/ST simulator.
+///
+/// Compile any assembler-accepted litmus into a pthread stress test over
+/// real shared memory (native.hpp), exhaustively enumerate the simulator's
+/// terminal outcomes for the same program (harness.hpp), and diff the two:
+/// a native observation outside the model's reachable set is a
+/// model-soundness failure; a reachable outcome never observed is merely
+/// coverage. See docs/ARCHITECTURE.md, "Hardware cross-validation".
+
+#include "lbmf/xval/harness.hpp"
+#include "lbmf/xval/native.hpp"
+#include "lbmf/xval/observation.hpp"

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+
+#include "lbmf/core/policies.hpp"
+#include "lbmf/util/cacheline.hpp"
+#include "lbmf/util/check.hpp"
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf::zoo {
+
+/// An unfair, owner-biased spinlock (the runtime counterpart of
+/// `examples/litmus/spinlock.lit`). One distinguished owner thread barges
+/// on its fast path with a Dekker-style announce-then-check on [owner_] /
+/// [contender_]; everyone else serializes on an internal gate and claims
+/// from the other side. Unfairness is structural: the owner announces and
+/// *never retreats* — on a collision it simply spins until the contender
+/// backs off, so the owner wins every race it joins. Contenders do the
+/// announce-retreat loop, which is what makes the pair deadlock-free.
+///
+/// The fence placement is the inferred minimum from `spinlock_holes.lit`:
+/// l-mfence on the owner's announce (the location link rides [owner_]; a
+/// contender's read of it is what drains the owner's store buffer) and a
+/// full fence on each contender's announce.
+template <FencePolicy P>
+class BiasedSpinlock {
+ public:
+  using Policy = P;
+
+  BiasedSpinlock() = default;
+  BiasedSpinlock(const BiasedSpinlock&) = delete;
+  BiasedSpinlock& operator=(const BiasedSpinlock&) = delete;
+
+  /// Register the calling thread as the owner; same lifetime contract as
+  /// AsymmetricDekker (bind before contenders run, unbind after they
+  /// quiesce, both on the owner thread).
+  void bind_primary() {
+    LBMF_CHECK_MSG(!bound_, "BiasedSpinlock primary already bound");
+    handle_ = P::register_primary();
+    bound_ = true;
+  }
+
+  void unbind_primary() {
+    if (bound_) {
+      P::unregister_primary(handle_);
+      bound_ = false;
+    }
+  }
+
+  ~BiasedSpinlock() { LBMF_CHECK_MSG(!bound_, "unbind_primary not called"); }
+
+  /// The registered owner's policy handle (valid between bind/unbind).
+  typename P::Handle primary_handle() const noexcept { return handle_; }
+
+  void lock_primary() noexcept {
+    compiler_fence();
+    owner_->store(1, std::memory_order_relaxed);
+    P::primary_fence();
+    SpinWait w;
+    while (contender_->load(std::memory_order_acquire) != 0) w.wait();
+  }
+
+  void unlock_primary() noexcept {
+    owner_->store(0, std::memory_order_release);
+  }
+
+  void lock_secondary() {
+    // Contenders compete with each other on the gate first, so at most one
+    // of them races the owner on the announce words.
+    SpinWait g;
+    while (gate_->exchange(1, std::memory_order_acquire) != 0) g.wait();
+    for (;;) {
+      contender_->store(1, std::memory_order_relaxed);
+      P::secondary_fence();
+      P::serialize(handle_);  // expose the owner's buffered announce
+      if (owner_->load(std::memory_order_acquire) == 0) return;
+      // Collision: retreat so the (never-retreating) owner can proceed,
+      // then wait out the owner's critical section before re-announcing.
+      contender_->store(0, std::memory_order_release);
+      SpinWait w;
+      while (owner_->load(std::memory_order_acquire) != 0) w.wait();
+    }
+  }
+
+  void unlock_secondary() noexcept {
+    contender_->store(0, std::memory_order_release);
+    gate_->store(0, std::memory_order_release);
+  }
+
+ private:
+  CacheAligned<std::atomic<int>> owner_;
+  CacheAligned<std::atomic<int>> contender_;
+  CacheAligned<std::atomic<int>> gate_;
+  typename P::Handle handle_{};
+  bool bound_ = false;
+};
+
+}  // namespace lbmf::zoo

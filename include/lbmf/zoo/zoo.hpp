@@ -1,0 +1,17 @@
+#pragma once
+
+// The mutex zoo: classic mutual-exclusion algorithms rebuilt around a
+// location-based fence on their hot path, each paired with a litmus test
+// in examples/litmus/ (a `*_holes.lit` the inferencer repairs, and the
+// repaired variant checked in next to it) and cross-validated against
+// real x86-TSO hardware by scripts/ci/run_xval_gates.sh.
+//
+//   AsymmetricPeterson  (lbmf/dekker/peterson.hpp) — peterson_lmfence.lit
+//   BakeryLock          — bakery.lit / bakery_holes.lit
+//   BiasedSpinlock      — spinlock.lit / spinlock_holes.lit
+//   FutexMutex          — futex_mutex.lit / futex_holes.lit
+
+#include "lbmf/dekker/peterson.hpp"
+#include "lbmf/zoo/bakery.hpp"
+#include "lbmf/zoo/futex_mutex.hpp"
+#include "lbmf/zoo/spinlock.hpp"

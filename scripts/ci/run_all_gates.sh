@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run every acceptance-gate suite in sequence — bench, litmus, extract,
+# xval — and print a one-line-per-suite summary table at the end. A suite
+# failure does not stop the later suites: one invocation reports the state
+# of every gate, which is what you want both locally before pushing and in
+# the nightly log.
+#
+# Usage: scripts/ci/run_all_gates.sh [build-dir] [quick|nightly]
+# Run from the repository root. The mode selects the xval native iteration
+# budget (the other suites always run their --quick gating configuration;
+# nightly's full bench sweep is a separate workflow step).
+set -uo pipefail
+
+BUILD_DIR="${1:-build}"
+MODE="${2:-quick}"
+
+declare -a names=() exits=()
+
+run_suite() {
+  local name="$1"; shift
+  echo "=== gate suite: $name ==="
+  local rc=0
+  "$@" || rc=$?
+  names+=("$name")
+  exits+=("$rc")
+  echo "=== $name: exit $rc ==="
+}
+
+run_suite bench   scripts/ci/run_bench_gates.sh   "$BUILD_DIR"
+run_suite litmus  scripts/ci/run_litmus_gates.sh  "$BUILD_DIR"
+run_suite extract scripts/ci/run_extract_gates.sh "$BUILD_DIR"
+run_suite xval    scripts/ci/run_xval_gates.sh    "$BUILD_DIR" "$MODE"
+
+echo
+echo "gate summary ($MODE):"
+printf '  %-10s %-6s %s\n' suite exit status
+overall=0
+for i in "${!names[@]}"; do
+  status=PASS
+  if [ "${exits[$i]}" -ne 0 ]; then
+    status=FAIL
+    overall=1
+  fi
+  printf '  %-10s %-6s %s\n' "${names[$i]}" "${exits[$i]}" "$status"
+done
+exit $overall

@@ -49,6 +49,8 @@ expect_in() {
     --check="$LITMUS"/chase_lev.lit
 "$EXTRACT" biased-rwlock --emit=EXTRACT_biased_rwlock.lit \
     --check="$LITMUS"/biased_rwlock.lit
+"$EXTRACT" bakery        --emit=EXTRACT_bakery.lit \
+    --check="$LITMUS"/bakery_holes.lit
 
 # ---------------------------------------------------------- inference gates
 # Fence inference end-to-end over the GENERATED litmus text. Because
@@ -59,6 +61,8 @@ expect_in() {
     --graph-cache=GRAPH_extract_chase_lev.bin
 "$EXTRACT" biased-rwlock --infer --json=EXTRACT_INFER_biased_rwlock.json \
     --graph-cache=GRAPH_extract_rwlock.bin
+"$EXTRACT" bakery --infer --json=EXTRACT_INFER_bakery.json \
+    --graph-cache=GRAPH_extract_bakery.bin
 
 # THE-deque: the paper's placement, recovered from annotations alone, with
 # every hole mapped back to its announce/claim site in ws/deque.hpp.
@@ -89,6 +93,21 @@ expect_in EXTRACT_INFER_biased_rwlock.json '{"site": "cpu1@1[I]=1", "fence": "mf
 expect_in EXTRACT_INFER_biased_rwlock.json '{"site": "cpu2@1[I]=1", "fence": "mfence"'
 expect_in EXTRACT_INFER_biased_rwlock.json '"fence": "l-mfence", "source": "lbmf/rwlock/rwlock.hpp:'
 
+# Bakery (recorded via the LBMF_ROLES role-count parameter): the
+# per-branch-path asymmetric optimum — hot ticket-1 and contender
+# ticket-2 publishes need no fence — with all nine holes source-mapped
+# into zoo/bakery.hpp.
+expect_in EXTRACT_INFER_bakery.json '"best_cost": 7360,'
+expect_in EXTRACT_INFER_bakery.json '"recheck_safe": true,'
+expect_in EXTRACT_INFER_bakery.json '{"site": "cpu0@0[C0]=1", "fence": "l-mfence"'
+expect_in EXTRACT_INFER_bakery.json '{"site": "cpu0@4[N0]=2", "fence": "l-mfence"'
+expect_in EXTRACT_INFER_bakery.json '{"site": "cpu0@7[N0]=1", "fence": "none"'
+expect_in EXTRACT_INFER_bakery.json '{"site": "cpu1@1[C1]=1", "fence": "mfence"'
+expect_in EXTRACT_INFER_bakery.json '{"site": "cpu1@5[N1]=2", "fence": "none"'
+expect_in EXTRACT_INFER_bakery.json '{"site": "cpu1@8[N1]=1", "fence": "mfence"'
+expect_in EXTRACT_INFER_bakery.json '"fence": "l-mfence", "source": "lbmf/zoo/bakery.hpp:'
+expect_in EXTRACT_INFER_bakery.json '"fence": "mfence", "source": "lbmf/zoo/bakery.hpp:'
+
 # ---------------------------------------------------------- compile-away gate
 # Only the extraction targets (built with -DLBMF_EXTRACT=1) may contain the
 # recording functions; a production binary that links the same runtime
@@ -107,10 +126,11 @@ echo "compile-away gate: recording symbols present only in lbmf_extract"
 
 missing=0
 for f in EXTRACT_the_deque.lit EXTRACT_chase_lev.lit \
-         EXTRACT_biased_rwlock.lit \
+         EXTRACT_biased_rwlock.lit EXTRACT_bakery.lit \
          EXTRACT_INFER_the_deque.json EXTRACT_INFER_chase_lev.json \
-         EXTRACT_INFER_biased_rwlock.json \
-         GRAPH_extract_chase_lev.bin GRAPH_extract_rwlock.bin; do
+         EXTRACT_INFER_biased_rwlock.json EXTRACT_INFER_bakery.json \
+         GRAPH_extract_chase_lev.bin GRAPH_extract_rwlock.bin \
+         GRAPH_extract_bakery.bin; do
   if ! test -s "$f"; then
     echo "::error::gated artifact $f is missing or empty"
     missing=1

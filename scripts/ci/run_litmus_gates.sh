@@ -66,6 +66,15 @@ expect_runs_at_most() {
 "$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/chase_lev.lit
 "$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/biased_rwlock.lit
 
+# The mutex zoo: every fence-free (holey) member must exhibit its race,
+# every checked-in repaired variant must be exhaustively safe.
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/bakery_holes.lit
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/spinlock_holes.lit
+"$BUILD_DIR"/examples/litmus_runner --expect-violation "$LITMUS"/futex_holes.lit
+"$BUILD_DIR"/examples/litmus_runner "$LITMUS"/bakery.lit
+"$BUILD_DIR"/examples/litmus_runner "$LITMUS"/spinlock.lit
+"$BUILD_DIR"/examples/litmus_runner "$LITMUS"/futex_mutex.lit
+
 # Fence inference end-to-end: every holey protocol must solve to a
 # placement that passes the full-explorer recheck (exit 0). The big
 # symmetric protocols persist their prefix-region graphs (GRAPH_*.bin).
@@ -77,6 +86,10 @@ expect_runs_at_most() {
     --json=INFER_chase_lev.json "$LITMUS"/chase_lev.lit
 "$BUILD_DIR"/examples/fence_inferencer --graph-cache=GRAPH_rwlock.bin \
     --json=INFER_rwlock.json "$LITMUS"/biased_rwlock.lit
+"$BUILD_DIR"/examples/fence_inferencer --json=INFER_futex.json "$LITMUS"/futex_holes.lit
+"$BUILD_DIR"/examples/fence_inferencer --json=INFER_spinlock.json "$LITMUS"/spinlock_holes.lit
+"$BUILD_DIR"/examples/fence_inferencer --graph-cache=GRAPH_bakery.bin \
+    --json=INFER_bakery.json "$LITMUS"/bakery_holes.lit
 
 # Incremental re-exploration across processes: a second solve against the
 # persisted graph must report a prefix-cache hit and reproduce the report
@@ -115,10 +128,45 @@ expect_in INFER_rwlock.json '{"site": "cpu0@0[R]=1", "line": 31, "fence": "l-mfe
 expect_in INFER_rwlock.json '{"site": "cpu1@1[I]=1", "line": 43, "fence": "mfence"}'
 expect_in INFER_rwlock.json '{"site": "cpu2@1[I]=1", "line": 59, "fence": "mfence"}'
 
+# Futex lost-wakeup: the repair the kernel literature hand-fences with a
+# full barrier on both sides comes out asymmetric — l-mfence on the hot
+# unlock release, mfence only on the waiter registration.
+expect_runs_at_most INFER_futex.json 8
+expect_in INFER_futex.json '"best_cost": 3260,'
+expect_in INFER_futex.json '"recheck_safe": true,'
+expect_in INFER_futex.json '{"site": "cpu0@0[M]=0", "line": 24, "fence": "l-mfence"}'
+expect_in INFER_futex.json '{"site": "cpu1@0[W]=1", "line": 33, "fence": "mfence"}'
+
+# Owner-biased spinlock: the asymmetric Dekker placement on the barge.
+expect_runs_at_most INFER_spinlock.json 4
+expect_in INFER_spinlock.json '"best_cost": 3520,'
+expect_in INFER_spinlock.json '"recheck_safe": true,'
+expect_in INFER_spinlock.json '{"site": "cpu0@0[O]=1", "line": 20, "fence": "l-mfence"}'
+expect_in INFER_spinlock.json '{"site": "cpu1@1[C]=1", "line": 32, "fence": "mfence"}'
+expect_in INFER_spinlock.json '{"site": "cpu2@1[C]=1", "line": 45, "fence": "mfence"}'
+
+# Bakery, 3^9 lattice: the optimum is asymmetric across roles AND branch
+# paths — the hot ticket-1 publish and the contenders' ticket-2 publish
+# need no fence at all (ties lose to id 0 / ticket 2 never strictly wins).
+expect_runs_at_most INFER_bakery.json 24
+expect_in INFER_bakery.json '"best_cost": 7360,'
+expect_in INFER_bakery.json '"recheck_safe": true,'
+expect_in INFER_bakery.json '{"site": "cpu0@0[C0]=1", "line": 41, "fence": "l-mfence"}'
+expect_in INFER_bakery.json '{"site": "cpu0@4[N0]=2", "line": 45, "fence": "l-mfence"}'
+expect_in INFER_bakery.json '{"site": "cpu0@7[N0]=1", "line": 49, "fence": "none"}'
+expect_in INFER_bakery.json '{"site": "cpu1@1[C1]=1", "line": 69, "fence": "mfence"}'
+expect_in INFER_bakery.json '{"site": "cpu1@5[N1]=2", "line": 73, "fence": "none"}'
+expect_in INFER_bakery.json '{"site": "cpu1@8[N1]=1", "line": 77, "fence": "mfence"}'
+expect_in INFER_bakery.json '{"site": "cpu2@1[C1]=1", "line": 98, "fence": "mfence"}'
+expect_in INFER_bakery.json '{"site": "cpu2@5[N1]=2", "line": 102, "fence": "none"}'
+expect_in INFER_bakery.json '{"site": "cpu2@8[N1]=1", "line": 106, "fence": "mfence"}'
+
 missing=0
 for f in INFER_dekker.json INFER_deque.json INFER_deque2.json \
          INFER_chase_lev.json INFER_rwlock.json \
-         GRAPH_deque2.bin GRAPH_chase_lev.bin GRAPH_rwlock.bin; do
+         INFER_futex.json INFER_spinlock.json INFER_bakery.json \
+         GRAPH_deque2.bin GRAPH_chase_lev.bin GRAPH_rwlock.bin \
+         GRAPH_bakery.bin; do
   if ! test -s "$f"; then
     echo "::error::gated artifact $f is missing or empty"
     missing=1

@@ -1,0 +1,260 @@
+#include "lbmf/xval/harness.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "lbmf/sim/explorer.hpp"
+#include "lbmf/sim/litmus.hpp"
+#include "lbmf/util/affinity.hpp"
+
+namespace lbmf::xval {
+namespace {
+
+/// Cap on snapshotted violating states; a litmus needing more than this is
+/// mis-designed for xval (its tainted set would dominate the state space),
+/// and the harness degrades to complete=false rather than OOMing.
+constexpr std::size_t kMaxViolatingStates = 4096;
+
+sim::Machine make_machine(const sim::AssembleResult& lit) {
+  sim::SimConfig cfg;
+  cfg.num_cpus = lit.programs.size();
+  cfg.sb_capacity = 4;  // litmus_runner's geometry: forced natural drains
+  cfg.cache_capacity = 8;
+  sim::Machine m(cfg);
+  for (const auto& [a, v] : lit.initial_memory) m.set_memory(a, v);
+  for (std::size_t i = 0; i < lit.programs.size(); ++i) {
+    m.load_program(i, lit.programs[i]);
+  }
+  // No symmetry groups: canonicalization would merge permuted outcome
+  // strings that the native runner keeps distinct.
+  return m;
+}
+
+std::function<std::string(const sim::Machine&)> make_observe(
+    const ObservationSchema& schema) {
+  return [schema](const sim::Machine& m) {
+    return schema.format(
+        [&](std::size_t c, unsigned r) { return m.cpu(c).regs[r]; },
+        [&](sim::Addr a) { return m.coherent_value(a); },
+        [&](std::size_t c) { return !m.cpu(c).halted; });
+  };
+}
+
+const char* host_arch() noexcept {
+#if defined(__x86_64__)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#else
+  return "other";
+#endif
+}
+
+void append_escaped(std::string& s, const std::string& in) {
+  for (char c : in) {
+    if (c == '"' || c == '\\') s += '\\';
+    s += c;
+  }
+}
+
+void append_string_array(std::string& s, const char* key,
+                         const std::set<std::string>& v) {
+  s += '"';
+  s += key;
+  s += "\":[";
+  bool first = true;
+  for (const std::string& o : v) {
+    if (!first) s += ',';
+    first = false;
+    s += '"';
+    append_escaped(s, o);
+    s += '"';
+  }
+  s += ']';
+}
+
+void append_string_array(std::string& s, const char* key,
+                         const std::vector<std::string>& v) {
+  append_string_array(s, key, std::set<std::string>(v.begin(), v.end()));
+}
+
+}  // namespace
+
+ReachableSets compute_reachable(const sim::AssembleResult& lit,
+                                const ObservationSchema& schema,
+                                std::uint64_t max_states) {
+  ReachableSets rs;
+
+  // Run A — the full unchecked graph: every terminal observation is
+  // reachable. POR stays on (terminal states and outcomes are preserved
+  // exactly; there is no custom intermediate-state check here).
+  {
+    sim::Explorer::Options o;
+    o.check_mutual_exclusion = false;
+    o.stop_at_violation = false;
+    o.observe = make_observe(schema);
+    o.max_states = max_states;
+    sim::ExploreResult r = sim::explore_all(make_machine(lit), o);
+    rs.reachable = std::move(r.outcomes);
+    rs.states_explored += r.states_explored;
+    rs.complete = rs.complete && !r.hit_limit;
+    if (r.violation) rs.violation = *r.violation;  // coherence = sim bug
+  }
+
+  // Run B — the checked graph: the litmus property (mutual exclusion +
+  // `final` directives) runs as a custom check so every violating state
+  // can be snapshotted; the built-in mutual-exclusion check would fire
+  // first and hide the state from us. The custom check inspects
+  // intermediate states, which POR does not guarantee to visit — so the
+  // reduction is off for this run only.
+  std::vector<sim::Machine> bad;
+  bool bad_overflow = false;
+  {
+    sim::Explorer::Options o;
+    o.check_mutual_exclusion = false;
+    o.por = false;
+    o.stop_at_violation = false;
+    o.observe = make_observe(schema);
+    o.max_states = max_states;
+    auto final_check = sim::final_state_check(lit.final_allowed);
+    o.check = [&bad, &bad_overflow,
+               final_check](const sim::Machine& m) -> std::optional<std::string> {
+      std::optional<std::string> v;
+      if (m.cpus_in_cs() > 1) {
+        v = "mutual exclusion violated: " + std::to_string(m.cpus_in_cs()) +
+            " CPUs in the critical section";
+      }
+      if (!v) v = final_check(m);
+      if (v) {
+        if (bad.size() < kMaxViolatingStates) {
+          bad.push_back(m);
+        } else {
+          bad_overflow = true;
+        }
+      }
+      return v;
+    };
+    sim::ExploreResult r = sim::explore_all(make_machine(lit), o);
+    rs.safe = std::move(r.outcomes);
+    rs.states_explored += r.states_explored;
+    rs.complete = rs.complete && !r.hit_limit && !bad_overflow;
+    if (r.violation && rs.violation.empty()) rs.violation = *r.violation;
+  }
+  rs.violating_states = bad.size();
+
+  // Run C — taint replay: the terminal outcomes *of* a violation are what
+  // the violating states can still reach, so re-explore forward from each,
+  // unchecked. (Plain "reachable minus safe" misses outcomes that are also
+  // reachable by an innocent schedule — broken Dekker's both-entered
+  // terminal state is reachable with temporally disjoint critical
+  // sections too.)
+  for (sim::Machine& m : bad) {
+    sim::Explorer::Options o;
+    o.check_mutual_exclusion = false;
+    o.stop_at_violation = false;
+    o.observe = make_observe(schema);
+    o.max_states = max_states;
+    sim::ExploreResult r = sim::explore_all(std::move(m), o);
+    for (const std::string& out : r.outcomes) rs.violating.insert(out);
+    rs.states_explored += r.states_explored;
+    rs.complete = rs.complete && !r.hit_limit;
+  }
+
+  return rs;
+}
+
+XvalReport diff_outcomes(std::string litmus_name, const NativeResult& native,
+                         const ReachableSets& sim) {
+  XvalReport r;
+  r.litmus = std::move(litmus_name);
+  r.arch = host_arch();
+  r.online_cpus = online_cpus();
+  r.sim = sim;
+  r.observed = native.observed;
+  r.iterations = native.iterations;
+  r.wedged_iterations = native.wedged_iterations;
+  for (const auto& [obs, count] : native.observed) {
+    if (sim.reachable.count(obs) == 0) r.unexplained.push_back(obs);
+    if (sim.violating.count(obs) != 0) r.violations_observed += count;
+  }
+  for (const std::string& o : sim.reachable) {
+    if (native.observed.count(o) == 0) r.unobserved.push_back(o);
+  }
+  return r;
+}
+
+XvalReport cross_validate(std::string litmus_name,
+                          const sim::AssembleResult& lit,
+                          const XvalOptions& opts) {
+  const ObservationSchema schema = ObservationSchema::from(lit);
+  const ReachableSets sets = compute_reachable(lit, schema, opts.max_states);
+
+  std::string reason;
+  if (!native_host_supported(lit.programs.size(), &reason)) {
+    XvalReport r;
+    r.litmus = std::move(litmus_name);
+    r.arch = host_arch();
+    r.online_cpus = online_cpus();
+    r.sim = sets;
+    r.skipped = true;
+    r.skip_reason = std::move(reason);
+    // Everything reachable counts as unobserved coverage debt.
+    r.unobserved.assign(sets.reachable.begin(), sets.reachable.end());
+    return r;
+  }
+
+  const NativeResult native = run_native(lit, schema, opts.native);
+  return diff_outcomes(std::move(litmus_name), native, sets);
+}
+
+std::string to_json(const XvalReport& r) {
+  std::string s = "{\"xval\":\"";
+  append_escaped(s, r.litmus);
+  s += "\",\"arch\":\"";
+  s += r.arch;
+  s += "\",\"online_cpus\":" + std::to_string(r.online_cpus);
+  s += ",\"skipped\":";
+  s += r.skipped ? "true" : "false";
+  s += ",\"skip_reason\":\"";
+  append_escaped(s, r.skip_reason);
+  s += "\",\"iterations\":" + std::to_string(r.iterations);
+  s += ",\"wedged_iterations\":" + std::to_string(r.wedged_iterations);
+  s += ",\"model_sound\":";
+  s += r.model_sound() ? "true" : "false";
+  s += ",\"conclusive\":";
+  s += r.conclusive() ? "true" : "false";
+  char cov[32];
+  std::snprintf(cov, sizeof cov, "%.4f", r.coverage());
+  s += ",\"coverage\":";
+  s += cov;
+  s += ",\"violations_observed\":" + std::to_string(r.violations_observed);
+  s += ",\"sim\":{\"states_explored\":" + std::to_string(r.sim.states_explored);
+  s += ",\"violating_states\":" + std::to_string(r.sim.violating_states);
+  s += ",\"complete\":";
+  s += r.sim.complete ? "true" : "false";
+  s += ",\"violation\":\"";
+  append_escaped(s, r.sim.violation);
+  s += "\",";
+  append_string_array(s, "reachable", r.sim.reachable);
+  s += ',';
+  append_string_array(s, "safe", r.sim.safe);
+  s += ',';
+  append_string_array(s, "violating", r.sim.violating);
+  s += "},\"observed\":{";
+  bool first = true;
+  for (const auto& [obs, count] : r.observed) {
+    if (!first) s += ',';
+    first = false;
+    s += '"';
+    append_escaped(s, obs);
+    s += "\":" + std::to_string(count);
+  }
+  s += "},";
+  append_string_array(s, "unexplained", r.unexplained);
+  s += ',';
+  append_string_array(s, "unobserved", r.unobserved);
+  s += "}\n";
+  return s;
+}
+
+}  // namespace lbmf::xval

@@ -1,0 +1,284 @@
+#include "lbmf/xval/native.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "lbmf/util/affinity.hpp"
+#include "lbmf/util/check.hpp"
+
+namespace lbmf::xval {
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// One shared litmus location on its own cache line, so the only
+/// communication between roles is the communication the litmus wrote.
+struct alignas(64) Cell {
+  std::atomic<sim::Word> v{0};
+};
+
+/// An Instr with its address pre-resolved to the backing cell — no map
+/// lookup on the hot path.
+struct NInstr {
+  sim::Op op{};
+  std::uint8_t reg = 0;
+  sim::Word imm = 0;
+  std::int32_t target = -1;
+  Cell* cell = nullptr;
+};
+
+/// Classic sense-reversing centralized barrier (seq_cst throughout: two
+/// crossings per iteration, correctness over cycles).
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n), count_(n) {}
+  void arrive(int& local_sense) {
+    local_sense ^= 1;
+    if (count_.fetch_sub(1) == 1) {
+      count_.store(n_);
+      sense_.store(local_sense);
+    } else {
+      while (sense_.load() != local_sense) cpu_relax();
+    }
+  }
+
+ private:
+  const int n_;
+  std::atomic<int> count_;
+  std::atomic<int> sense_{0};
+};
+
+/// Per-role result slot, padded so slots never share a line mid-run.
+struct alignas(64) RoleSlot {
+  std::array<sim::Word, 8> regs{};
+  bool stuck = false;
+};
+
+inline std::uint64_t xorshift64(std::uint64_t& s) noexcept {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// Run one role to halt. Returns false when the step budget ran out
+/// (wedged: a blocked lock or runaway loop).
+bool run_role(const std::vector<NInstr>& code, sim::Word* regs,
+              std::uint64_t budget) {
+  std::size_t pc = 0;
+  std::uint64_t steps = 0;
+  while (pc < code.size()) {
+    if (++steps > budget) return false;
+    const NInstr& i = code[pc];
+    switch (i.op) {
+      case sim::Op::kLoad:
+      case sim::Op::kLoadExclusive:  // no LE hardware: a plain load
+        regs[i.reg] = i.cell->v.load(std::memory_order_relaxed);
+        break;
+      case sim::Op::kStore:
+        i.cell->v.store(i.imm, std::memory_order_relaxed);
+        break;
+      case sim::Op::kStoreReg:
+        i.cell->v.store(regs[i.reg], std::memory_order_relaxed);
+        break;
+      case sim::Op::kMfence:
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        break;
+      case sim::Op::kSetLink:
+        break;  // no link register to arm
+      case sim::Op::kBranchLinkSet:
+        break;  // link never set: fall through to the MFENCE arm
+      case sim::Op::kMovImm:
+        regs[i.reg] = i.imm;
+        break;
+      case sim::Op::kAddImm:
+        regs[i.reg] += i.imm;
+        break;
+      case sim::Op::kBranchEq:
+        if (regs[i.reg] == i.imm) {
+          pc = static_cast<std::size_t>(i.target);
+          continue;
+        }
+        break;
+      case sim::Op::kBranchNe:
+        if (regs[i.reg] != i.imm) {
+          pc = static_cast<std::size_t>(i.target);
+          continue;
+        }
+        break;
+      case sim::Op::kJump:
+        pc = static_cast<std::size_t>(i.target);
+        continue;
+      case sim::Op::kCsEnter:
+      case sim::Op::kCsExit:
+        break;  // checker bookkeeping; violations are witnessed by outcome
+      case sim::Op::kDelay:
+        for (sim::Word d = 0; d < i.imm; ++d) cpu_relax();
+        break;
+      case sim::Op::kHalt:
+        return true;
+      case sim::Op::kLock:
+        while (i.cell->v.exchange(1) != 0) {
+          if (++steps > budget) return false;
+          cpu_relax();
+        }
+        break;
+      case sim::Op::kUnlock:
+        i.cell->v.store(0);
+        break;
+    }
+    ++pc;
+  }
+  return true;  // assembler guarantees a trailing halt; defensive
+}
+
+}  // namespace
+
+bool native_host_supported(std::size_t roles, std::string* reason) {
+#if !defined(__x86_64__)
+  if (reason) *reason = "not an x86-64 build: the simulator models x86-TSO, so "
+                        "weaker hosts would legitimately observe forbidden outcomes";
+  (void)roles;
+  return false;
+#else
+  if (roles < 1) {
+    if (reason) *reason = "litmus has no roles";
+    return false;
+  }
+  if (online_cpus() < 2) {
+    if (reason) {
+      *reason = "fewer than 2 online CPUs: a single core cannot overlap two "
+                "store buffers, so every TSO reordering is unobservable";
+    }
+    return false;
+  }
+  return true;
+#endif
+}
+
+NativeResult run_native(const sim::AssembleResult& lit,
+                        const ObservationSchema& schema,
+                        const NativeOptions& opts) {
+  const std::size_t roles = lit.programs.size();
+  LBMF_CHECK_MSG(roles >= 1, "run_native: litmus has no roles");
+
+  // Shared memory: one padded cell per schema location.
+  std::vector<Cell> cells(schema.locations.size());
+  auto cell_for = [&](sim::Addr a) -> Cell* {
+    for (std::size_t k = 0; k < schema.locations.size(); ++k) {
+      if (schema.locations[k].first == a) return &cells[k];
+    }
+    return nullptr;
+  };
+
+  // Pre-resolve the programs.
+  std::vector<std::vector<NInstr>> code(roles);
+  for (std::size_t r = 0; r < roles; ++r) {
+    const auto& prog = lit.programs[r].code;
+    code[r].reserve(prog.size());
+    for (const sim::Instr& i : prog) {
+      NInstr n;
+      n.op = i.op;
+      n.reg = static_cast<std::uint8_t>(i.reg & 7);
+      n.imm = i.imm;
+      n.target = i.target;
+      if (i.addr != sim::kInvalidAddr) {
+        n.cell = cell_for(i.addr);
+        LBMF_CHECK_MSG(n.cell != nullptr,
+                       "run_native: instruction references an address "
+                       "missing from the observation schema");
+      }
+      if (i.op == sim::Op::kBranchEq || i.op == sim::Op::kBranchNe ||
+          i.op == sim::Op::kJump || i.op == sim::Op::kBranchLinkSet) {
+        LBMF_CHECK_MSG(i.target >= 0 &&
+                           static_cast<std::size_t>(i.target) <= prog.size(),
+                       "run_native: branch target out of range");
+      }
+      code[r].push_back(n);
+    }
+  }
+
+  auto reset_memory = [&] {
+    for (Cell& c : cells) c.v.store(0, std::memory_order_relaxed);
+    for (const auto& [a, v] : lit.initial_memory) {
+      Cell* c = cell_for(a);
+      if (c) c->v.store(v, std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  };
+  reset_memory();
+
+  std::vector<RoleSlot> slots(roles);
+  Barrier start(static_cast<int>(roles));
+  Barrier end(static_cast<int>(roles));
+  const std::size_t ncpu = online_cpus();
+
+  NativeResult result;
+  result.iterations = opts.iterations;
+  std::map<std::string, std::uint64_t>& observed = result.observed;
+  std::uint64_t wedged = 0;
+
+  auto role_main = [&](std::size_t r) {
+    if (opts.pin_threads) pin_to_cpu(r % (ncpu == 0 ? 1 : ncpu));
+    int sense = 0;
+    std::uint64_t rng_base =
+        opts.seed ^ (0x9e3779b97f4a7c15ull * (r + 1));
+    for (std::uint64_t iter = 0; iter < opts.iterations; ++iter) {
+      start.arrive(sense);  // role 0 has reset memory before releasing this
+      std::uint64_t rng = rng_base ^ (iter * 0xbf58476d1ce4e5b9ull);
+      for (std::uint64_t k = xorshift64(rng) % (opts.max_skew + 1u); k != 0;
+           --k) {
+        cpu_relax();
+      }
+      RoleSlot& slot = slots[r];
+      slot.regs.fill(0);
+      slot.stuck = !run_role(code[r], slot.regs.data(), opts.step_budget);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      end.arrive(sense);
+      if (r == 0) {
+        // Role 0 doubles as the collector/reset thread: between the end
+        // barrier and the next start barrier it is the only one running.
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        bool any_stuck = false;
+        for (const RoleSlot& s : slots) any_stuck |= s.stuck;
+        if (any_stuck) {
+          // A timed-out iteration proves nothing about terminal states;
+          // count it rather than let a heuristic poison the observed set.
+          ++wedged;
+        } else {
+          std::string obs = schema.format(
+              [&](std::size_t c, unsigned reg) {
+                return slots[c].regs[reg];
+              },
+              [&](sim::Addr a) {
+                return cell_for(a)->v.load(std::memory_order_relaxed);
+              },
+              [&](std::size_t c) { return slots[c].stuck; });
+          ++observed[obs];
+        }
+        reset_memory();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(roles);
+  for (std::size_t r = 0; r < roles; ++r) {
+    threads.emplace_back(role_main, r);
+  }
+  for (std::thread& t : threads) t.join();
+
+  result.wedged_iterations = wedged;
+  return result;
+}
+
+}  // namespace lbmf::xval

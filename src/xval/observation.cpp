@@ -1,0 +1,55 @@
+#include "lbmf/xval/observation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace lbmf::xval {
+
+ObservationSchema ObservationSchema::from(const sim::AssembleResult& lit) {
+  ObservationSchema s;
+  s.reg_masks.resize(lit.programs.size(), 0);
+
+  // name per address (symbols are injective over the addresses the
+  // assembler hands out; unnamed numeric addresses fall back to digits).
+  std::map<sim::Addr, std::string> names;
+  for (const auto& [name, addr] : lit.symbols) names.emplace(addr, name);
+
+  std::map<sim::Addr, std::string> locs;
+  auto touch = [&](sim::Addr a) {
+    if (a == sim::kInvalidAddr) return;
+    auto it = names.find(a);
+    locs.emplace(a, it != names.end() ? it->second : std::to_string(a));
+  };
+
+  for (std::size_t c = 0; c < lit.programs.size(); ++c) {
+    for (const sim::Instr& i : lit.programs[c].code) {
+      touch(i.addr);
+      // Mirror of CpuState::regs_written_mask: the register-writing ops.
+      switch (i.op) {
+        case sim::Op::kLoad:
+        case sim::Op::kLoadExclusive:
+        case sim::Op::kMovImm:
+        case sim::Op::kAddImm:
+          s.reg_masks[c] |= static_cast<std::uint8_t>(1u << (i.reg & 7));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  for (const auto& [a, v] : lit.initial_memory) {
+    (void)v;
+    touch(a);
+  }
+  for (const auto& conj : lit.final_allowed) {
+    for (const auto& [a, v] : conj) {
+      (void)v;
+      touch(a);
+    }
+  }
+
+  s.locations.assign(locs.begin(), locs.end());
+  return s;
+}
+
+}  // namespace lbmf::xval

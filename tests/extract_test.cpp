@@ -133,6 +133,60 @@ TEST(ExtractEmit, RegistersRenumberedByFirstUse) {
   EXPECT_EQ(emitted.text.find("r3"), std::string::npos);
 }
 
+// --------------------------------------------------- parameterized roles
+
+TEST(ExtractRoles, CountParameterStampsIdenticalBodiesSymmetric) {
+  Recorder rec("stamped");
+  rec.role("owner", 1000).store("F", 1).halt();
+  rec.roles("peer", 3, 1, [](RoleRef& p, std::size_t) {
+    p.rmw_acquire("G");
+    p.store("F", 2);
+    p.rmw_release("G");
+    p.halt();
+  });
+  const Spec spec = std::move(rec).take();
+  ASSERT_EQ(spec.roles.size(), 4u);
+  EXPECT_EQ(spec.roles[1].name, "peer1");
+  EXPECT_EQ(spec.roles[3].name, "peer3");
+  // Byte-identical bodies were grouped symmetric automatically.
+  ASSERT_EQ(spec.symmetric.size(), 1u);
+  EXPECT_EQ(spec.symmetric[0],
+            (std::vector<std::string>{"peer1", "peer2", "peer3"}));
+  const EmitResult emitted = emit_lit(spec);
+  ASSERT_TRUE(emitted.ok()) << emitted.error_string();
+  EXPECT_NE(emitted.text.find("symmetric cpu 1, 2, 3"), std::string::npos)
+      << emitted.text;
+}
+
+TEST(ExtractRoles, IndexVaryingBodiesAreNotGrouped) {
+  Recorder rec("varying");
+  rec.roles("t", 2, 1, [](RoleRef& p, std::size_t i) {
+    p.store(i == 0 ? "A" : "B", 1);  // distinct locations per instance
+    p.halt();
+  });
+  const Spec spec = std::move(rec).take();
+  ASSERT_EQ(spec.roles.size(), 2u);
+  EXPECT_TRUE(spec.symmetric.empty());
+}
+
+// The bakery's contender count is a real parameter: three contenders
+// record three byte-identical gated roles, the spec still emits and
+// assembles, and the symmetric group covers all three.
+TEST(ExtractRoles, BakeryRoleCountScales) {
+  const Spec spec = zoo::record_bakery_protocol(3);
+  ASSERT_EQ(spec.roles.size(), 4u);  // hot customer + 3 contenders
+  ASSERT_EQ(spec.symmetric.size(), 1u);
+  EXPECT_EQ(spec.symmetric[0].size(), 3u);
+  const EmitResult emitted = emit_lit(spec);
+  ASSERT_TRUE(emitted.ok()) << emitted.error_string();
+  const sim::AssembleResult a = sim::assemble(emitted.text);
+  ASSERT_TRUE(a.ok()) << a.error->to_string();
+  EXPECT_EQ(a.programs.size(), 4u);
+  // All contender programs are byte-identical.
+  EXPECT_EQ(a.programs[1].code, a.programs[2].code);
+  EXPECT_EQ(a.programs[2].code, a.programs[3].code);
+}
+
 // ------------------------------------------------------------- validation
 
 TEST(ExtractEmit, RoleWithoutHaltIsRejected) {

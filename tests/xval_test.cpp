@@ -1,0 +1,209 @@
+// lbmf::xval unit tests: the pieces of the hardware cross-validation
+// harness that do NOT need a multi-core x86 host — the observation
+// schema, the reachable/violating set computation (pure simulator), the
+// observed-vs-reachable differ (fed hand-built inputs, including a
+// deliberately weakened model that must be reported unsound), and the
+// JSON artifact writer. The native stress leg itself runs when the host
+// allows (>= 2 CPUs, x86-64) and skips loudly otherwise — the CI gate
+// script exercises it for real on the x86 runners.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lbmf/sim/assembler.hpp"
+#include "lbmf/xval/xval.hpp"
+
+namespace lbmf::xval {
+namespace {
+
+// Classic SB: both-zero is TSO-reachable; four terminal outcomes total.
+constexpr const char* kStoreBuffer = R"(
+cpu 0:
+  store [x], 1
+  load r0, [y]
+  halt
+cpu 1:
+  store [y], 1
+  load r0, [x]
+  halt
+)";
+
+// Fig. 1 with no fences: the both-enter interleaving violates mutual
+// exclusion, so its terminal outcome lands in the violating (tainted) set.
+constexpr const char* kBrokenDekker = R"(
+cpu 0:
+  store [L1], 1
+  load r0, [L2]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  halt
+cpu 1:
+  store [L2], 1
+  load r0, [L1]
+  bne r0, 0, skip
+  cs_enter
+  cs_exit
+skip:
+  halt
+)";
+
+sim::AssembleResult assemble_or_die(const char* src) {
+  sim::AssembleResult r = sim::assemble(src);
+  EXPECT_TRUE(r.ok()) << (r.error ? r.error->to_string() : "");
+  return r;
+}
+
+// ------------------------------------------------------------- schema
+
+TEST(XvalSchema, CoversRegistersAndLocations) {
+  const sim::AssembleResult a = assemble_or_die(kStoreBuffer);
+  const ObservationSchema s = ObservationSchema::from(a);
+  ASSERT_EQ(s.reg_masks.size(), 2u);
+  EXPECT_EQ(s.reg_masks[0], 1u);  // r0 written on each cpu
+  EXPECT_EQ(s.reg_masks[1], 1u);
+  ASSERT_EQ(s.locations.size(), 2u);  // x and y, named, ascending
+  EXPECT_LT(s.locations[0].first, s.locations[1].first);
+}
+
+TEST(XvalSchema, FormatIsDeterministic) {
+  const sim::AssembleResult a = assemble_or_die(kStoreBuffer);
+  const ObservationSchema s = ObservationSchema::from(a);
+  const std::string out = s.format(
+      [](std::size_t, unsigned r) { return static_cast<sim::Word>(r); },
+      [](sim::Addr) { return sim::Word{7}; },
+      [](std::size_t cpu) { return cpu == 1; });
+  // cpu1 is stuck (marked '!'), registers and memory appear in order.
+  EXPECT_NE(out.find("cpu0{r0=0}"), std::string::npos);
+  EXPECT_NE(out.find("cpu1!{r0=0}"), std::string::npos);
+  EXPECT_NE(out.find("=7"), std::string::npos);
+}
+
+// ------------------------------------------------- reachable/violating
+
+TEST(XvalReachable, StoreBufferHasFourOutcomesNoTaint) {
+  const sim::AssembleResult a = assemble_or_die(kStoreBuffer);
+  const ObservationSchema s = ObservationSchema::from(a);
+  const ReachableSets sets = compute_reachable(a, s);
+  EXPECT_TRUE(sets.complete);
+  EXPECT_EQ(sets.reachable.size(), 4u);  // r0 in {0,1} on each cpu
+  EXPECT_TRUE(sets.violating.empty());
+  EXPECT_EQ(sets.safe.size(), 4u);
+}
+
+TEST(XvalReachable, BrokenDekkerTaintsTheBothZeroOutcome) {
+  const sim::AssembleResult a = assemble_or_die(kBrokenDekker);
+  const ObservationSchema s = ObservationSchema::from(a);
+  const ReachableSets sets = compute_reachable(a, s);
+  EXPECT_TRUE(sets.complete);
+  EXPECT_GT(sets.violating_states, 0u);
+  // The violating interleavings all terminate with both flags set and
+  // both r0 reads zero — the store-buffer outcome of Fig. 1.
+  ASSERT_EQ(sets.violating.size(), 1u);
+  const std::string& tainted = *sets.violating.begin();
+  EXPECT_NE(tainted.find("cpu0{r0=0}"), std::string::npos);
+  EXPECT_NE(tainted.find("cpu1{r0=0}"), std::string::npos);
+  // Tainted outcomes are also reachable outcomes.
+  EXPECT_TRUE(sets.reachable.count(tainted));
+}
+
+// ------------------------------------------------------------- differ
+
+NativeResult fake_native() {
+  NativeResult n;
+  n.iterations = 100;
+  n.observed["cpu0{r0=0} cpu1{r0=1} mem{x=1 y=1}"] = 60;
+  n.observed["cpu0{r0=0} cpu1{r0=0} mem{x=1 y=1}"] = 40;
+  return n;
+}
+
+TEST(XvalDiff, SoundModelExplainsEverything) {
+  ReachableSets sets;
+  sets.reachable = {"cpu0{r0=0} cpu1{r0=1} mem{x=1 y=1}",
+                    "cpu0{r0=0} cpu1{r0=0} mem{x=1 y=1}",
+                    "cpu0{r0=1} cpu1{r0=1} mem{x=1 y=1}"};
+  sets.safe = sets.reachable;
+  const XvalReport rep = diff_outcomes("sb", fake_native(), sets);
+  EXPECT_TRUE(rep.model_sound());
+  EXPECT_TRUE(rep.unexplained.empty());
+  // The never-observed outcome is coverage, not error.
+  ASSERT_EQ(rep.unobserved.size(), 1u);
+  EXPECT_EQ(rep.unobserved[0], "cpu0{r0=1} cpu1{r0=1} mem{x=1 y=1}");
+  EXPECT_NEAR(rep.coverage(), 2.0 / 3.0, 1e-9);
+}
+
+// The acceptance-critical direction: weaken the model (drop the TSO
+// store-buffer outcome from the reachable set, as an SC-only simulator
+// would) and the differ must flag the hardware observation as
+// unexplained — observed ⊄ reachable is a model-soundness failure.
+TEST(XvalDiff, WeakenedModelIsReportedUnsound) {
+  ReachableSets sc_only;
+  sc_only.reachable = {"cpu0{r0=0} cpu1{r0=1} mem{x=1 y=1}",
+                       "cpu0{r0=1} cpu1{r0=1} mem{x=1 y=1}"};
+  sc_only.safe = sc_only.reachable;
+  const XvalReport rep = diff_outcomes("sb-sc", fake_native(), sc_only);
+  EXPECT_FALSE(rep.model_sound());
+  ASSERT_EQ(rep.unexplained.size(), 1u);
+  EXPECT_EQ(rep.unexplained[0], "cpu0{r0=0} cpu1{r0=0} mem{x=1 y=1}");
+}
+
+TEST(XvalDiff, ViolatingObservationsAreCounted) {
+  ReachableSets sets;
+  sets.reachable = {"cpu0{r0=0} cpu1{r0=1} mem{x=1 y=1}",
+                    "cpu0{r0=0} cpu1{r0=0} mem{x=1 y=1}"};
+  sets.safe = {"cpu0{r0=0} cpu1{r0=1} mem{x=1 y=1}"};
+  sets.violating = {"cpu0{r0=0} cpu1{r0=0} mem{x=1 y=1}"};
+  const XvalReport rep = diff_outcomes("bd", fake_native(), sets);
+  EXPECT_TRUE(rep.model_sound());  // tainted outcomes are still reachable
+  EXPECT_EQ(rep.violations_observed, 40u);
+}
+
+// ------------------------------------------------------------- native leg
+
+TEST(XvalNative, StressRunsWhenHostAllows) {
+  std::string reason;
+  if (!native_host_supported(2, &reason)) {
+    GTEST_SKIP() << "native leg unsupported here: " << reason;
+  }
+  const sim::AssembleResult a = assemble_or_die(kStoreBuffer);
+  const ObservationSchema s = ObservationSchema::from(a);
+  NativeOptions opts;
+  opts.iterations = 2'000;
+  const NativeResult n = run_native(a, s, opts);
+  EXPECT_EQ(n.iterations, 2'000u);
+  EXPECT_EQ(n.wedged_iterations, 0u);
+  EXPECT_GE(n.observed.size(), 1u);
+  // Every observation must be simulator-reachable (model soundness).
+  const ReachableSets sets = compute_reachable(a, s);
+  for (const auto& [obs, count] : n.observed) {
+    EXPECT_TRUE(sets.reachable.count(obs)) << "unexplained: " << obs;
+  }
+}
+
+// ------------------------------------------------------------------ JSON
+
+TEST(XvalJson, ReportSerializes) {
+  ReachableSets sets;
+  sets.reachable = {"a", "b"};
+  sets.safe = {"a"};
+  sets.violating = {"b"};
+  NativeResult n;
+  n.iterations = 10;
+  n.observed["a"] = 9;
+  n.observed["b"] = 1;
+  XvalReport rep = diff_outcomes("demo", n, sets);
+  rep.arch = "x86_64";
+  rep.online_cpus = 4;
+  const std::string j = to_json(rep);
+  EXPECT_NE(j.find("\"xval\":\"demo\""), std::string::npos);
+  EXPECT_NE(j.find("\"model_sound\":true"), std::string::npos);
+  EXPECT_NE(j.find("\"violations_observed\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"reachable\""), std::string::npos);
+  // Nothing unexplained: the array must be empty.
+  EXPECT_EQ(j.find("\"unexplained\":[\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbmf::xval
