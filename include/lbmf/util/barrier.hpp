@@ -1,0 +1,48 @@
+#pragma once
+
+#include <atomic>
+
+#include "lbmf/util/spin.hpp"
+
+namespace lbmf {
+
+/// Classic sense-reversing centralized barrier (seq_cst throughout:
+/// correctness over cycles — callers cross it at most a few times per
+/// measured iteration).
+///
+/// Each thread keeps one local sense PER BARRIER OBJECT and passes it to
+/// every arrive() on that object, so the local sense alternates per
+/// crossing of that barrier. Sharing a single local sense across two
+/// barriers (e.g. a start and an end barrier in a loop) breaks both: the
+/// shared sense flips twice per iteration, so each object is always
+/// crossed with the same local value — one barrier's waiters pass
+/// immediately and the other's stop waiting after the first crossing.
+/// (util_test's SenseBarrier cases pin this down.)
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(int n) : n_(n), count_(n) {}
+  SenseBarrier(const SenseBarrier&) = delete;
+  SenseBarrier& operator=(const SenseBarrier&) = delete;
+
+  /// Block until all n threads have arrived. `local_sense` must start at 0
+  /// and be reused for every crossing of this barrier by this thread.
+  void arrive(int& local_sense) {
+    local_sense ^= 1;
+    if (count_.fetch_sub(1) == 1) {
+      count_.store(n_);
+      sense_.store(local_sense);
+    } else {
+      // SpinWait so an oversubscribed host (threads > cores) yields
+      // instead of spinning the releasing thread off its only core.
+      SpinWait w;
+      while (sense_.load() != local_sense) w.wait();
+    }
+  }
+
+ private:
+  const int n_;
+  std::atomic<int> count_;
+  std::atomic<int> sense_{0};
+};
+
+}  // namespace lbmf

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 
 #include "lbmf/core/policies.hpp"
 #include "lbmf/util/cacheline.hpp"
@@ -29,6 +30,12 @@ namespace lbmf::zoo {
 /// same bias that let the inferencer drop the fence from the litmus's
 /// ticket-1 path. The runtime keeps the fence on every publish: tickets
 /// here are unbounded, so no path is provably tie-only.
+///
+/// Tickets are 64-bit monotone counters (`1 + max`), never reset. The
+/// (ticket, id) ordering in scan() assumes tickets do not wrap; a 32-bit
+/// ticket would wrap after 2^32 acquisitions under sustained contention
+/// and silently break mutual exclusion, whereas exhausting 2^64 takes
+/// centuries at one acquisition per nanosecond — out of scope by design.
 template <FencePolicy P, std::size_t N>
 class BakeryLock {
   static_assert(N >= 2, "a one-thread bakery needs no lock");
@@ -81,7 +88,7 @@ class BakeryLock {
     compiler_fence();
     choosing_[0]->store(1, std::memory_order_relaxed);
     P::primary_fence();  // announce must reach peers' scans before our reads
-    const unsigned ticket = 1 + max_number();
+    const std::uint64_t ticket = 1 + max_number();
     number_[0]->store(ticket, std::memory_order_relaxed);
     P::primary_fence();  // ticket must reach peers' doorways and scans
     choosing_[0]->store(0, std::memory_order_release);  // plain close
@@ -91,17 +98,17 @@ class BakeryLock {
   void lock_secondary(std::size_t id) {
     choosing_[id]->store(1, std::memory_order_relaxed);
     P::secondary_fence();
-    const unsigned ticket = 1 + max_number();
+    const std::uint64_t ticket = 1 + max_number();
     number_[id]->store(ticket, std::memory_order_relaxed);
     P::secondary_fence();
     choosing_[id]->store(0, std::memory_order_release);
     scan(id, ticket, /*serialize_primary=*/true);
   }
 
-  unsigned max_number() const noexcept {
-    unsigned m = 0;
+  std::uint64_t max_number() const noexcept {
+    std::uint64_t m = 0;
     for (std::size_t j = 0; j < N; ++j) {
-      const unsigned n = number_[j]->load(std::memory_order_acquire);
+      const std::uint64_t n = number_[j]->load(std::memory_order_acquire);
       if (n > m) m = n;
     }
     return m;
@@ -111,7 +118,7 @@ class BakeryLock {
   // secondaries serialize the primary once on entry — the runtime analogue
   // of the single mfence the litmus's cold side pays — so a buffered
   // primary announce or ticket is in memory before the comparisons run.
-  void scan(std::size_t id, unsigned ticket, bool serialize_primary) {
+  void scan(std::size_t id, std::uint64_t ticket, bool serialize_primary) {
     if (serialize_primary) P::serialize(handle_);
     for (std::size_t j = 0; j < N; ++j) {
       if (j == id) continue;
@@ -119,7 +126,7 @@ class BakeryLock {
       while (choosing_[j]->load(std::memory_order_acquire) != 0) c.wait();
       SpinWait w;
       for (;;) {
-        const unsigned n = number_[j]->load(std::memory_order_acquire);
+        const std::uint64_t n = number_[j]->load(std::memory_order_acquire);
         if (n == 0 || n > ticket || (n == ticket && j > id)) break;
         w.wait();
       }
@@ -127,7 +134,7 @@ class BakeryLock {
   }
 
   CacheAligned<std::atomic<unsigned>> choosing_[N];
-  CacheAligned<std::atomic<unsigned>> number_[N];
+  CacheAligned<std::atomic<std::uint64_t>> number_[N];
   typename P::Handle handle_{};
   bool bound_ = false;
 };

@@ -73,12 +73,13 @@ run_xval bakery
 run_xval broken_dekker --expect-violation
 run_xval store_buffer_holes --expect-violation
 run_xval peterson_holes --expect-violation
+run_xval spinlock_holes --expect-violation
 
 if [ "$failed" -ne 0 ]; then
   exit 1
 fi
 if [ "$skipped" -ne 0 ]; then
-  echo "::warning::xval: $skipped of 9 native legs skipped on this host"
+  echo "::warning::xval: $skipped of 10 native legs skipped on this host"
 fi
 
 # Every run — including skipped ones — must leave its report artifact.
@@ -87,7 +88,7 @@ for f in XVAL_store_buffer.json XVAL_asymmetric_dekker.json \
          XVAL_peterson_lmfence.json XVAL_spinlock.json \
          XVAL_futex_mutex.json XVAL_bakery.json \
          XVAL_broken_dekker.json XVAL_store_buffer_holes.json \
-         XVAL_peterson_holes.json; do
+         XVAL_peterson_holes.json XVAL_spinlock_holes.json; do
   if ! test -s "$f"; then
     echo "::error::gated artifact $f is missing or empty"
     missing=1

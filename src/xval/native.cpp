@@ -7,18 +7,12 @@
 #include <vector>
 
 #include "lbmf/util/affinity.hpp"
+#include "lbmf/util/barrier.hpp"
 #include "lbmf/util/check.hpp"
+#include "lbmf/util/spin.hpp"
 
 namespace lbmf::xval {
 namespace {
-
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#else
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-#endif
-}
 
 /// One shared litmus location on its own cache line, so the only
 /// communication between roles is the communication the litmus wrote.
@@ -34,27 +28,6 @@ struct NInstr {
   sim::Word imm = 0;
   std::int32_t target = -1;
   Cell* cell = nullptr;
-};
-
-/// Classic sense-reversing centralized barrier (seq_cst throughout: two
-/// crossings per iteration, correctness over cycles).
-class Barrier {
- public:
-  explicit Barrier(int n) : n_(n), count_(n) {}
-  void arrive(int& local_sense) {
-    local_sense ^= 1;
-    if (count_.fetch_sub(1) == 1) {
-      count_.store(n_);
-      sense_.store(local_sense);
-    } else {
-      while (sense_.load() != local_sense) cpu_relax();
-    }
-  }
-
- private:
-  const int n_;
-  std::atomic<int> count_;
-  std::atomic<int> sense_{0};
 };
 
 /// Per-role result slot, padded so slots never share a line mid-run.
@@ -218,8 +191,8 @@ NativeResult run_native(const sim::AssembleResult& lit,
   reset_memory();
 
   std::vector<RoleSlot> slots(roles);
-  Barrier start(static_cast<int>(roles));
-  Barrier end(static_cast<int>(roles));
+  SenseBarrier start(static_cast<int>(roles));
+  SenseBarrier end(static_cast<int>(roles));
   const std::size_t ncpu = online_cpus();
 
   NativeResult result;
@@ -229,11 +202,16 @@ NativeResult run_native(const sim::AssembleResult& lit,
 
   auto role_main = [&](std::size_t r) {
     if (opts.pin_threads) pin_to_cpu(r % (ncpu == 0 ? 1 : ncpu));
-    int sense = 0;
+    // One local sense PER BARRIER: the sense must alternate per crossing
+    // of the same barrier object, so sharing one across start and end
+    // would leave both barriers permanently open (see barrier.hpp).
+    int start_sense = 0;
+    int end_sense = 0;
     std::uint64_t rng_base =
         opts.seed ^ (0x9e3779b97f4a7c15ull * (r + 1));
     for (std::uint64_t iter = 0; iter < opts.iterations; ++iter) {
-      start.arrive(sense);  // role 0 has reset memory before releasing this
+      // Role 0 has reset memory before releasing this barrier.
+      start.arrive(start_sense);
       std::uint64_t rng = rng_base ^ (iter * 0xbf58476d1ce4e5b9ull);
       for (std::uint64_t k = xorshift64(rng) % (opts.max_skew + 1u); k != 0;
            --k) {
@@ -243,7 +221,7 @@ NativeResult run_native(const sim::AssembleResult& lit,
       slot.regs.fill(0);
       slot.stuck = !run_role(code[r], slot.regs.data(), opts.step_budget);
       std::atomic_thread_fence(std::memory_order_seq_cst);
-      end.arrive(sense);
+      end.arrive(end_sense);
       if (r == 0) {
         // Role 0 doubles as the collector/reset thread: between the end
         // barrier and the next start barrier it is the only one running.

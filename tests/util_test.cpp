@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "lbmf/util/affinity.hpp"
+#include "lbmf/util/barrier.hpp"
 #include "lbmf/util/cacheline.hpp"
 #include "lbmf/util/check.hpp"
 #include "lbmf/util/histogram.hpp"
@@ -70,6 +72,69 @@ TEST(SpinWait, ZeroLimitYieldsImmediatelyWithoutCrashing) {
   SpinWait w(0);
   for (int i = 0; i < 8; ++i) w.wait();
   EXPECT_EQ(w.rounds(), 0u);
+}
+
+// ------------------------------------------------------------------ barrier
+
+TEST(SenseBarrier, ReleasesAllThreadsEachCrossing) {
+  constexpr int kThreads = 4;
+  constexpr int kCrossings = 200;
+  SenseBarrier b(kThreads);
+  std::atomic<int> arrived{0};
+  std::atomic<bool> bad{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      int sense = 0;
+      for (int i = 0; i < kCrossings; ++i) {
+        arrived.fetch_add(1);
+        b.arrive(sense);
+        // Everyone who will cross crossing i has already incremented.
+        if (arrived.load() < (i + 1) * kThreads) bad.store(true);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(bad.load());
+  EXPECT_EQ(arrived.load(), kThreads * kCrossings);
+}
+
+// Regression for the xval native-leg bug: a start/end barrier pair in a
+// loop, exactly as run_native uses it. With one shared local sense the
+// sense flips twice per iteration, each barrier object is always crossed
+// with the same local value, and after the first iteration neither barrier
+// makes anyone wait — threads overlap iterations freely. With one sense
+// per barrier, between crossing `end` for iteration i and crossing `start`
+// for iteration i+1, thread 0 must see every thread finished with i and
+// none yet inside i+1.
+TEST(SenseBarrier, StartEndPairDoesNotOverlapIterations) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  SenseBarrier start(kThreads);
+  SenseBarrier end(kThreads);
+  std::vector<std::atomic<int>> entered(kIters + 1);
+  for (auto& e : entered) e.store(0);
+  std::atomic<bool> overlap{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      int start_sense = 0;
+      int end_sense = 0;
+      for (int i = 0; i < kIters; ++i) {
+        start.arrive(start_sense);
+        entered[i].fetch_add(1);
+        end.arrive(end_sense);
+        if (t == 0) {
+          // Only thread 0 runs here until it re-arrives at `start`:
+          // everyone else is parked waiting on the next start crossing.
+          if (entered[i].load() != kThreads) overlap.store(true);
+          if (entered[i + 1].load() != 0) overlap.store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(overlap.load());
 }
 
 // ---------------------------------------------------------------------- rng
